@@ -1,0 +1,430 @@
+// Package repro_test holds the benchmark harness: one benchmark per table
+// and figure of the paper (regenerating a miniature of the experiment each
+// iteration), micro-benchmarks of the hot substrates, and the ablation
+// benches DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benches report custom metrics (ploss_pct, imbalance, ...)
+// alongside time so the benchmark log doubles as a shape check.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/erasure"
+	"repro/internal/experiment"
+	"repro/internal/objstore"
+	"repro/internal/placement"
+	"repro/internal/recovery"
+	"repro/internal/redundancy"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// benchOpts shrinks every experiment to benchmark-iteration size while
+// keeping its full sweep structure.
+func benchOpts() experiment.Options {
+	return experiment.Options{Runs: 2, BaseSeed: 9, Scale: 0.005}
+}
+
+// benchExperiment runs one paper experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiment.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	opts := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure -------------------------------
+
+func BenchmarkTable1Hazard(b *testing.B) {
+	// Table 1 is the hazard model; its hot path is failure-age sampling.
+	h := disk.Table1()
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.SampleAge(r)
+	}
+}
+
+func BenchmarkTable2BaseSystemBuild(b *testing.B) {
+	// Table 2 is the base configuration; bench building that system
+	// (scaled) — placement of every redundancy group.
+	cfg := core.DefaultConfig()
+	cfg.TotalDataBytes = 20 * disk.TB
+	model := disk.DefaultModel()
+	ccfg := cluster.Config{
+		Scheme:             cfg.Scheme,
+		GroupBytes:         cfg.GroupBytes,
+		NumGroups:          int(cfg.TotalDataBytes / cfg.GroupBytes),
+		DiskModel:          model,
+		InitialUtilization: cfg.InitialUtilization,
+		PlacementSeed:      1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.New(ccfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3SchemeComparison(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4aDetectionLatency(b *testing.B)  { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bLatencyRatio(b *testing.B)      { benchExperiment(b, "fig4b") }
+func BenchmarkFig5RecoveryBandwidth(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6Utilization(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkTable3UtilizationStats(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig7Replacement(b *testing.B)        { benchExperiment(b, "fig7") }
+func BenchmarkFig8aScale(b *testing.B)             { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bScaleDoubledRate(b *testing.B)  { benchExperiment(b, "fig8b") }
+
+// --- Single-run benches: the simulator's end-to-end cost ----------------
+
+func benchSingleRun(b *testing.B, farm bool) {
+	cfg := core.DefaultConfig()
+	cfg.TotalDataBytes = 50 * disk.TB
+	cfg.GroupBytes = 10 * disk.GB
+	cfg.UseFARM = farm
+	s, err := core.NewSimulator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	losses := 0
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DataLoss {
+			losses++
+		}
+	}
+	b.ReportMetric(100*float64(losses)/float64(b.N), "ploss_pct")
+}
+
+func BenchmarkSingleRunFARM(b *testing.B)  { benchSingleRun(b, true) }
+func BenchmarkSingleRunSpare(b *testing.B) { benchSingleRun(b, false) }
+
+// --- Ablation benches (DESIGN.md §6) -------------------------------------
+
+// BenchmarkAblationPlacementBalance quantifies bounded-load placement
+// against pure first-fit hashing: same work, reported imbalance differs.
+func BenchmarkAblationPlacementBalance(b *testing.B) {
+	run := func(b *testing.B, firstFit bool) {
+		h := placement.NewHasher(3)
+		b.ReportAllocs()
+		var spread float64
+		for i := 0; i < b.N; i++ {
+			v := newBenchView(200, 1<<40)
+			for g := uint64(0); g < 2000; g++ {
+				var ids []int
+				var err error
+				if firstFit {
+					ids, err = h.PlaceGroupFirstFit(v, g, 2, 1<<30)
+				} else {
+					ids, err = h.PlaceGroup(v, g, 2, 1<<30)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, id := range ids {
+					v.used[id] += 1 << 30
+				}
+			}
+			minU, maxU := v.used[0], v.used[0]
+			for _, u := range v.used {
+				if u < minU {
+					minU = u
+				}
+				if u > maxU {
+					maxU = u
+				}
+			}
+			spread = float64(maxU-minU) / float64(1<<30)
+		}
+		b.ReportMetric(spread, "blocks_spread")
+	}
+	b.Run("bounded-load", func(b *testing.B) { run(b, false) })
+	b.Run("first-fit", func(b *testing.B) { run(b, true) })
+}
+
+// benchView is a minimal placement.View for the ablation.
+type benchView struct {
+	used     []int64
+	capacity int64
+}
+
+func newBenchView(n int, capacity int64) *benchView {
+	return &benchView{used: make([]int64, n), capacity: capacity}
+}
+
+func (f *benchView) NumDisks() int                  { return len(f.used) }
+func (f *benchView) Eligible(id int, sz int64) bool { return f.used[id]+sz <= f.capacity }
+func (f *benchView) UsedBytes(id int) int64         { return f.used[id] }
+
+// BenchmarkAblationBandwidthScheduler contrasts the per-disk scheduler's
+// serialized spare-target behaviour with fully parallel (unlimited)
+// transfer, reporting makespan — the window-of-vulnerability mechanism.
+func BenchmarkAblationBandwidthScheduler(b *testing.B) {
+	const tasks = 200
+	b.Run("single-target-serialized", func(b *testing.B) {
+		var makespan sim.Time
+		for i := 0; i < b.N; i++ {
+			eng := sim.New()
+			s := recovery.NewScheduler(eng, tasks+1)
+			for t := 0; t < tasks; t++ {
+				s.Submit(&recovery.Task{Group: t, Source: t, Target: tasks, Duration: 1}, nil)
+			}
+			eng.Run()
+			makespan = eng.Now()
+		}
+		b.ReportMetric(float64(makespan), "makespan_h")
+	})
+	b.Run("spread-targets-parallel", func(b *testing.B) {
+		var makespan sim.Time
+		for i := 0; i < b.N; i++ {
+			eng := sim.New()
+			s := recovery.NewScheduler(eng, 2*tasks)
+			for t := 0; t < tasks; t++ {
+				s.Submit(&recovery.Task{Group: t, Source: t, Target: tasks + t, Duration: 1}, nil)
+			}
+			eng.Run()
+			makespan = eng.Now()
+		}
+		b.ReportMetric(float64(makespan), "makespan_h")
+	})
+}
+
+// BenchmarkAblationRedirection measures FARM under a hostile regime (high
+// failure rate) and reports how often redirection saves a rebuild, the
+// §2.3 mechanism.
+func BenchmarkAblationRedirection(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.TotalDataBytes = 200 * disk.TB
+	// Big groups at low bandwidth keep rebuilds in flight for hours, and
+	// a hostile vintage makes targets die under them: the regime where
+	// §2.3's redirection actually fires.
+	cfg.GroupBytes = 100 * disk.GB
+	cfg.RecoveryMBps = 8
+	cfg.VintageScale = 100
+	s, err := core.NewSimulator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	redirections := 0
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		redirections += res.Redirections
+	}
+	b.ReportMetric(float64(redirections)/float64(b.N), "redirections_per_run")
+}
+
+// --- Substrate micro-benches ---------------------------------------------
+
+func BenchmarkErasureEncodeRS8of10(b *testing.B) {
+	code, err := erasure.New(8, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(5)
+	shards := make([][]byte, 10)
+	for i := range shards {
+		shards[i] = make([]byte, 64<<10)
+	}
+	for d := 0; d < 8; d++ {
+		for j := range shards[d] {
+			shards[d][j] = byte(r.Intn(256))
+		}
+	}
+	b.SetBytes(8 * 64 << 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := code.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErasureReconstructRS8of10(b *testing.B) {
+	code, _ := erasure.New(8, 10)
+	r := rng.New(6)
+	shards := make([][]byte, 10)
+	for i := range shards {
+		shards[i] = make([]byte, 64<<10)
+	}
+	for d := 0; d < 8; d++ {
+		for j := range shards[d] {
+			shards[d][j] = byte(r.Intn(256))
+		}
+	}
+	if err := code.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	saved0 := append([]byte(nil), shards[0]...)
+	saved5 := append([]byte(nil), shards[5]...)
+	b.SetBytes(2 * 64 << 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		shards[0], shards[5] = nil, nil
+		if err := code.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+		shards[0], shards[5] = saved0, saved5
+	}
+}
+
+func BenchmarkObjstorePut(b *testing.B) {
+	cfg := objstore.Config{
+		Scheme:              redundancy.Scheme{M: 4, N: 6},
+		BlockBytes:          1 << 16,
+		BlocksPerCollection: 16,
+		NumCollections:      64,
+		NumDisks:            24,
+		PlacementSeed:       1,
+	}
+	r := rng.New(1)
+	payload := make([]byte, 256<<10)
+	for i := range payload {
+		payload[i] = byte(r.Intn(256))
+	}
+	s, err := objstore.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("f%d", i)
+		if err := s.Put(name, payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Delete(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObjstoreDegradedGet(b *testing.B) {
+	cfg := objstore.Config{
+		Scheme:              redundancy.Scheme{M: 4, N: 6},
+		BlockBytes:          1 << 16,
+		BlocksPerCollection: 16,
+		NumCollections:      64,
+		NumDisks:            24,
+		PlacementSeed:       1,
+	}
+	s, err := objstore.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256<<10)
+	if err := s.Put("f", payload); err != nil {
+		b.Fatal(err)
+	}
+	s.FailDisk(0)
+	s.FailDisk(1)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get("f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErasureEncodeEvenOdd5(b *testing.B) {
+	code, err := erasure.NewEvenOdd(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(7)
+	shards := make([][]byte, 7)
+	for i := range shards {
+		shards[i] = make([]byte, 64<<10)
+	}
+	for d := 0; d < 5; d++ {
+		for j := range shards[d] {
+			shards[d][j] = byte(r.Intn(256))
+		}
+	}
+	b.SetBytes(5 * 64 << 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := code.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		r := rng.New(uint64(i))
+		for j := 0; j < 1000; j++ {
+			eng.Schedule(sim.Time(r.Float64()*1e6), "e", func(sim.Time) {})
+		}
+		eng.Run()
+	}
+}
+
+func BenchmarkPlacementCandidate(b *testing.B) {
+	h := placement.NewHasher(9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Candidate(uint64(i), i%3, i%7, 10000)
+	}
+}
+
+func BenchmarkFailDiskAndIndex(b *testing.B) {
+	// The per-failure bookkeeping cost at a realistic per-disk block
+	// count. Rebuild the cluster outside the timer whenever it runs out
+	// of fresh disks.
+	ccfg := cluster.Config{
+		Scheme:             redundancy.Scheme{M: 1, N: 2},
+		GroupBytes:         10 * disk.GB,
+		NumGroups:          4000,
+		DiskModel:          disk.DefaultModel(),
+		InitialUtilization: 0.4,
+		PlacementSeed:      1,
+	}
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	next := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if next >= cl.NumDisks() {
+			b.StopTimer()
+			cl, err = cluster.New(ccfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			next = 0
+			b.StartTimer()
+		}
+		cl.FailDisk(next, float64(i))
+		next++
+	}
+}

@@ -1,0 +1,138 @@
+// Command farmsim regenerates the tables and figures of "Evaluation of
+// Distributed Recovery in Large-Scale Storage Systems" (HPDC 2004) from
+// the FARM simulator in this repository.
+//
+// Usage:
+//
+//	farmsim list
+//	farmsim run [flags] <experiment-id>...
+//	farmsim run [flags] all
+//
+// Flags for run:
+//
+//	-runs N      Monte Carlo trajectories per data point (default 100)
+//	-scale F     fraction of the paper's system size (default 1.0 = 2 PB;
+//	             use e.g. 0.1 on small machines — shapes are preserved)
+//	-seed N      base random seed (default 1)
+//	-workers N   parallel runs (default GOMAXPROCS)
+//	-csv         emit CSV instead of aligned text
+//	-v           log per-point progress to stderr
+//
+// Examples:
+//
+//	farmsim run table1
+//	farmsim run -runs 200 -scale 0.25 fig3
+//	farmsim run -runs 60 -scale 0.1 -v all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "farmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		return list()
+	case "run":
+		return runExperiments(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  farmsim list
+  farmsim run [-runs N] [-scale F] [-seed N] [-workers N] [-csv] [-v] <id>... | all`)
+}
+
+func list() error {
+	fmt.Println("Experiments (paper table/figure -> farmsim id):")
+	for _, e := range experiment.All() {
+		fmt.Printf("  %-7s %-8s %s\n", e.ID, "("+e.Cost+")", e.Title)
+	}
+	return nil
+}
+
+func runExperiments(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	runs := fs.Int("runs", 100, "Monte Carlo runs per data point")
+	scale := fs.Float64("scale", 1.0, "fraction of the paper's system size")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	workers := fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+	csv := fs.Bool("csv", false, "emit CSV")
+	verbose := fs.Bool("v", false, "log per-point progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("run: no experiment ids given (try 'farmsim list')")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range experiment.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	opts := experiment.Options{
+		Runs:     *runs,
+		BaseSeed: *seed,
+		Workers:  *workers,
+		Scale:    *scale,
+	}
+	if *verbose {
+		opts.Log = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", a...)
+		}
+	}
+
+	for _, id := range ids {
+		e, ok := experiment.Lookup(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try 'farmsim list')", id)
+		}
+		start := time.Now()
+		tables, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, t := range tables {
+			var werr error
+			if *csv {
+				werr = t.WriteCSV(os.Stdout)
+			} else {
+				werr = t.WriteText(os.Stdout)
+			}
+			if werr != nil {
+				return werr
+			}
+			fmt.Println()
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Erasurelab: byte-level redundancy groups, end to end.
+//
+// The reliability simulator reasons about m/n schemes abstractly; this
+// example exercises the same schemes on real bytes. It builds a redundancy
+// group per the paper's §2.1 — user data split into blocks, check blocks
+// computed with mirroring, XOR parity, or Reed–Solomon — then destroys the
+// maximum tolerable number of "disks" and reconstructs the data exactly,
+// verifying the m-availability property the simulator relies on.
+//
+//	go run ./examples/erasurelab
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/erasure"
+	"repro/internal/redundancy"
+	"repro/internal/rng"
+)
+
+func main() {
+	const blockSize = 1 << 16 // 64 KiB blocks keep the demo quick
+	r := rng.New(2004)        // the paper's vintage
+
+	for _, scheme := range redundancy.PaperSchemes() {
+		code, err := erasure.New(scheme.M, scheme.N)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Build a redundancy group: m data blocks of user data, k check
+		// blocks, one per (virtual) disk.
+		shards := make([][]byte, scheme.N)
+		for i := range shards {
+			shards[i] = make([]byte, blockSize)
+		}
+		for d := 0; d < scheme.M; d++ {
+			for j := range shards[d] {
+				shards[d][j] = byte(r.Intn(256))
+			}
+		}
+		original := make([][]byte, scheme.M)
+		for d := range original {
+			original[d] = append([]byte(nil), shards[d]...)
+		}
+		if err := code.Encode(shards); err != nil {
+			log.Fatal(err)
+		}
+		ok, err := code.Verify(shards)
+		if err != nil || !ok {
+			log.Fatalf("%s: verify after encode failed (%v)", code.Name(), err)
+		}
+
+		// Fail the maximum tolerable number of disks, chosen at random —
+		// the worst case a redundancy group survives.
+		tolerance := scheme.FaultTolerance()
+		killed := r.SampleK(scheme.N, tolerance)
+		for _, k := range killed {
+			shards[k] = nil
+		}
+
+		// FARM would now rebuild each lost block on a fresh disk; here we
+		// run the actual decode the rebuild performs.
+		if err := code.Reconstruct(shards); err != nil {
+			log.Fatalf("%s: reconstruct failed: %v", code.Name(), err)
+		}
+		for d := 0; d < scheme.M; d++ {
+			if !bytes.Equal(shards[d], original[d]) {
+				log.Fatalf("%s: data corrupted after reconstruction", code.Name())
+			}
+		}
+
+		fmt.Printf("%-5s (%d data + %d check blocks): killed disks %v, "+
+			"reconstructed %d KiB exactly; storage efficiency %.2f\n",
+			code.Name(), scheme.M, scheme.CheckBlocks(), killed,
+			scheme.M*blockSize/1024, scheme.StorageEfficiency())
+	}
+
+	fmt.Println("\nEvery scheme recovered from its full fault tolerance —")
+	fmt.Println("the m-availability property the FARM simulator builds on.")
+}

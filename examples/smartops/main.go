@@ -1,0 +1,67 @@
+// Smartops: operating a cluster with health monitoring and event tracing.
+//
+// §2.3 of the paper suggests using S.M.A.R.T. (or similar) to steer
+// recovery away from unreliable drives. This example runs the same
+// six-year trajectory twice — once purely reactive, once with a health
+// monitor that predicts 70% of failures a day ahead and proactively
+// drains the flagged drives — and compares the operational picture each
+// trace paints.
+//
+//	go run ./examples/smartops
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/trace"
+)
+
+func main() {
+	base := core.DefaultConfig()
+	base.TotalDataBytes = 100 * disk.TB
+	base.GroupBytes = 10 * disk.GB
+
+	for _, predictive := range []bool{false, true} {
+		cfg := base
+		if predictive {
+			cfg.SmartAccuracy = 0.7
+			cfg.SmartLeadHours = 24
+		}
+		rec := trace.NewRecorder()
+		cfg.Hook = rec.Record
+
+		s, err := core.NewSimulator(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run(42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.CheckCausality(rec.Events()); err != nil {
+			log.Fatalf("trace causality: %v", err)
+		}
+
+		mode := "reactive only"
+		if predictive {
+			mode = "with S.M.A.R.T. prediction (70% accuracy, 24 h lead)"
+		}
+		sum := trace.Summarize(rec.Events())
+		fmt.Printf("=== %s ===\n", mode)
+		fmt.Printf("  drives %d, failures %d, predicted %d\n",
+			res.Disks, res.DiskFailures, res.PredictedFailures)
+		fmt.Printf("  drained blocks (proactive): %d\n", res.DrainedBlocks)
+		fmt.Printf("  reactive rebuilds:          %d\n", res.BlocksRebuilt)
+		fmt.Printf("  drives fully drained before death: %d\n",
+			sum.Counts[trace.KindDrained])
+		fmt.Printf("  lost groups: %d\n\n", res.LostGroups)
+	}
+
+	fmt.Println("Draining a flagged drive removes its failure from the")
+	fmt.Println("vulnerability budget entirely: the blocks move while every")
+	fmt.Println("replica is still readable. Run cmd/farmtrace to dump the")
+	fmt.Println("full JSONL event stream of any configuration.")
+}

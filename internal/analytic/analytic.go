@@ -1,0 +1,152 @@
+// Package analytic provides closed-form approximations of the probability
+// of data loss, used to cross-validate the simulator and to explain the
+// paper's qualitative findings:
+//
+//   - With FARM and zero detection latency, the mirrored loss probability
+//     is independent of group size (the per-failure exposure K·T_block =
+//     C·u/bw cancels the group size; §3.2 / [37]).
+//   - Without FARM, rebuilds serialize on the spare, the i-th group waits
+//     i·T_block, and the summed exposure grows as 1/G — smaller groups are
+//     worse (§3.2).
+//   - Detection latency adds K·L to the exposure, K = C·u/B blocks per
+//     disk, so small groups (large K) are latency-sensitive, and the
+//     latency/rebuild-time ratio governs the loss (§3.3).
+//
+// The model: disk failures are a Poisson process at the mission-averaged
+// hazard rate λ; a group dies when, during the vulnerability window of an
+// affected block, enough of its other disks fail. First-order in λ·window,
+// which holds comfortably at realistic rates.
+package analytic
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/disk"
+	"repro/internal/redundancy"
+	"repro/internal/rng"
+)
+
+// Params describes the system to approximate. Fields mirror core.Config.
+type Params struct {
+	Disks                 int
+	DiskCapacityBytes     int64
+	Utilization           float64 // fill fraction holding redundancy-group blocks
+	GroupBytes            int64
+	Scheme                redundancy.Scheme
+	RecoveryMBps          float64
+	DetectionLatencyHours float64
+	MissionHours          float64
+	Hazard                *rng.PiecewiseHazard
+}
+
+// ErrParams reports invalid parameters.
+var ErrParams = errors.New("analytic: invalid parameters")
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Disks <= 0, p.DiskCapacityBytes <= 0, p.GroupBytes <= 0,
+		p.Utilization <= 0, p.Utilization > 1,
+		p.RecoveryMBps <= 0, p.MissionHours <= 0,
+		p.DetectionLatencyHours < 0,
+		p.Scheme.M < 1, p.Scheme.N <= p.Scheme.M,
+		p.Hazard == nil:
+		return ErrParams
+	}
+	return nil
+}
+
+// MeanFailureRate returns the mission-averaged per-disk hazard rate λ
+// (failures per hour).
+func (p Params) MeanFailureRate() float64 {
+	return p.Hazard.Cumulative(p.MissionHours) / p.MissionHours
+}
+
+// ExpectedFailures returns the expected number of drive deaths over the
+// mission.
+func (p Params) ExpectedFailures() float64 {
+	return float64(p.Disks) * (1 - p.Hazard.Survival(p.MissionHours))
+}
+
+// BlocksPerDisk returns K, the expected number of redundancy-group blocks
+// resident on one drive.
+func (p Params) BlocksPerDisk() float64 {
+	blockBytes := p.Scheme.BlockBytes(p.GroupBytes)
+	return float64(p.DiskCapacityBytes) * p.Utilization / float64(blockBytes)
+}
+
+// RebuildHoursPerBlock returns T, the transfer time of one block at the
+// recovery bandwidth.
+func (p Params) RebuildHoursPerBlock() float64 {
+	return disk.RebuildHours(p.Scheme.BlockBytes(p.GroupBytes), p.RecoveryMBps)
+}
+
+// binom returns C(n, k) as a float.
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= float64(n-i) / float64(i+1)
+	}
+	return out
+}
+
+// lossPerFailureFARM approximates P(some affected group dies | one disk
+// failure) under FARM: every affected block rebuilds in parallel with
+// window w = L + T, and a group with n−1 surviving blocks dies if its
+// remaining tolerance k−1... precisely, if k more of its specific disks
+// fail within w, k = n − m.
+func (p Params) lossPerFailureFARM() float64 {
+	lambda := p.MeanFailureRate()
+	k := p.Scheme.FaultTolerance()
+	w := p.DetectionLatencyHours + p.RebuildHoursPerBlock()
+	perGroup := binom(p.Scheme.N-1, k) * math.Pow(lambda*w, float64(k))
+	return p.BlocksPerDisk() * perGroup
+}
+
+// lossPerFailureSpare approximates the same quantity for the traditional
+// engine: the K affected blocks rebuild one after another onto the single
+// spare, so block i's window is L + i·T.
+func (p Params) lossPerFailureSpare() float64 {
+	lambda := p.MeanFailureRate()
+	k := p.Scheme.FaultTolerance()
+	T := p.RebuildHoursPerBlock()
+	K := int(math.Ceil(p.BlocksPerDisk()))
+	sum := 0.0
+	for i := 1; i <= K; i++ {
+		w := p.DetectionLatencyHours + float64(i)*T
+		sum += binom(p.Scheme.N-1, k) * math.Pow(lambda*w, float64(k))
+	}
+	return sum
+}
+
+// clampP converts an expected loss count into a probability.
+func clampP(expected float64) float64 {
+	return 1 - math.Exp(-expected)
+}
+
+// PLossFARM approximates the mission probability of data loss under FARM.
+func (p Params) PLossFARM() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return clampP(p.ExpectedFailures() * p.lossPerFailureFARM()), nil
+}
+
+// PLossSpare approximates the mission probability of data loss under the
+// traditional dedicated-spare scheme.
+func (p Params) PLossSpare() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return clampP(p.ExpectedFailures() * p.lossPerFailureSpare()), nil
+}
+
+// WindowRatio returns the paper's Figure 4(b) x-axis: detection latency
+// over per-group recovery time.
+func (p Params) WindowRatio() float64 {
+	return p.DetectionLatencyHours / p.RebuildHoursPerBlock()
+}

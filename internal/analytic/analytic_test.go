@@ -1,0 +1,216 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/redundancy"
+)
+
+func baseParams() Params {
+	return Params{
+		Disks:                 10000,
+		DiskCapacityBytes:     disk.TB,
+		Utilization:           0.4,
+		GroupBytes:            10 * disk.GB,
+		Scheme:                redundancy.Scheme{M: 1, N: 2},
+		RecoveryMBps:          16,
+		DetectionLatencyHours: 0,
+		MissionHours:          disk.EODLHours,
+		Hazard:                disk.Table1(),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseParams().Validate(); err != nil {
+		t.Fatalf("base params invalid: %v", err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.Disks = 0 },
+		func(p *Params) { p.DiskCapacityBytes = 0 },
+		func(p *Params) { p.GroupBytes = 0 },
+		func(p *Params) { p.Utilization = 0 },
+		func(p *Params) { p.Utilization = 1.5 },
+		func(p *Params) { p.RecoveryMBps = 0 },
+		func(p *Params) { p.MissionHours = 0 },
+		func(p *Params) { p.DetectionLatencyHours = -1 },
+		func(p *Params) { p.Scheme = redundancy.Scheme{M: 2, N: 2} },
+		func(p *Params) { p.Hazard = nil },
+	}
+	for i, m := range mutations {
+		p := baseParams()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestBasicQuantities(t *testing.T) {
+	p := baseParams()
+	// ~11% of drives fail over 6 years → ~1100 failures of 10k drives.
+	f := p.ExpectedFailures()
+	if f < 900 || f > 1300 {
+		t.Fatalf("expected failures = %v, want ~1100", f)
+	}
+	// 400 GB of 10 GB blocks → 40 blocks per disk.
+	if k := p.BlocksPerDisk(); math.Abs(k-40) > 1 {
+		t.Fatalf("blocks per disk = %v, want ~40", k)
+	}
+	// 10 GB at 16 MB/s ≈ 0.186 h.
+	if tr := p.RebuildHoursPerBlock(); tr < 0.15 || tr > 0.22 {
+		t.Fatalf("rebuild hours = %v", tr)
+	}
+}
+
+func TestFARMBeatsSpare(t *testing.T) {
+	p := baseParams()
+	farm, err := p.PLossFARM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spare, err := p.PLossSpare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if farm >= spare {
+		t.Fatalf("analytic FARM loss %v >= spare loss %v", farm, spare)
+	}
+	if spare/farm < 5 {
+		t.Fatalf("FARM advantage only %vx; expected an order of magnitude", spare/farm)
+	}
+}
+
+func TestFARMMirrorIndependentOfGroupSize(t *testing.T) {
+	// The paper's §3.2 result at zero latency: group size cancels.
+	var probs []float64
+	for _, g := range []int64{1, 5, 10, 50, 100} {
+		p := baseParams()
+		p.GroupBytes = g * disk.GB
+		v, err := p.PLossFARM()
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs = append(probs, v)
+	}
+	for i := 1; i < len(probs); i++ {
+		if math.Abs(probs[i]-probs[0])/probs[0] > 0.01 {
+			t.Fatalf("FARM mirror loss varies with group size: %v", probs)
+		}
+	}
+}
+
+func TestSpareLossGrowsAsGroupsShrink(t *testing.T) {
+	// Without FARM, smaller groups mean more serialized rebuilds and
+	// more loss (§3.2).
+	small := baseParams()
+	small.GroupBytes = 1 * disk.GB
+	large := baseParams()
+	large.GroupBytes = 50 * disk.GB
+	ps, _ := small.PLossSpare()
+	pl, _ := large.PLossSpare()
+	if ps <= pl {
+		t.Fatalf("spare loss with 1GB groups (%v) not above 50GB groups (%v)", ps, pl)
+	}
+}
+
+func TestLatencyHurtsSmallGroupsMore(t *testing.T) {
+	// §3.3: a fixed latency is a larger share of a small group's window.
+	ratio := func(g int64) float64 {
+		p := baseParams()
+		p.GroupBytes = g * disk.GB
+		base, _ := p.PLossFARM()
+		p.DetectionLatencyHours = 10.0 / 60
+		withLat, _ := p.PLossFARM()
+		return withLat / base
+	}
+	if ratio(1) <= ratio(100) {
+		t.Fatalf("latency amplification: 1GB %v <= 100GB %v", ratio(1), ratio(100))
+	}
+}
+
+func TestWindowRatioGovernsLoss(t *testing.T) {
+	// Figure 4(b): equal latency/recovery ratios give equal FARM loss
+	// probabilities across group sizes (mirroring).
+	mk := func(g int64, ratio float64) float64 {
+		p := baseParams()
+		p.GroupBytes = g * disk.GB
+		p.DetectionLatencyHours = ratio * p.RebuildHoursPerBlock()
+		if math.Abs(p.WindowRatio()-ratio) > 1e-9 {
+			t.Fatalf("WindowRatio = %v, want %v", p.WindowRatio(), ratio)
+		}
+		v, _ := p.PLossFARM()
+		return v
+	}
+	for _, ratio := range []float64{0.5, 1, 2} {
+		a := mk(1, ratio)
+		b := mk(100, ratio)
+		if math.Abs(a-b)/a > 0.01 {
+			t.Fatalf("ratio %v: losses differ across group sizes: %v vs %v", ratio, a, b)
+		}
+	}
+}
+
+func TestHigherToleranceSchemesSafer(t *testing.T) {
+	loss := func(m, n int) float64 {
+		p := baseParams()
+		p.Scheme = redundancy.Scheme{M: m, N: n}
+		v, err := p.PLossFARM()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if loss(1, 3) >= loss(1, 2) {
+		t.Fatal("3-way mirror not safer than 2-way")
+	}
+	if loss(4, 6) >= loss(4, 5) {
+		t.Fatal("4/6 not safer than 4/5")
+	}
+	if loss(2, 3) >= loss(1, 2)*100 {
+		// RAID-5-like has single tolerance but more exposed disks per
+		// group; it should not be orders of magnitude safer than mirror.
+		t.Log("sanity: 2/3 loss", loss(2, 3), "1/2 loss", loss(1, 2))
+	}
+}
+
+func TestScaleLinearity(t *testing.T) {
+	// Figure 8: P(loss) approximately linear in system size (small-p
+	// regime).
+	p1 := baseParams()
+	p1.Disks = 1000
+	p2 := baseParams()
+	p2.Disks = 2000
+	a, _ := p1.PLossFARM()
+	b, _ := p2.PLossFARM()
+	if b/a < 1.8 || b/a > 2.2 {
+		t.Fatalf("doubling disks scaled loss by %v, want ~2", b/a)
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 1, 5}, {5, 2, 10}, {5, 5, 1}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Errorf("binom(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestClampP(t *testing.T) {
+	if clampP(0) != 0 {
+		t.Fatal("clampP(0) != 0")
+	}
+	if p := clampP(100); p < 0.999 || p > 1 {
+		t.Fatalf("clampP(100) = %v", p)
+	}
+	if p := clampP(0.01); math.Abs(p-0.00995) > 1e-4 {
+		t.Fatalf("clampP small = %v", p)
+	}
+}

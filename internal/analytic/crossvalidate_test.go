@@ -1,0 +1,100 @@
+// Cross-validation of the closed-form model against the discrete-event
+// simulator, in an external test package so it can import internal/core.
+package analytic_test
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/redundancy"
+)
+
+// TestAnalyticMatchesSimulatorSpare compares the spare-disk loss
+// probability of the simulator with the first-order analytic model on a
+// configuration where losses are frequent enough to measure with few
+// runs. The analytic model is an upper-bound-flavoured approximation
+// (independent windows, mission-averaged rate), so agreement within a
+// factor of ~2.5 is the expectation, not equality.
+func TestAnalyticMatchesSimulatorSpare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := core.DefaultConfig()
+	cfg.TotalDataBytes = 500 * disk.TB
+	cfg.GroupBytes = 2 * disk.GB
+	cfg.UseFARM = false
+	cfg.DetectionLatencyHours = 0
+
+	const runs = 30
+	res, err := core.MonteCarlo(cfg, core.MonteCarloOptions{Runs: runs, BaseSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := analytic.Params{
+		Disks:                 res.Disks,
+		DiskCapacityBytes:     cfg.DiskCapacityBytes,
+		Utilization:           cfg.InitialUtilization,
+		GroupBytes:            cfg.GroupBytes,
+		Scheme:                redundancy.Scheme{M: 1, N: 2},
+		RecoveryMBps:          cfg.RecoveryMBps,
+		DetectionLatencyHours: 0,
+		MissionHours:          cfg.SimHours,
+		Hazard:                disk.Table1(),
+	}
+	want, err := p.PLossSpare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.PLoss
+	t.Logf("simulated P(loss) = %.3f, analytic = %.3f", got, want)
+	if got < want/2.5 || got > want*2.5 {
+		t.Fatalf("simulated loss %.3f vs analytic %.3f: disagreement beyond 2.5x", got, want)
+	}
+}
+
+// TestAnalyticMatchesSimulatorFARM checks the FARM side: both the
+// simulator and the model must put the loss probability well below the
+// spare-disk figure on the same configuration.
+func TestAnalyticMatchesSimulatorFARM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := core.DefaultConfig()
+	cfg.TotalDataBytes = 500 * disk.TB
+	cfg.GroupBytes = 2 * disk.GB
+	cfg.UseFARM = true
+	cfg.DetectionLatencyHours = 0
+
+	const runs = 20
+	res, err := core.MonteCarlo(cfg, core.MonteCarloOptions{Runs: runs, BaseSeed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := analytic.Params{
+		Disks:                 res.Disks,
+		DiskCapacityBytes:     cfg.DiskCapacityBytes,
+		Utilization:           cfg.InitialUtilization,
+		GroupBytes:            cfg.GroupBytes,
+		Scheme:                redundancy.Scheme{M: 1, N: 2},
+		RecoveryMBps:          cfg.RecoveryMBps,
+		DetectionLatencyHours: 0,
+		MissionHours:          cfg.SimHours,
+		Hazard:                disk.Table1(),
+	}
+	want, err := p.PLossFARM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("simulated FARM P(loss) = %.3f, analytic = %.3f", res.PLoss, want)
+	// Both must be small (the analytic figure is ~0.5% here); with 20
+	// runs the simulator can at most show a few losses.
+	if want > 0.05 {
+		t.Fatalf("analytic FARM loss %.3f unexpectedly large", want)
+	}
+	if res.PLoss > 0.2 {
+		t.Fatalf("simulated FARM loss %.3f far above analytic %.3f", res.PLoss, want)
+	}
+}

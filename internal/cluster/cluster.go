@@ -1,0 +1,379 @@
+// Package cluster tracks the state of the simulated storage system: the
+// disk population, every redundancy group's block locations, the
+// disk→block index needed to react to a failure, and per-disk utilization.
+//
+// The paper's system stores 2 PB of user data in redundancy groups of
+// 1–100 GB placed over up to 15,000 one-terabyte drives, with each drive
+// initially ~40% utilized so that recovered blocks always find space.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/placement"
+	"repro/internal/redundancy"
+)
+
+// BlockRef identifies one block: replica Rep of group Group.
+type BlockRef struct {
+	Group int32
+	Rep   int32
+}
+
+// Group is the live state of one redundancy group.
+type Group struct {
+	// Disks[rep] is the disk holding block rep, or -1 while the block is
+	// lost/being rebuilt.
+	Disks []int32
+	// Available is the number of blocks currently intact.
+	Available int32
+	// Lost is latched true the first time Available drops below m.
+	Lost bool
+}
+
+// Config sizes a cluster.
+type Config struct {
+	Scheme             redundancy.Scheme
+	GroupBytes         int64 // user data per redundancy group
+	NumGroups          int
+	DiskModel          disk.Model
+	InitialUtilization float64 // target fill fraction at build time (paper: 0.40)
+	PlacementSeed      uint64
+	// ExtraDisks adds headroom beyond the computed population (unused by
+	// the paper's experiments; handy for stress tests).
+	ExtraDisks int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.GroupBytes <= 0 {
+		return fmt.Errorf("cluster: non-positive group size %d", c.GroupBytes)
+	}
+	if c.NumGroups <= 0 {
+		return fmt.Errorf("cluster: non-positive group count %d", c.NumGroups)
+	}
+	if c.InitialUtilization <= 0 || c.InitialUtilization > 1 {
+		return fmt.Errorf("cluster: initial utilization %v out of (0,1]", c.InitialUtilization)
+	}
+	if c.Scheme.M < 1 || c.Scheme.N <= c.Scheme.M {
+		return fmt.Errorf("cluster: invalid scheme %v", c.Scheme)
+	}
+	return c.DiskModel.Validate()
+}
+
+// DisksFor returns the drive population needed to hold the configured
+// groups at the initial utilization target.
+func (c Config) DisksFor() int {
+	raw := c.Scheme.GroupRawBytes(c.GroupBytes) * int64(c.NumGroups)
+	perDisk := float64(c.DiskModel.CapacityBytes) * c.InitialUtilization
+	n := int(float64(raw)/perDisk + 0.999999)
+	if n < c.Scheme.N {
+		n = c.Scheme.N // at least one disk per block of a group
+	}
+	return n + c.ExtraDisks
+}
+
+// Cluster is the mutable system state for one simulation run.
+type Cluster struct {
+	Cfg        Config
+	BlockBytes int64 // size of one block on disk
+	Disks      []*disk.Drive
+	Groups     []Group
+	hasher     *placement.Hasher
+	// byDisk[d] lists the blocks resident on disk d.
+	byDisk [][]BlockRef
+	// aliveCount tracks the alive drive population.
+	aliveCount int
+	// LostGroups counts groups that have lost data (latched).
+	LostGroups int
+	// suspect flags drives a health monitor (S.M.A.R.T., §2.3) expects
+	// to fail; suspects are excluded from placement and recovery-target
+	// choice and are typically being drained.
+	suspect map[int]bool
+}
+
+// ErrBuild reports that initial placement could not complete.
+var ErrBuild = errors.New("cluster: initial placement failed")
+
+// New builds a cluster and places every group. The build is deterministic
+// in the placement seed.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	numDisks := cfg.DisksFor()
+	c := &Cluster{
+		Cfg:        cfg,
+		BlockBytes: cfg.Scheme.BlockBytes(cfg.GroupBytes),
+		Disks:      make([]*disk.Drive, numDisks),
+		Groups:     make([]Group, cfg.NumGroups),
+		hasher:     placement.NewHasher(cfg.PlacementSeed),
+		byDisk:     make([][]BlockRef, numDisks),
+		aliveCount: numDisks,
+	}
+	for i := range c.Disks {
+		c.Disks[i] = disk.NewDrive(i, cfg.DiskModel, 0)
+	}
+	n := cfg.Scheme.N
+	for g := range c.Groups {
+		ids, err := c.hasher.PlaceGroup(c, uint64(g), n, c.BlockBytes)
+		if err != nil {
+			return nil, fmt.Errorf("%w: group %d: %v", ErrBuild, g, err)
+		}
+		grp := &c.Groups[g]
+		grp.Disks = make([]int32, n)
+		grp.Available = int32(n)
+		for rep, id := range ids {
+			grp.Disks[rep] = int32(id)
+			if !c.Disks[id].Store(c.BlockBytes) {
+				return nil, fmt.Errorf("%w: disk %d rejected block", ErrBuild, id)
+			}
+			c.byDisk[id] = append(c.byDisk[id], BlockRef{Group: int32(g), Rep: int32(rep)})
+		}
+	}
+	return c, nil
+}
+
+// placement.View implementation.
+
+// NumDisks returns the number of disk slots (alive or not).
+func (c *Cluster) NumDisks() int { return len(c.Disks) }
+
+// Eligible reports whether disk id can accept size more bytes: alive,
+// not suspected of imminent failure, and with space.
+func (c *Cluster) Eligible(id int, size int64) bool {
+	d := c.Disks[id]
+	return d.State == disk.Alive && !c.suspect[id] && d.FreeBytes() >= size
+}
+
+// MarkSuspect flags a drive as expected to fail (a S.M.A.R.T. warning):
+// no new data — placed, recovered, or migrated — will be directed to it.
+func (c *Cluster) MarkSuspect(id int) {
+	if c.suspect == nil {
+		c.suspect = make(map[int]bool)
+	}
+	c.suspect[id] = true
+}
+
+// IsSuspect reports whether a drive carries a health warning.
+func (c *Cluster) IsSuspect(id int) bool { return c.suspect[id] }
+
+// UsedBytes returns bytes stored on disk id.
+func (c *Cluster) UsedBytes(id int) int64 { return c.Disks[id].UsedBytes }
+
+// AliveDisks returns the number of drives in service.
+func (c *Cluster) AliveDisks() int { return c.aliveCount }
+
+// Hasher exposes the placement hasher for recovery-target selection.
+func (c *Cluster) Hasher() *placement.Hasher { return c.hasher }
+
+// BlocksOn returns the blocks resident on disk id. The returned slice is
+// owned by the cluster; callers must not mutate it.
+func (c *Cluster) BlocksOn(id int) []BlockRef { return c.byDisk[id] }
+
+// FailDisk transitions a drive to Failed at time now and unlinks every
+// resident block. It returns the list of blocks that were lost and the
+// number of groups that crossed into data loss as a result.
+func (c *Cluster) FailDisk(id int, now float64) (lost []BlockRef, newlyDead int) {
+	d := c.Disks[id]
+	if d.State != disk.Alive {
+		return nil, 0
+	}
+	d.State = disk.Failed
+	d.FailedAt = now
+	c.aliveCount--
+	lost = c.byDisk[id]
+	c.byDisk[id] = nil
+	d.UsedBytes = 0
+	for _, ref := range lost {
+		grp := &c.Groups[ref.Group]
+		if grp.Disks[ref.Rep] != int32(id) {
+			panic(fmt.Sprintf("cluster: index corruption: group %d rep %d on disk %d, index says %d",
+				ref.Group, ref.Rep, grp.Disks[ref.Rep], id))
+		}
+		grp.Disks[ref.Rep] = -1
+		grp.Available--
+		if !grp.Lost && c.Cfg.Scheme.Lost(int(grp.Available)) {
+			grp.Lost = true
+			c.LostGroups++
+			newlyDead++
+		}
+	}
+	return lost, newlyDead
+}
+
+// RetireDisk removes a drive from service without data loss accounting
+// (used by replacement policies after its data has been migrated).
+func (c *Cluster) RetireDisk(id int) {
+	d := c.Disks[id]
+	if d.State == disk.Alive {
+		c.aliveCount--
+	}
+	d.State = disk.Retired
+}
+
+// PlaceRecovered installs a rebuilt block of (group, rep) on disk target.
+// The caller must have reserved the space via ReserveTarget. It increments
+// group availability.
+func (c *Cluster) PlaceRecovered(group, rep, target int) {
+	grp := &c.Groups[group]
+	if grp.Disks[rep] != -1 {
+		panic(fmt.Sprintf("cluster: recovered block %d/%d already present on %d", group, rep, grp.Disks[rep]))
+	}
+	grp.Disks[rep] = int32(target)
+	grp.Available++
+	c.byDisk[target] = append(c.byDisk[target], BlockRef{Group: int32(group), Rep: int32(rep)})
+}
+
+// ReserveTarget books BlockBytes on a target drive ahead of a rebuild, so
+// concurrent rebuilds cannot oversubscribe it. Returns false if the drive
+// cannot take the block.
+func (c *Cluster) ReserveTarget(target int) bool {
+	return c.Disks[target].Store(c.BlockBytes)
+}
+
+// ReleaseTarget returns a reservation made by ReserveTarget (rebuild was
+// redirected or abandoned). Only valid for alive drives; failed drives
+// already dropped their byte accounting.
+func (c *Cluster) ReleaseTarget(target int) {
+	if c.Disks[target].State == disk.Alive {
+		c.Disks[target].Release(c.BlockBytes)
+	}
+}
+
+// SourceFor returns a disk currently holding an intact block of group,
+// other than exclude, to serve as a rebuild read source. Returns -1 if no
+// source exists (the group is unrecoverable). For m/n schemes any intact
+// buddy works in this model; the full m-block read is folded into the
+// rebuild duration.
+func (c *Cluster) SourceFor(group int, exclude int) int {
+	grp := &c.Groups[group]
+	for _, d := range grp.Disks {
+		if d >= 0 && int(d) != exclude && c.Disks[d].State == disk.Alive {
+			return int(d)
+		}
+	}
+	return -1
+}
+
+// BuddyDisks returns the set of disks holding intact blocks of group —
+// the exclusion set for recovery-target choice (rule (b): a target must
+// not already hold a block of the group).
+func (c *Cluster) BuddyDisks(group int) map[int]bool {
+	grp := &c.Groups[group]
+	out := make(map[int]bool, len(grp.Disks))
+	for _, d := range grp.Disks {
+		if d >= 0 {
+			out[int(d)] = true
+		}
+	}
+	return out
+}
+
+// AddDisks appends fresh drives entering service at bornAt (a replacement
+// batch) and returns their IDs.
+func (c *Cluster) AddDisks(count int, bornAt float64) []int {
+	ids := make([]int, 0, count)
+	for i := 0; i < count; i++ {
+		id := len(c.Disks)
+		c.Disks = append(c.Disks, disk.NewDrive(id, c.Cfg.DiskModel, bornAt))
+		c.byDisk = append(c.byDisk, nil)
+		c.aliveCount++
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// MoveBlock migrates an intact block to a new disk (replacement-batch
+// rebalancing). The destination must be alive with space; returns false
+// otherwise.
+func (c *Cluster) MoveBlock(ref BlockRef, to int) bool {
+	grp := &c.Groups[ref.Group]
+	from := grp.Disks[ref.Rep]
+	if from < 0 || int(from) == to {
+		return false
+	}
+	if !c.Disks[to].Store(c.BlockBytes) {
+		return false
+	}
+	// Unlink from the old disk.
+	list := c.byDisk[from]
+	for i, r := range list {
+		if r == ref {
+			list[i] = list[len(list)-1]
+			c.byDisk[from] = list[:len(list)-1]
+			break
+		}
+	}
+	c.Disks[from].Release(c.BlockBytes)
+	grp.Disks[ref.Rep] = int32(to)
+	c.byDisk[to] = append(c.byDisk[to], ref)
+	return true
+}
+
+// Utilizations returns the used fraction of every alive drive.
+func (c *Cluster) Utilizations() []float64 {
+	out := make([]float64, 0, len(c.Disks))
+	for _, d := range c.Disks {
+		if d.State == disk.Alive {
+			out = append(out, d.Utilization())
+		}
+	}
+	return out
+}
+
+// UsedBytesAll returns UsedBytes for every drive slot (0 for dead drives),
+// indexed by disk ID — the view Figure 6 plots.
+func (c *Cluster) UsedBytesAll() []int64 {
+	out := make([]int64, len(c.Disks))
+	for i, d := range c.Disks {
+		out[i] = d.UsedBytes
+	}
+	return out
+}
+
+// CheckInvariants validates internal consistency (test hook): the byDisk
+// index and group tables agree, availability counts match, and byte
+// accounting covers resident blocks.
+func (c *Cluster) CheckInvariants() error {
+	counts := make([]int64, len(c.Disks))
+	for d, list := range c.byDisk {
+		for _, ref := range list {
+			grp := &c.Groups[ref.Group]
+			if grp.Disks[ref.Rep] != int32(d) {
+				return fmt.Errorf("cluster: block %v indexed on disk %d but group says %d", ref, d, grp.Disks[ref.Rep])
+			}
+			counts[d] += c.BlockBytes
+		}
+	}
+	for g := range c.Groups {
+		grp := &c.Groups[g]
+		avail := int32(0)
+		for rep, d := range grp.Disks {
+			if d < 0 {
+				continue
+			}
+			avail++
+			if c.Disks[d].State != disk.Alive {
+				return fmt.Errorf("cluster: group %d rep %d on non-alive disk %d", g, rep, d)
+			}
+		}
+		if avail != grp.Available {
+			return fmt.Errorf("cluster: group %d availability %d, counted %d", g, grp.Available, avail)
+		}
+	}
+	for d, want := range counts {
+		drv := c.Disks[d]
+		if drv.State != disk.Alive {
+			continue
+		}
+		// UsedBytes may exceed resident blocks by outstanding rebuild
+		// reservations, never the other way.
+		if drv.UsedBytes < want {
+			return fmt.Errorf("cluster: disk %d used %d < resident %d", d, drv.UsedBytes, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+	"repro/internal/redundancy"
+)
+
+func testConfig(scheme redundancy.Scheme, groups int) Config {
+	return Config{
+		Scheme:             scheme,
+		GroupBytes:         10 * disk.GB,
+		NumGroups:          groups,
+		DiskModel:          disk.DefaultModel(),
+		InitialUtilization: 0.4,
+		PlacementSeed:      99,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig(redundancy.Scheme{M: 1, N: 2}, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		func() Config { c := good; c.GroupBytes = 0; return c }(),
+		func() Config { c := good; c.NumGroups = 0; return c }(),
+		func() Config { c := good; c.InitialUtilization = 0; return c }(),
+		func() Config { c := good; c.InitialUtilization = 1.5; return c }(),
+		func() Config { c := good; c.Scheme = redundancy.Scheme{M: 2, N: 2}; return c }(),
+		func() Config { c := good; c.DiskModel.CapacityBytes = 0; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDisksFor(t *testing.T) {
+	// 100 groups × 10 GB × 2 (mirror) = 2 TB raw; at 40% of 1 TB drives
+	// that needs 5 disks.
+	c := testConfig(redundancy.Scheme{M: 1, N: 2}, 100)
+	if got := c.DisksFor(); got != 5 {
+		t.Fatalf("DisksFor = %d, want 5", got)
+	}
+	// Never fewer than n disks.
+	tiny := testConfig(redundancy.Scheme{M: 8, N: 10}, 1)
+	if got := tiny.DisksFor(); got < 10 {
+		t.Fatalf("DisksFor = %d, want >= 10", got)
+	}
+}
+
+func TestNewPlacesAllGroups(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 2}, 500)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Groups) != 500 {
+		t.Fatalf("groups = %d", len(c.Groups))
+	}
+	for g := range c.Groups {
+		grp := &c.Groups[g]
+		if grp.Available != 2 || grp.Lost {
+			t.Fatalf("group %d not fully available", g)
+		}
+		if grp.Disks[0] == grp.Disks[1] {
+			t.Fatalf("group %d has both blocks on disk %d", g, grp.Disks[0])
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDeterministic(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 4, N: 6}, 200)
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range a.Groups {
+		for rep := range a.Groups[g].Disks {
+			if a.Groups[g].Disks[rep] != b.Groups[g].Disks[rep] {
+				t.Fatalf("placement differs at group %d rep %d", g, rep)
+			}
+		}
+	}
+}
+
+func TestInitialUtilizationNearTarget(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 2}, 2000)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utils := c.Utilizations()
+	sum := 0.0
+	for _, u := range utils {
+		sum += u
+	}
+	mean := sum / float64(len(utils))
+	if mean < 0.3 || mean > 0.5 {
+		t.Fatalf("mean initial utilization %v, want ~0.4", mean)
+	}
+}
+
+func TestFailDiskBookkeeping(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 2}, 400)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := 0
+	resident := len(c.BlocksOn(id))
+	if resident == 0 {
+		t.Fatal("disk 0 holds no blocks; test needs a loaded disk")
+	}
+	lost, dead := c.FailDisk(id, 100)
+	if len(lost) != resident {
+		t.Fatalf("lost %d blocks, expected %d", len(lost), resident)
+	}
+	if dead != 0 {
+		t.Fatalf("single failure killed %d mirrored groups", dead)
+	}
+	if c.Disks[id].State != disk.Failed || c.Disks[id].UsedBytes != 0 {
+		t.Fatal("failed disk state wrong")
+	}
+	if c.AliveDisks() != len(c.Disks)-1 {
+		t.Fatalf("alive count %d", c.AliveDisks())
+	}
+	for _, ref := range lost {
+		grp := &c.Groups[ref.Group]
+		if grp.Disks[ref.Rep] != -1 || grp.Available != 1 {
+			t.Fatalf("group %d block state wrong after failure", ref.Group)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Failing again is a no-op.
+	lost2, dead2 := c.FailDisk(id, 200)
+	if lost2 != nil || dead2 != 0 {
+		t.Fatal("double failure not a no-op")
+	}
+}
+
+func TestDataLossLatch(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 2}, 300)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill disks until some group dies; LostGroups must latch and match.
+	killed := 0
+	for id := 0; id < len(c.Disks) && c.LostGroups == 0; id++ {
+		c.FailDisk(id, float64(id))
+		killed++
+	}
+	if c.LostGroups == 0 {
+		t.Fatal("no data loss even after killing every disk")
+	}
+	recount := 0
+	for g := range c.Groups {
+		if c.Groups[g].Lost {
+			recount++
+		}
+	}
+	if recount != c.LostGroups {
+		t.Fatalf("LostGroups %d, recount %d", c.LostGroups, recount)
+	}
+}
+
+func TestRecoveryCycle(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 3}, 200)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost, _ := c.FailDisk(2, 10)
+	for _, ref := range lost {
+		g := int(ref.Group)
+		src := c.SourceFor(g, -1)
+		if src < 0 {
+			t.Fatalf("no source for group %d after single failure", g)
+		}
+		buddies := c.BuddyDisks(g)
+		if buddies[2] {
+			t.Fatal("failed disk still in buddy set")
+		}
+		target, _, err := c.Hasher().RecoveryTarget(c, uint64(g), int(ref.Rep), c.BlockBytes, buddies, 0)
+		if err != nil {
+			t.Fatalf("no recovery target: %v", err)
+		}
+		if buddies[target] || target == 2 {
+			t.Fatalf("target %d violates rules", target)
+		}
+		if !c.ReserveTarget(target) {
+			t.Fatalf("reserve failed on %d", target)
+		}
+		c.PlaceRecovered(g, int(ref.Rep), target)
+		if c.Groups[g].Available != 3 {
+			t.Fatalf("group %d not restored", g)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceRecoveredPanicsIfPresent(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 2}, 50)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PlaceRecovered on intact block did not panic")
+		}
+	}()
+	c.PlaceRecovered(0, 0, 3)
+}
+
+func TestReserveRelease(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 2}, 50)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := c.Disks[1].UsedBytes
+	if !c.ReserveTarget(1) {
+		t.Fatal("reserve failed")
+	}
+	if c.Disks[1].UsedBytes != used+c.BlockBytes {
+		t.Fatal("reserve did not book bytes")
+	}
+	c.ReleaseTarget(1)
+	if c.Disks[1].UsedBytes != used {
+		t.Fatal("release did not return bytes")
+	}
+	// Releasing on a failed disk is a no-op (bytes already dropped).
+	c.FailDisk(1, 5)
+	c.ReleaseTarget(1)
+	if c.Disks[1].UsedBytes != 0 {
+		t.Fatal("release on failed disk mutated bytes")
+	}
+}
+
+func TestAddDisks(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 2}, 50)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(c.Disks)
+	alive := c.AliveDisks()
+	ids := c.AddDisks(3, 1000)
+	if len(ids) != 3 || len(c.Disks) != before+3 || c.AliveDisks() != alive+3 {
+		t.Fatal("AddDisks bookkeeping wrong")
+	}
+	for _, id := range ids {
+		if c.Disks[id].BornAt != 1000 || c.Disks[id].State != disk.Alive {
+			t.Fatal("new disk state wrong")
+		}
+	}
+}
+
+func TestMoveBlock(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 2}, 100)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newIDs := c.AddDisks(1, 500)
+	target := newIDs[0]
+	ref := c.BlocksOn(0)[0]
+	if !c.MoveBlock(ref, target) {
+		t.Fatal("MoveBlock failed")
+	}
+	if c.Groups[ref.Group].Disks[ref.Rep] != int32(target) {
+		t.Fatal("group table not updated by move")
+	}
+	found := false
+	for _, r := range c.BlocksOn(target) {
+		if r == ref {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("byDisk index not updated by move")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Moving a lost block fails.
+	c.FailDisk(target, 600)
+	if c.MoveBlock(ref, 0) {
+		t.Fatal("moved a lost block")
+	}
+}
+
+func TestRetireDisk(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 2}, 50)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := c.AliveDisks()
+	c.RetireDisk(0)
+	if c.Disks[0].State != disk.Retired || c.AliveDisks() != alive-1 {
+		t.Fatal("retire bookkeeping wrong")
+	}
+}
+
+func TestUsedBytesAll(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 2}, 50)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := c.UsedBytesAll()
+	if len(all) != len(c.Disks) {
+		t.Fatal("length mismatch")
+	}
+	c.FailDisk(0, 1)
+	if c.UsedBytesAll()[0] != 0 {
+		t.Fatal("failed disk should report zero bytes")
+	}
+}
+
+// Property: after any sequence of failures, invariants hold and
+// availability never goes negative.
+func TestQuickFailureSequences(t *testing.T) {
+	f := func(seed uint64, kills []uint8) bool {
+		cfg := testConfig(redundancy.Scheme{M: 2, N: 3}, 60)
+		cfg.PlacementSeed = seed
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		for _, k := range kills {
+			id := int(k) % len(c.Disks)
+			c.FailDisk(id, 1)
+		}
+		for g := range c.Groups {
+			if c.Groups[g].Available < 0 {
+				return false
+			}
+		}
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

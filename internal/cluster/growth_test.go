@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/redundancy"
+)
+
+// TestGrowthCandidatesReachNewDisks verifies the RUSH-growth property the
+// paper relies on for replacement batches: after AddDisks, the candidate
+// streams address the enlarged population, so recovery targets land on
+// fresh drives too.
+func TestGrowthCandidatesReachNewDisks(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 2}, 200)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.NumDisks()
+	ids := c.AddDisks(before, 100) // double the cluster
+	hit := map[int]bool{}
+	for g := 0; g < 500; g++ {
+		target, _, err := c.Hasher().RecoveryTarget(c, uint64(g), 0, c.BlockBytes, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit[target] = true
+	}
+	newHits := 0
+	for _, id := range ids {
+		if hit[id] {
+			newHits++
+		}
+	}
+	// Fresh drives are half the population; candidate streams should
+	// reach a healthy share of them.
+	if newHits < len(ids)/4 {
+		t.Fatalf("only %d of %d new disks ever chosen as targets", newHits, len(ids))
+	}
+}
+
+// TestSuspectsExcludedEverywhere checks the §2.3 rule: a drive flagged by
+// the health monitor receives no placements, no recovered blocks, and no
+// migrations.
+func TestSuspectsExcludedEverywhere(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 2}, 200)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sus := 3
+	c.MarkSuspect(sus)
+	if !c.IsSuspect(sus) {
+		t.Fatal("suspect not flagged")
+	}
+	if c.Eligible(sus, 1) {
+		t.Fatal("suspect still eligible")
+	}
+	for g := 0; g < 300; g++ {
+		target, _, err := c.Hasher().RecoveryTarget(c, uint64(g), 0, c.BlockBytes, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if target == sus {
+			t.Fatal("suspect chosen as recovery target")
+		}
+	}
+	// Placement of new groups avoids it as well.
+	ids, err := c.Hasher().PlaceGroup(c, 9999, 2, c.BlockBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id == sus {
+			t.Fatal("suspect received a placement")
+		}
+	}
+}
+
+// TestUtilizationConservation: total stored bytes equal raw group bytes
+// after arbitrary failure and recovery cycles (no byte leaks).
+func TestUtilizationConservation(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 1, N: 3}, 150)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaw := cfg.Scheme.GroupRawBytes(cfg.GroupBytes) * int64(cfg.NumGroups)
+	sum := func() int64 {
+		var s int64
+		for _, d := range c.Disks {
+			s += d.UsedBytes
+		}
+		return s
+	}
+	if sum() != wantRaw {
+		t.Fatalf("initial bytes %d, want %d", sum(), wantRaw)
+	}
+	// Fail a disk, manually restore every block, re-check.
+	lost, _ := c.FailDisk(0, 1)
+	for _, ref := range lost {
+		buddies := c.BuddyDisks(int(ref.Group))
+		target, _, err := c.Hasher().RecoveryTarget(c, uint64(ref.Group), int(ref.Rep), c.BlockBytes, buddies, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.ReserveTarget(target) {
+			t.Fatal("reserve failed")
+		}
+		c.PlaceRecovered(int(ref.Group), int(ref.Rep), target)
+	}
+	if sum() != wantRaw {
+		t.Fatalf("bytes after recovery %d, want %d", sum(), wantRaw)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockBytesCeilDivision: odd group sizes split over m blocks round
+// up, and the disk accounting uses the rounded size consistently.
+func TestBlockBytesCeilDivision(t *testing.T) {
+	cfg := testConfig(redundancy.Scheme{M: 4, N: 6}, 10)
+	cfg.GroupBytes = 10*disk.GB + 1 // not divisible by 4
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (cfg.GroupBytes + 3) / 4
+	if c.BlockBytes != want {
+		t.Fatalf("BlockBytes = %d, want %d", c.BlockBytes, want)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

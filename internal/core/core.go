@@ -1,0 +1,468 @@
+// Package core assembles the paper's system: a discrete-event Monte Carlo
+// simulator of a petabyte-scale storage cluster under disk failures, with
+// FARM or traditional spare-disk recovery, and the parallel multi-run
+// driver that estimates the probability of data loss.
+//
+// A single Run builds the cluster, samples every drive's failure time from
+// the Table 1 hazard, and plays six simulated years: failure → detection
+// after the configured latency → rebuild through the chosen recovery
+// engine → optional batch replacement of failed drives. The headline
+// metric is whether any redundancy group lost data (Figures 3–5, 7, 8);
+// secondary metrics include window-of-vulnerability statistics, recovery
+// redirection counts (§2.3), and per-disk utilization (Figure 6, Table 3).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/disk"
+	"repro/internal/recovery"
+	"repro/internal/redundancy"
+	"repro/internal/replace"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/smart"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config describes one simulated system, defaulting to the paper's base
+// parameters (Table 2).
+type Config struct {
+	// TotalDataBytes is the user data stored, excluding redundancy
+	// (paper base: 2 PB).
+	TotalDataBytes int64
+	// GroupBytes is the user data per redundancy group (paper base:
+	// 10 GB; examined 1–100 GB).
+	GroupBytes int64
+	// Scheme is the redundancy configuration (paper base: two-way
+	// mirroring, 1/2).
+	Scheme redundancy.Scheme
+	// DiskCapacityBytes is per-drive capacity (paper: 1 TB).
+	DiskCapacityBytes int64
+	// DiskBandwidthMBps is the sustainable per-drive transfer rate
+	// (paper: ~80 MB/s).
+	DiskBandwidthMBps float64
+	// RecoveryMBps is the bandwidth allotted to rebuilds (paper base:
+	// 16 MB/s — 20% of the drive; examined 8–40 MB/s).
+	RecoveryMBps float64
+	// DetectionLatencyHours is the failure-detection delay (paper base:
+	// 30 s; examined 0–3600 s).
+	DetectionLatencyHours float64
+	// InitialUtilization is the build-time fill target (paper: 40%,
+	// leaving room for recovered data).
+	InitialUtilization float64
+	// UseFARM selects distributed recovery; false selects the
+	// traditional single-spare baseline.
+	UseFARM bool
+	// SimHours is the simulated horizon (paper: 6 years, the drives'
+	// EODL).
+	SimHours float64
+	// VintageScale multiplies the Table 1 failure rates (Figure 8(b)
+	// uses 2).
+	VintageScale float64
+	// ReplaceTrigger, when positive, adds a batch of fresh drives each
+	// time this fraction of the original population has failed since the
+	// last batch (Figure 7 examines 0.02–0.08). Zero disables
+	// replacement.
+	ReplaceTrigger float64
+	// AdaptiveRecovery enables the workload-adaptive bandwidth model of
+	// §2.4: recovery receives the guaranteed RecoveryMBps floor at the
+	// user-load peak and up to the drive's full idle bandwidth at night,
+	// following a diurnal load curve. The paper's base experiments keep
+	// this off (fixed reservation).
+	AdaptiveRecovery bool
+	// SmartAccuracy, with SmartLeadHours, enables S.M.A.R.T.-style
+	// failure prediction (§2.3): that fraction of failures is flagged
+	// SmartLeadHours in advance, the flagged drive is excluded from
+	// placement and recovery-target choice, and its blocks are drained
+	// to healthy drives before it dies. Zero (the paper's base) disables
+	// prediction.
+	SmartAccuracy  float64
+	SmartLeadHours float64
+	// Seed drives all randomness of the run.
+	Seed uint64
+	// CollectUtilization records per-disk used bytes at build time and
+	// at the horizon (Figure 6 / Table 3); costs two []int64 copies.
+	CollectUtilization bool
+	// Hook, when non-nil, receives every simulator event (failures,
+	// detections, rebuilds, losses, warnings, batches) as it happens.
+	// Used by cmd/farmtrace; nil costs nothing.
+	Hook func(trace.Event)
+}
+
+// DefaultConfig returns the paper's Table 2 base system.
+func DefaultConfig() Config {
+	return Config{
+		TotalDataBytes:        2 * disk.PB,
+		GroupBytes:            10 * disk.GB,
+		Scheme:                redundancy.Scheme{M: 1, N: 2},
+		DiskCapacityBytes:     disk.TB,
+		DiskBandwidthMBps:     80,
+		RecoveryMBps:          16,
+		DetectionLatencyHours: 30.0 / 3600,
+		InitialUtilization:    0.4,
+		UseFARM:               true,
+		SimHours:              disk.EODLHours,
+		VintageScale:          1,
+		Seed:                  1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.TotalDataBytes <= 0:
+		return errors.New("core: non-positive total data")
+	case c.GroupBytes <= 0:
+		return errors.New("core: non-positive group size")
+	case c.GroupBytes > c.TotalDataBytes:
+		return errors.New("core: group larger than total data")
+	case c.Scheme.M < 1 || c.Scheme.N <= c.Scheme.M:
+		return fmt.Errorf("core: invalid scheme %v", c.Scheme)
+	case c.DiskCapacityBytes <= 0:
+		return errors.New("core: non-positive disk capacity")
+	case c.DiskBandwidthMBps <= 0:
+		return errors.New("core: non-positive disk bandwidth")
+	case c.RecoveryMBps <= 0:
+		return errors.New("core: non-positive recovery bandwidth")
+	case c.RecoveryMBps > c.DiskBandwidthMBps:
+		return errors.New("core: recovery bandwidth exceeds disk bandwidth")
+	case c.DetectionLatencyHours < 0:
+		return errors.New("core: negative detection latency")
+	case c.InitialUtilization <= 0 || c.InitialUtilization > 1:
+		return errors.New("core: initial utilization out of (0,1]")
+	case c.SimHours <= 0:
+		return errors.New("core: non-positive horizon")
+	case c.VintageScale <= 0:
+		return errors.New("core: non-positive vintage scale")
+	case c.ReplaceTrigger < 0 || c.ReplaceTrigger >= 1:
+		return errors.New("core: replace trigger out of [0,1)")
+	case c.SmartAccuracy < 0 || c.SmartAccuracy > 1:
+		return errors.New("core: smart accuracy out of [0,1]")
+	case c.SmartLeadHours < 0:
+		return errors.New("core: negative smart lead")
+	}
+	return nil
+}
+
+// NumGroups returns the redundancy-group count the config implies.
+func (c Config) NumGroups() int {
+	n := int(c.TotalDataBytes / c.GroupBytes)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// diskModel materializes the drive model, applying the vintage scale.
+func (c Config) diskModel() (disk.Model, error) {
+	v, err := disk.NewVintage(fmt.Sprintf("table1-x%.2g", c.VintageScale), c.VintageScale)
+	if err != nil {
+		return disk.Model{}, err
+	}
+	return disk.Model{
+		CapacityBytes: c.DiskCapacityBytes,
+		BandwidthMBps: c.DiskBandwidthMBps,
+		Vintage:       v,
+	}, nil
+}
+
+// RunResult reports one six-year trajectory.
+type RunResult struct {
+	// DataLoss is true if any group lost data during the run.
+	DataLoss bool
+	// LostGroups counts groups that lost data.
+	LostGroups int
+	// DiskFailures counts drive deaths (including spares and batch
+	// drives).
+	DiskFailures int
+	// BlocksRebuilt counts completed block reconstructions.
+	BlocksRebuilt int
+	// Redirections counts recovery-target failures mid-rebuild.
+	Redirections int
+	// MeanWindowHours is the mean window of vulnerability (failure to
+	// block restored).
+	MeanWindowHours float64
+	// MaxWindowHours is the worst observed window.
+	MaxWindowHours float64
+	// SparesUsed counts dedicated spares (traditional engine only).
+	SparesUsed int
+	// BatchesAdded counts replacement batches injected.
+	BatchesAdded int
+	// DisksAdded counts drives injected by replacement.
+	DisksAdded int
+	// MigratedBytes counts bytes moved to rebalance onto new batches.
+	MigratedBytes int64
+	// RecoveryDiskHours is the disk-hours consumed by rebuild transfers
+	// (two drives per transfer) — the degraded-mode interference budget.
+	RecoveryDiskHours float64
+	// PredictedFailures counts failures flagged in advance by the
+	// S.M.A.R.T. monitor; DrainedBlocks counts blocks moved off suspect
+	// drives before they died.
+	PredictedFailures int
+	DrainedBlocks     int
+	// InitialUsedBytes and FinalUsedBytes are per-disk-slot utilization
+	// snapshots, present only when CollectUtilization is set. Final
+	// covers all slots ever provisioned (0 for dead drives).
+	InitialUsedBytes []int64
+	FinalUsedBytes   []int64
+	// Disks is the initial drive population.
+	Disks int
+}
+
+// Simulator executes single runs of a Config.
+type Simulator struct {
+	cfg Config
+}
+
+// NewSimulator validates the config and returns a runner.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg}, nil
+}
+
+// Run simulates one trajectory with the given seed (overriding cfg.Seed).
+func (s *Simulator) Run(seed uint64) (RunResult, error) {
+	cfg := s.cfg
+	cfg.Seed = seed
+	return runOnce(cfg)
+}
+
+func runOnce(cfg Config) (RunResult, error) {
+	model, err := cfg.diskModel()
+	if err != nil {
+		return RunResult{}, err
+	}
+	ccfg := cluster.Config{
+		Scheme:             cfg.Scheme,
+		GroupBytes:         cfg.GroupBytes,
+		NumGroups:          cfg.NumGroups(),
+		DiskModel:          model,
+		InitialUtilization: cfg.InitialUtilization,
+		PlacementSeed:      cfg.Seed ^ 0xfa57_feed_c0de_f00d,
+	}
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	eng := sim.New()
+	sched := recovery.NewScheduler(eng, cl.NumDisks())
+	random := rng.New(cfg.Seed)
+
+	var res RunResult
+	res.Disks = cl.NumDisks()
+	if cfg.CollectUtilization {
+		res.InitialUsedBytes = cl.UsedBytesAll()
+	}
+
+	st := &runState{
+		cfg:     cfg,
+		cl:      cl,
+		eng:     eng,
+		sched:   sched,
+		random:  random,
+		res:     &res,
+		monitor: smart.Monitor{Accuracy: cfg.SmartAccuracy, LeadHours: cfg.SmartLeadHours},
+	}
+
+	spawn := func(now sim.Time) int {
+		ids := cl.AddDisks(1, float64(now))
+		sched.Grow(cl.NumDisks())
+		st.scheduleFailure(ids[0])
+		return ids[0]
+	}
+	var bw workload.BandwidthModel = workload.Fixed{MBps: cfg.RecoveryMBps}
+	if cfg.AdaptiveRecovery {
+		d, berr := workload.NewDiurnal(cfg.DiskBandwidthMBps, cfg.RecoveryMBps, 0.8, 14)
+		if berr != nil {
+			return RunResult{}, berr
+		}
+		bw = d
+	}
+	if cfg.UseFARM {
+		st.engine = recovery.NewFARM(cl, eng, sched, bw)
+	} else {
+		st.engine = recovery.NewSpareDisk(cl, eng, sched, bw, spawn)
+	}
+	if cfg.Hook != nil {
+		st.engine.SetObserver(func(now sim.Time, kind string, group, rep, diskID int) {
+			cfg.Hook(trace.Event{
+				Time: float64(now), Kind: trace.Kind(kind),
+				Group: group, Rep: rep, Disk: diskID,
+			})
+		})
+	}
+
+	// Replacement bookkeeping: batches trigger on failures of the
+	// original population fraction.
+	st.originalDisks = cl.NumDisks()
+
+	// Seed the failure process for the initial population.
+	for id := 0; id < cl.NumDisks(); id++ {
+		st.scheduleFailure(id)
+	}
+
+	eng.RunUntil(sim.Time(cfg.SimHours))
+
+	es := st.engine.Stats()
+	res.DataLoss = cl.LostGroups > 0
+	res.LostGroups = cl.LostGroups
+	res.BlocksRebuilt = es.BlocksRebuilt
+	res.Redirections = es.Redirections
+	res.MeanWindowHours = es.Window.Mean()
+	res.MaxWindowHours = es.Window.Max()
+	res.SparesUsed = es.SparesUsed
+	res.RecoveryDiskHours = sched.BusyHours
+	if cfg.CollectUtilization {
+		res.FinalUsedBytes = cl.UsedBytesAll()
+	}
+	return res, nil
+}
+
+// runState wires the event handlers of one run.
+type runState struct {
+	cfg    Config
+	cl     *cluster.Cluster
+	eng    *sim.Engine
+	sched  *recovery.Scheduler
+	random *rng.Source
+	engine recovery.Engine
+	res    *RunResult
+
+	originalDisks    int
+	failedSinceBatch int
+	monitor          smart.Monitor
+}
+
+// emit forwards a trace event to the configured hook, if any.
+func (st *runState) emit(e trace.Event) {
+	if st.cfg.Hook != nil {
+		st.cfg.Hook(e)
+	}
+}
+
+// scheduleFailure samples the drive's death and queues the event. Deaths
+// beyond the horizon are not scheduled (RunUntil would skip them anyway;
+// this keeps the queue small). With a S.M.A.R.T. monitor configured, a
+// predicted failure also queues a warning that starts a proactive drain.
+func (st *runState) scheduleFailure(id int) {
+	d := st.cl.Disks[id]
+	at := d.SampleFailureTime(st.random, float64(st.eng.Now()))
+	if at > st.cfg.SimHours {
+		return
+	}
+	st.eng.Schedule(sim.Time(at), "disk-fail", func(now sim.Time) {
+		st.onDiskFailure(now, id)
+	})
+	if warnAt, ok := st.monitor.Predict(st.random, float64(st.eng.Now()), at); ok {
+		st.res.PredictedFailures++
+		st.eng.Schedule(sim.Time(warnAt), "smart-warning", func(now sim.Time) {
+			st.onSmartWarning(now, id)
+		})
+	}
+}
+
+// onSmartWarning marks the drive suspect and begins draining its blocks
+// to healthy drives, one block at a time at the recovery bandwidth
+// (a single drive sources the whole drain, so it serializes).
+func (st *runState) onSmartWarning(now sim.Time, id int) {
+	if st.cl.Disks[id].State != disk.Alive {
+		return // died before the warning fired (lead clipped to now)
+	}
+	st.cl.MarkSuspect(id)
+	st.emit(trace.Event{Time: float64(now), Kind: trace.KindSmartWarn, Disk: id})
+	st.drainStep(now, id)
+}
+
+// drainStep moves the next block off a suspect drive, then re-arms.
+func (st *runState) drainStep(now sim.Time, id int) {
+	if st.cl.Disks[id].State != disk.Alive {
+		return // the drive died mid-drain; normal recovery takes over
+	}
+	blocks := st.cl.BlocksOn(id)
+	if len(blocks) == 0 {
+		// Fully drained: retire the drive before it fails in service.
+		st.cl.RetireDisk(id)
+		st.emit(trace.Event{Time: float64(now), Kind: trace.KindDrained, Disk: id})
+		return
+	}
+	ref := blocks[0]
+	group := int(ref.Group)
+	exclude := st.cl.BuddyDisks(group)
+	target, _, err := st.cl.Hasher().RecoveryTarget(
+		st.cl, uint64(group), int(ref.Rep), st.cl.BlockBytes, exclude, 0)
+	if err != nil {
+		return // nowhere to drain to; leave the blocks for recovery
+	}
+	transfer := sim.Time(disk.RebuildHours(st.cl.BlockBytes, st.cfg.RecoveryMBps))
+	st.eng.Schedule(now+transfer, "drain-block", func(done sim.Time) {
+		if st.cl.Disks[id].State != disk.Alive {
+			return
+		}
+		// The block may have been lost meanwhile via a buddy failure
+		// marking this group dead; MoveBlock checks residency itself.
+		if st.cl.Groups[group].Disks[ref.Rep] == int32(id) && st.cl.MoveBlock(ref, target) {
+			st.res.DrainedBlocks++
+		}
+		st.drainStep(done, id)
+	})
+}
+
+// onDiskFailure plays one drive death: cluster bookkeeping, in-flight
+// rebuild fix-ups, delayed detection, and the replacement policy.
+func (st *runState) onDiskFailure(now sim.Time, id int) {
+	if st.cl.Disks[id].State != disk.Alive {
+		return // already dead or retired (defensive)
+	}
+	lost, newlyDead := st.cl.FailDisk(id, float64(now))
+	st.res.DiskFailures++
+	st.emit(trace.Event{Time: float64(now), Kind: trace.KindDiskFail, Disk: id,
+		Detail: fmt.Sprintf("blocks=%d", len(lost))})
+	if newlyDead > 0 {
+		st.emit(trace.Event{Time: float64(now), Kind: trace.KindDataLoss, Disk: id,
+			Detail: fmt.Sprintf("groups=%d", newlyDead)})
+	}
+	st.engine.HandleFailure(now, id)
+	failedAt := now
+	blocks := lost
+	st.eng.Schedule(now+sim.Time(st.cfg.DetectionLatencyHours), "detect", func(dnow sim.Time) {
+		st.emit(trace.Event{Time: float64(dnow), Kind: trace.KindDetect, Disk: id})
+		st.engine.HandleDetection(dnow, id, failedAt, blocks)
+	})
+	st.maybeReplace(now)
+}
+
+// maybeReplace applies the Figure 7 batch-replacement policy: once the
+// configured fraction of the original population has failed since the
+// last batch, inject that many fresh drives and rebalance onto them.
+func (st *runState) maybeReplace(now sim.Time) {
+	if st.cfg.ReplaceTrigger <= 0 {
+		return
+	}
+	st.failedSinceBatch++
+	threshold := int(st.cfg.ReplaceTrigger * float64(st.originalDisks))
+	if threshold < 1 {
+		threshold = 1
+	}
+	if st.failedSinceBatch < threshold {
+		return
+	}
+	count := st.failedSinceBatch
+	st.failedSinceBatch = 0
+	ids := st.cl.AddDisks(count, float64(now))
+	st.sched.Grow(st.cl.NumDisks())
+	for _, nid := range ids {
+		st.scheduleFailure(nid)
+	}
+	st.res.BatchesAdded++
+	st.res.DisksAdded += count
+	st.res.MigratedBytes += replace.RebalanceOnto(st.cl, ids)
+	st.emit(trace.Event{Time: float64(now), Kind: trace.KindBatchAdded,
+		Detail: fmt.Sprintf("disks=%d", count)})
+}

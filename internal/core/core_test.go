@@ -1,0 +1,294 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/redundancy"
+)
+
+// smallConfig is a laptop-sized system that still exhibits the paper's
+// dynamics: ~50 disks, 20 TB of user data, two-way mirroring.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TotalDataBytes = 10 * disk.TB
+	cfg.GroupBytes = 10 * disk.GB
+	return cfg
+}
+
+func TestDefaultConfigMatchesTable2(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.TotalDataBytes != 2*disk.PB {
+		t.Error("base total data should be 2 PB")
+	}
+	if cfg.GroupBytes != 10*disk.GB {
+		t.Error("base group size should be 10 GB")
+	}
+	if cfg.Scheme != (redundancy.Scheme{M: 1, N: 2}) {
+		t.Error("base scheme should be two-way mirroring")
+	}
+	if cfg.DetectionLatencyHours*3600 != 30 {
+		t.Error("base detection latency should be 30 s")
+	}
+	if cfg.RecoveryMBps != 16 {
+		t.Error("base recovery bandwidth should be 16 MB/s")
+	}
+	if cfg.SimHours != 6*8760 {
+		t.Error("base horizon should be 6 years")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejectsBadValues(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.TotalDataBytes = 0 },
+		func(c *Config) { c.GroupBytes = 0 },
+		func(c *Config) { c.GroupBytes = c.TotalDataBytes * 2 },
+		func(c *Config) { c.Scheme = redundancy.Scheme{M: 0, N: 2} },
+		func(c *Config) { c.DiskCapacityBytes = 0 },
+		func(c *Config) { c.DiskBandwidthMBps = 0 },
+		func(c *Config) { c.RecoveryMBps = 0 },
+		func(c *Config) { c.RecoveryMBps = 1000 },
+		func(c *Config) { c.DetectionLatencyHours = -1 },
+		func(c *Config) { c.InitialUtilization = 0 },
+		func(c *Config) { c.InitialUtilization = 1.2 },
+		func(c *Config) { c.SimHours = 0 },
+		func(c *Config) { c.VintageScale = 0 },
+		func(c *Config) { c.ReplaceTrigger = -0.1 },
+		func(c *Config) { c.ReplaceTrigger = 1 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNumGroups(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.NumGroups(); got != 209715 {
+		t.Fatalf("2 PB / 10 GB = %d groups, want 209715", got)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	simr, err := NewSimulator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := simr.Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := simr.Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DataLoss != b.DataLoss || a.DiskFailures != b.DiskFailures ||
+		a.BlocksRebuilt != b.BlocksRebuilt || a.LostGroups != b.LostGroups {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	simr, err := NewSimulator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := simr.Run(1)
+	diff := false
+	for seed := uint64(2); seed < 6; seed++ {
+		b, _ := simr.Run(seed)
+		if b.DiskFailures != a.DiskFailures {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("five different seeds produced identical failure counts")
+	}
+}
+
+func TestRunBasicShape(t *testing.T) {
+	simr, err := NewSimulator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simr.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disks <= 0 {
+		t.Fatal("no disks")
+	}
+	// Over six years roughly 10% of drives fail.
+	if res.DiskFailures == 0 {
+		t.Fatal("no failures in six years across ~50 disks is implausible")
+	}
+	if res.BlocksRebuilt == 0 {
+		t.Fatal("failures occurred but nothing was rebuilt")
+	}
+	if res.MeanWindowHours < 0 || res.MaxWindowHours < res.MeanWindowHours {
+		t.Fatalf("window stats inconsistent: mean %v max %v",
+			res.MeanWindowHours, res.MaxWindowHours)
+	}
+}
+
+func TestCollectUtilization(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CollectUtilization = true
+	simr, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simr.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InitialUsedBytes) == 0 || len(res.FinalUsedBytes) < len(res.InitialUsedBytes) {
+		t.Fatal("utilization snapshots missing")
+	}
+	var initTotal int64
+	for _, b := range res.InitialUsedBytes {
+		initTotal += b
+	}
+	wantRaw := cfg.Scheme.GroupRawBytes(cfg.GroupBytes) * int64(cfg.NumGroups())
+	if initTotal != wantRaw {
+		t.Fatalf("initial bytes %d, want raw data %d", initTotal, wantRaw)
+	}
+}
+
+func TestSpareEngineRuns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.UseFARM = false
+	simr, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simr.Run(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiskFailures > 0 && res.SparesUsed == 0 {
+		t.Fatal("failures without spares under the traditional engine")
+	}
+}
+
+func TestReplacementBatches(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ReplaceTrigger = 0.02 // small trigger so batches certainly fire
+	simr, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simr.Run(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiskFailures > 0 && res.BatchesAdded == 0 {
+		t.Fatal("no replacement batches despite failures and a 2% trigger")
+	}
+	if res.BatchesAdded > 0 && res.DisksAdded == 0 {
+		t.Fatal("batches added no disks")
+	}
+	if res.BatchesAdded > 0 && res.MigratedBytes == 0 {
+		t.Fatal("batches fired but nothing migrated")
+	}
+}
+
+func TestMonteCarloAggregates(t *testing.T) {
+	cfg := smallConfig()
+	res, err := MonteCarlo(cfg, MonteCarloOptions{Runs: 10, BaseSeed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 10 {
+		t.Fatalf("runs = %d", res.Runs)
+	}
+	if res.PLoss < 0 || res.PLoss > 1 || res.PLossLo > res.PLoss || res.PLossHi < res.PLoss {
+		t.Fatalf("loss estimate inconsistent: %v [%v, %v]", res.PLoss, res.PLossLo, res.PLossHi)
+	}
+	if res.DiskFailures.N() != 10 {
+		t.Fatal("per-run stats incomplete")
+	}
+}
+
+func TestMonteCarloDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallConfig()
+	a, err := MonteCarlo(cfg, MonteCarloOptions{Runs: 6, BaseSeed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(cfg, MonteCarloOptions{Runs: 6, BaseSeed: 5, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PLoss != b.PLoss || a.DiskFailures.Mean() != b.DiskFailures.Mean() {
+		t.Fatal("results depend on worker count")
+	}
+}
+
+func TestMonteCarloProgress(t *testing.T) {
+	cfg := smallConfig()
+	var last int
+	_, err := MonteCarlo(cfg, MonteCarloOptions{
+		Runs: 4, BaseSeed: 9,
+		Progress: func(done, total int) {
+			if total != 4 || done < 1 || done > 4 {
+				t.Errorf("progress out of range: %d/%d", done, total)
+			}
+			last = done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 4 {
+		t.Fatalf("final progress %d, want 4", last)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	if _, err := MonteCarlo(DefaultConfig(), MonteCarloOptions{Runs: 0}); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+	bad := DefaultConfig()
+	bad.GroupBytes = 0
+	if _, err := MonteCarlo(bad, MonteCarloOptions{Runs: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestFARMBeatsSpareOnLossProbability(t *testing.T) {
+	// The paper's headline (Figure 3): with FARM the probability of data
+	// loss drops substantially versus the traditional scheme. Use a
+	// deliberately stressed small system (long latency, modest bandwidth)
+	// so both probabilities are measurable with few runs.
+	cfg := smallConfig()
+	cfg.GroupBytes = 50 * disk.GB
+	cfg.DetectionLatencyHours = 1
+	const runs = 30
+	farm := cfg
+	farm.UseFARM = true
+	spare := cfg
+	spare.UseFARM = false
+	fr, err := MonteCarlo(farm, MonteCarloOptions{Runs: runs, BaseSeed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := MonteCarlo(spare, MonteCarloOptions{Runs: runs, BaseSeed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.PLoss > sr.PLoss {
+		t.Fatalf("FARM loss %v > spare loss %v", fr.PLoss, sr.PLoss)
+	}
+	// Windows of vulnerability must be dramatically shorter under FARM.
+	if fr.WindowHours.Mean() >= sr.WindowHours.Mean() {
+		t.Fatalf("FARM window %v >= spare window %v",
+			fr.WindowHours.Mean(), sr.WindowHours.Mean())
+	}
+}

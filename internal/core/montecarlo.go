@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Result aggregates a Monte Carlo campaign: the statistics the paper's
+// figures plot.
+type Result struct {
+	// Runs is the number of completed trajectories.
+	Runs int
+	// PLoss estimates the probability of data loss (fraction of runs
+	// with at least one lost group), with a Wilson 95% interval.
+	PLoss      float64
+	PLossLo    float64
+	PLossHi    float64
+	lossCounts metrics.Proportion
+	// RedirectionRate is the fraction of runs that saw at least one
+	// recovery redirection (the paper reports <8% at worst, §2.3).
+	RedirectionRate float64
+	// LostGroups aggregates groups lost per run.
+	LostGroups metrics.Welford
+	// DiskFailures aggregates drive deaths per run.
+	DiskFailures metrics.Welford
+	// WindowHours aggregates per-run mean windows of vulnerability.
+	WindowHours metrics.Welford
+	// BlocksRebuilt aggregates completed reconstructions per run.
+	BlocksRebuilt metrics.Welford
+	// MigratedBytes aggregates replacement-driven migration per run.
+	MigratedBytes metrics.Welford
+	// BatchesAdded aggregates replacement batches per run.
+	BatchesAdded metrics.Welford
+	// Predicted aggregates S.M.A.R.T.-predicted failures per run.
+	Predicted metrics.Welford
+	// DrainedBlocks aggregates proactively drained blocks per run.
+	DrainedBlocks metrics.Welford
+	// Disks is the initial drive population (identical across runs).
+	Disks int
+}
+
+// MonteCarloOptions tunes the campaign.
+type MonteCarloOptions struct {
+	// Runs is the number of trajectories (the paper uses 100–1000 per
+	// point).
+	Runs int
+	// Workers caps parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// BaseSeed derives per-run seeds; run i uses BaseSeed + i.
+	BaseSeed uint64
+	// Progress, when non-nil, receives the completed-run count as runs
+	// finish (monotone but unordered arrival).
+	Progress func(done, total int)
+}
+
+// ErrNoRuns reports an empty campaign request.
+var ErrNoRuns = errors.New("core: MonteCarlo needs at least one run")
+
+// MonteCarlo executes opts.Runs independent trajectories of cfg in
+// parallel and aggregates them. Each run gets its own seeded RNG stream;
+// results are deterministic for a fixed (cfg, BaseSeed, Runs) regardless
+// of worker count.
+func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
+	if opts.Runs <= 0 {
+		return Result{}, ErrNoRuns
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Runs {
+		workers = opts.Runs
+	}
+
+	type item struct {
+		res RunResult
+		err error
+	}
+	results := make([]item, opts.Runs)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	var doneMu sync.Mutex
+	done := 0
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				runCfg := cfg
+				runCfg.Seed = opts.BaseSeed + uint64(i)
+				res, err := runOnce(runCfg)
+				results[i] = item{res: res, err: err}
+				if opts.Progress != nil {
+					doneMu.Lock()
+					done++
+					d := done
+					doneMu.Unlock()
+					opts.Progress(d, opts.Runs)
+				}
+			}
+		}()
+	}
+	for i := 0; i < opts.Runs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var out Result
+	for i := range results {
+		if results[i].err != nil {
+			return Result{}, results[i].err
+		}
+		out.add(&results[i].res)
+	}
+	out.finish()
+	return out, nil
+}
+
+// add folds one run into the aggregate.
+func (r *Result) add(run *RunResult) {
+	r.Runs++
+	r.lossCounts.Add(run.DataLoss)
+	if run.Redirections > 0 {
+		r.RedirectionRate++ // converted to a rate in finish
+	}
+	r.LostGroups.Add(float64(run.LostGroups))
+	r.DiskFailures.Add(float64(run.DiskFailures))
+	if run.BlocksRebuilt > 0 {
+		r.WindowHours.Add(run.MeanWindowHours)
+	}
+	r.BlocksRebuilt.Add(float64(run.BlocksRebuilt))
+	r.MigratedBytes.Add(float64(run.MigratedBytes))
+	r.BatchesAdded.Add(float64(run.BatchesAdded))
+	r.Predicted.Add(float64(run.PredictedFailures))
+	r.DrainedBlocks.Add(float64(run.DrainedBlocks))
+	r.Disks = run.Disks
+}
+
+// finish converts counters into rates and intervals.
+func (r *Result) finish() {
+	r.PLoss = r.lossCounts.Estimate()
+	r.PLossLo, r.PLossHi = r.lossCounts.Wilson95()
+	if r.Runs > 0 {
+		r.RedirectionRate /= float64(r.Runs)
+	}
+}

@@ -1,0 +1,200 @@
+package disk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTable1Bands(t *testing.T) {
+	h := Table1()
+	cases := []struct {
+		months float64
+		want   float64 // fraction per hour
+	}{
+		{0, 0.005 / 1000},
+		{2, 0.005 / 1000},
+		{3, 0.0035 / 1000},
+		{5.9, 0.0035 / 1000},
+		{6, 0.0025 / 1000},
+		{11, 0.0025 / 1000},
+		{12, 0.002 / 1000},
+		{71, 0.002 / 1000},
+	}
+	for _, c := range cases {
+		if got := h.Rate(c.months * HoursPerMonth); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("rate at %v months = %v, want %v", c.months, got, c.want)
+		}
+	}
+}
+
+func TestTable1SixYearFailureFraction(t *testing.T) {
+	// ~10% of drives fail by EODL — the basis for the paper's replacement
+	// discussion (§3.6).
+	p := 1 - Table1().Survival(EODLHours)
+	if p < 0.08 || p > 0.13 {
+		t.Fatalf("six-year failure fraction %v, want ~0.10", p)
+	}
+}
+
+func TestNewVintageScale(t *testing.T) {
+	v, err := NewVintage("double", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Table1()
+	for _, age := range []float64{0, 1000, 30000} {
+		if math.Abs(v.Hazard.Rate(age)-2*base.Rate(age)) > 1e-15 {
+			t.Errorf("vintage rate at %v not doubled", age)
+		}
+	}
+	if _, err := NewVintage("bad", -1); err == nil {
+		t.Error("negative scale should fail")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	bad := []Model{
+		{CapacityBytes: 0, BandwidthMBps: 80, Vintage: Vintage{Hazard: Table1()}},
+		{CapacityBytes: TB, BandwidthMBps: 0, Vintage: Vintage{Hazard: Table1()}},
+		{CapacityBytes: TB, BandwidthMBps: 80},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d should be invalid", i)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Alive.String() != "alive" || Failed.String() != "failed" || Retired.String() != "retired" {
+		t.Error("state names wrong")
+	}
+	if State(99).String() == "" {
+		t.Error("unknown state has empty name")
+	}
+}
+
+func TestDriveStoreRelease(t *testing.T) {
+	d := NewDrive(1, DefaultModel(), 0)
+	if d.FreeBytes() != TB {
+		t.Fatalf("fresh drive free = %d", d.FreeBytes())
+	}
+	if !d.Store(400 * GB) {
+		t.Fatal("store within capacity failed")
+	}
+	if math.Abs(d.Utilization()-float64(400*GB)/float64(TB)) > 1e-12 {
+		t.Fatalf("utilization = %v", d.Utilization())
+	}
+	if d.Store(TB) {
+		t.Fatal("store beyond capacity succeeded")
+	}
+	if d.Store(-1) {
+		t.Fatal("negative store succeeded")
+	}
+	d.Release(100 * GB)
+	if d.UsedBytes != 300*GB {
+		t.Fatalf("used after release = %d", d.UsedBytes)
+	}
+	d.State = Failed
+	if d.Store(1) {
+		t.Fatal("store on failed drive succeeded")
+	}
+}
+
+func TestReleaseTooMuchPanics(t *testing.T) {
+	d := NewDrive(1, DefaultModel(), 0)
+	d.Store(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	d.Release(11)
+}
+
+func TestDriveAge(t *testing.T) {
+	d := NewDrive(7, DefaultModel(), 1000)
+	if d.Age(1500) != 500 {
+		t.Fatalf("age = %v", d.Age(1500))
+	}
+}
+
+func TestSampleFailureTimeAfterNow(t *testing.T) {
+	r := rng.New(55)
+	d := NewDrive(1, DefaultModel(), 200)
+	for i := 0; i < 10000; i++ {
+		ft := d.SampleFailureTime(r, 500)
+		if ft <= 500 {
+			t.Fatalf("failure time %v not after now", ft)
+		}
+	}
+}
+
+func TestSampleFailureRespectsVintage(t *testing.T) {
+	// Doubling the hazard should roughly double the 6-year failure
+	// fraction (at these low rates).
+	r := rng.New(56)
+	v2, _ := NewVintage("double", 2)
+	base := DefaultModel()
+	fast := base
+	fast.Vintage = v2
+	const n = 40000
+	count := func(m Model) int {
+		c := 0
+		for i := 0; i < n; i++ {
+			d := NewDrive(i, m, 0)
+			if d.SampleFailureTime(r, 0) <= EODLHours {
+				c++
+			}
+		}
+		return c
+	}
+	slow := count(base)
+	quick := count(fast)
+	ratio := float64(quick) / float64(slow)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("doubled vintage failure ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestRebuildHours(t *testing.T) {
+	// 10 GB at 16 MB/s ≈ 625 s ≈ 0.186 h (the paper's §3.3 example says
+	// ~640 s for a 10 GB group; decimal-vs-binary GB accounts for the
+	// difference).
+	h := RebuildHours(10*GB, 16)
+	seconds := h * 3600
+	if seconds < 600 || seconds < 0 || seconds > 700 {
+		t.Fatalf("10GB@16MB/s = %v s, want ~640 s", seconds)
+	}
+	// 1 GB should be 10x faster.
+	h1 := RebuildHours(1*GB, 16)
+	if math.Abs(h/h1-10) > 1e-9 {
+		t.Fatalf("rebuild hours not linear in size: %v vs %v", h, h1)
+	}
+	// Doubling bandwidth halves time.
+	h2 := RebuildHours(10*GB, 32)
+	if math.Abs(h/h2-2) > 1e-9 {
+		t.Fatalf("rebuild hours not inverse in bandwidth")
+	}
+}
+
+func TestRebuildHoursPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bandwidth did not panic")
+		}
+	}()
+	RebuildHours(GB, 0)
+}
+
+func TestRecoveryBandwidthBps(t *testing.T) {
+	// 16 MB/s = 16e6 * 3600 bytes per hour.
+	if got := RecoveryBandwidthBps(16); got != 16e6*3600 {
+		t.Fatalf("RecoveryBandwidthBps(16) = %v", got)
+	}
+}

@@ -1,0 +1,88 @@
+// Package erasure implements the byte-level redundancy codecs behind the
+// paper's redundancy groups: n-way mirroring, single XOR parity (the
+// RAID-5-like schemes), and generalized Reed–Solomon m/n erasure coding.
+//
+// Terminology follows the paper: an "m/n scheme" stores m user-data blocks
+// plus k = n−m check blocks and can reconstruct the group from any m of
+// the n blocks ("m-availability"). The codecs here operate on real byte
+// shards so that examples and tests exercise actual encode/rebuild paths;
+// the reliability simulator shares the same m/n semantics through
+// internal/redundancy.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is an m/n erasure codec over byte shards. Shards are equal-length
+// byte slices; indices 0..m-1 are data shards, m..n-1 are check shards.
+type Code interface {
+	// DataShards returns m, the number of user-data blocks per group.
+	DataShards() int
+	// TotalShards returns n, data plus check blocks.
+	TotalShards() int
+	// Encode fills the check shards from the data shards in place.
+	// shards must have length n; all shards must be equal, non-zero
+	// length.
+	Encode(shards [][]byte) error
+	// Reconstruct rebuilds missing shards in place. Missing shards are
+	// nil entries; present shards must be equal length. Fails with
+	// ErrTooFewShards if fewer than m shards are present.
+	Reconstruct(shards [][]byte) error
+	// Verify reports whether the check shards match the data shards.
+	Verify(shards [][]byte) (bool, error)
+	// Name returns the scheme name in the paper's m/n notation.
+	Name() string
+}
+
+// Errors shared by all codecs.
+var (
+	ErrShardCount   = errors.New("erasure: wrong number of shards")
+	ErrShardSize    = errors.New("erasure: shards have unequal or zero size")
+	ErrTooFewShards = errors.New("erasure: too few shards to reconstruct")
+)
+
+// shardSize validates the present shards of a group and returns their
+// common length. Missing (nil) shards are skipped; needPresent requires at
+// least that many present.
+func shardSize(shards [][]byte, want int, needPresent int) (int, error) {
+	if len(shards) != want {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), want)
+	}
+	size := 0
+	present := 0
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if len(s) == 0 {
+			return 0, ErrShardSize
+		}
+		if size == 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, ErrShardSize
+		}
+		present++
+	}
+	if present < needPresent {
+		return 0, ErrTooFewShards
+	}
+	return size, nil
+}
+
+// New returns a codec for an m/n scheme: Mirror for m == 1, XORParity for
+// k == 1, and ReedSolomon otherwise.
+func New(m, n int) (Code, error) {
+	switch {
+	case m <= 0 || n <= m:
+		return nil, fmt.Errorf("erasure: invalid scheme %d/%d", m, n)
+	case m == 1:
+		return NewMirror(n)
+	case n-m == 1:
+		return NewXORParity(m)
+	default:
+		return NewReedSolomon(m, n)
+	}
+}

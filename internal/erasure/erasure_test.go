@@ -1,0 +1,344 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// paperSchemes are the six configurations evaluated in Figure 3.
+var paperSchemes = [][2]int{{1, 2}, {1, 3}, {2, 3}, {4, 5}, {4, 6}, {8, 10}}
+
+func makeShards(t *testing.T, r *rng.Source, m, n, size int) [][]byte {
+	t.Helper()
+	shards := make([][]byte, n)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+	}
+	for d := 0; d < m; d++ {
+		for j := range shards[d] {
+			shards[d][j] = byte(r.Intn(256))
+		}
+	}
+	return shards
+}
+
+func TestNewDispatch(t *testing.T) {
+	cases := []struct {
+		m, n int
+		want string
+	}{
+		{1, 2, "*erasure.Mirror"},
+		{1, 3, "*erasure.Mirror"},
+		{2, 3, "*erasure.XORParity"},
+		{4, 5, "*erasure.XORParity"},
+		{4, 6, "*erasure.ReedSolomon"},
+		{8, 10, "*erasure.ReedSolomon"},
+	}
+	for _, c := range cases {
+		code, err := New(c.m, c.n)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", c.m, c.n, err)
+		}
+		if code.DataShards() != c.m || code.TotalShards() != c.n {
+			t.Errorf("New(%d,%d) shape wrong", c.m, c.n)
+		}
+	}
+}
+
+func TestNewInvalid(t *testing.T) {
+	for _, c := range [][2]int{{0, 2}, {-1, 3}, {2, 2}, {3, 2}} {
+		if _, err := New(c[0], c[1]); err == nil {
+			t.Errorf("New(%d,%d) should fail", c[0], c[1])
+		}
+	}
+}
+
+func TestEncodeVerifyAllSchemes(t *testing.T) {
+	r := rng.New(100)
+	for _, s := range paperSchemes {
+		code, err := New(s[0], s[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := makeShards(t, r, s[0], s[1], 512)
+		if err := code.Encode(shards); err != nil {
+			t.Fatalf("%s Encode: %v", code.Name(), err)
+		}
+		ok, err := code.Verify(shards)
+		if err != nil || !ok {
+			t.Fatalf("%s Verify after encode: ok=%v err=%v", code.Name(), ok, err)
+		}
+		// Corrupt a byte — verify must fail.
+		shards[0][7] ^= 0x55
+		ok, err = code.Verify(shards)
+		if err != nil {
+			t.Fatalf("%s Verify: %v", code.Name(), err)
+		}
+		if ok {
+			t.Fatalf("%s Verify accepted corrupted data", code.Name())
+		}
+	}
+}
+
+func TestReconstructSingleLossAllSchemes(t *testing.T) {
+	r := rng.New(101)
+	for _, s := range paperSchemes {
+		code, _ := New(s[0], s[1])
+		for lost := 0; lost < s[1]; lost++ {
+			shards := makeShards(t, r, s[0], s[1], 256)
+			if err := code.Encode(shards); err != nil {
+				t.Fatal(err)
+			}
+			want := make([][]byte, len(shards))
+			for i, sh := range shards {
+				want[i] = append([]byte(nil), sh...)
+			}
+			shards[lost] = nil
+			if err := code.Reconstruct(shards); err != nil {
+				t.Fatalf("%s lost=%d Reconstruct: %v", code.Name(), lost, err)
+			}
+			if !bytes.Equal(shards[lost], want[lost]) {
+				t.Fatalf("%s lost=%d reconstructed shard differs", code.Name(), lost)
+			}
+		}
+	}
+}
+
+func TestReconstructMaxLosses(t *testing.T) {
+	// Every scheme must survive exactly n-m losses; which shards are lost
+	// should not matter. Exhaustive over loss sets for the small schemes.
+	r := rng.New(102)
+	for _, s := range paperSchemes {
+		m, n := s[0], s[1]
+		code, _ := New(m, n)
+		k := n - m
+		lossSets := combinations(n, k)
+		for _, lossSet := range lossSets {
+			shards := makeShards(t, r, m, n, 128)
+			if err := code.Encode(shards); err != nil {
+				t.Fatal(err)
+			}
+			want := make([][]byte, n)
+			for i, sh := range shards {
+				want[i] = append([]byte(nil), sh...)
+			}
+			for _, l := range lossSet {
+				shards[l] = nil
+			}
+			if err := code.Reconstruct(shards); err != nil {
+				t.Fatalf("%s losses %v: %v", code.Name(), lossSet, err)
+			}
+			for i := range shards {
+				if !bytes.Equal(shards[i], want[i]) {
+					t.Fatalf("%s losses %v: shard %d differs", code.Name(), lossSet, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructTooManyLosses(t *testing.T) {
+	r := rng.New(103)
+	for _, s := range paperSchemes {
+		m, n := s[0], s[1]
+		code, _ := New(m, n)
+		shards := makeShards(t, r, m, n, 64)
+		if err := code.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n-m+1; i++ {
+			shards[i] = nil
+		}
+		err := code.Reconstruct(shards)
+		if !errors.Is(err, ErrTooFewShards) {
+			t.Fatalf("%s: expected ErrTooFewShards, got %v", code.Name(), err)
+		}
+	}
+}
+
+func TestReconstructNoLossIsNoop(t *testing.T) {
+	r := rng.New(104)
+	for _, s := range paperSchemes {
+		code, _ := New(s[0], s[1])
+		shards := makeShards(t, r, s[0], s[1], 64)
+		if err := code.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		snap := make([][]byte, len(shards))
+		for i, sh := range shards {
+			snap[i] = append([]byte(nil), sh...)
+		}
+		if err := code.Reconstruct(shards); err != nil {
+			t.Fatal(err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], snap[i]) {
+				t.Fatalf("%s: no-loss Reconstruct mutated shard %d", code.Name(), i)
+			}
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	code, _ := New(4, 6)
+	// Wrong count.
+	if err := code.Encode(make([][]byte, 5)); !errors.Is(err, ErrShardCount) {
+		t.Errorf("wrong count: %v", err)
+	}
+	// Unequal sizes.
+	shards := make([][]byte, 6)
+	for i := range shards {
+		shards[i] = make([]byte, 10)
+	}
+	shards[3] = make([]byte, 9)
+	if err := code.Encode(shards); !errors.Is(err, ErrShardSize) {
+		t.Errorf("unequal size: %v", err)
+	}
+	// Zero-length shard.
+	shards[3] = []byte{}
+	if err := code.Encode(shards); !errors.Is(err, ErrShardSize) {
+		t.Errorf("zero size: %v", err)
+	}
+}
+
+func TestMirrorSpecifics(t *testing.T) {
+	if _, err := NewMirror(1); err == nil {
+		t.Error("NewMirror(1) should fail")
+	}
+	m, err := NewMirror(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "1/3" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	shards := [][]byte{{1, 2, 3}, make([]byte, 3), make([]byte, 3)}
+	if err := m.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		if !bytes.Equal(shards[i], shards[0]) {
+			t.Fatalf("replica %d differs", i)
+		}
+	}
+	// Survive with only the last replica.
+	shards[0], shards[1] = nil, nil
+	if err := m.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[0], []byte{1, 2, 3}) {
+		t.Fatal("mirror reconstruct from last replica failed")
+	}
+}
+
+func TestXORSpecifics(t *testing.T) {
+	if _, err := NewXORParity(1); err == nil {
+		t.Error("NewXORParity(1) should fail")
+	}
+	x, err := NewXORParity(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Name() != "4/5" {
+		t.Errorf("Name = %q", x.Name())
+	}
+}
+
+func TestReedSolomonInvalid(t *testing.T) {
+	for _, c := range [][2]int{{0, 2}, {3, 3}, {3, 2}, {200, 300}} {
+		if _, err := NewReedSolomon(c[0], c[1]); err == nil {
+			t.Errorf("NewReedSolomon(%d,%d) should fail", c[0], c[1])
+		}
+	}
+}
+
+func TestReedSolomonLargeScheme(t *testing.T) {
+	// A wider scheme than the paper uses, to exercise the matrix paths.
+	r := rng.New(105)
+	code, err := NewReedSolomon(16, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := makeShards(t, r, 16, 20, 1024)
+	if err := code.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), shards[5]...)
+	shards[5], shards[11], shards[17], shards[19] = nil, nil, nil, nil
+	if err := code.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[5], want) {
+		t.Fatal("large-scheme reconstruct wrong")
+	}
+	if ok, _ := code.Verify(shards); !ok {
+		t.Fatal("large-scheme verify failed after reconstruct")
+	}
+}
+
+// Property: encode → drop any k shards → reconstruct recovers the original
+// data exactly, for random data and random loss patterns.
+func TestQuickReconstructRoundTrip(t *testing.T) {
+	f := func(seed uint64, schemeIdx uint8) bool {
+		s := paperSchemes[int(schemeIdx)%len(paperSchemes)]
+		m, n := s[0], s[1]
+		code, err := New(m, n)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		shards := make([][]byte, n)
+		for i := range shards {
+			shards[i] = make([]byte, 64)
+		}
+		for d := 0; d < m; d++ {
+			for j := range shards[d] {
+				shards[d][j] = byte(r.Intn(256))
+			}
+		}
+		if err := code.Encode(shards); err != nil {
+			return false
+		}
+		orig := make([][]byte, n)
+		for i, sh := range shards {
+			orig[i] = append([]byte(nil), sh...)
+		}
+		// Drop a random set of up to n-m shards.
+		for _, idx := range r.SampleK(n, n-m) {
+			shards[idx] = nil
+		}
+		if err := code.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// combinations returns all k-element subsets of [0, n).
+func combinations(n, k int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}

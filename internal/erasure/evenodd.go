@@ -1,0 +1,384 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EvenOdd implements the EVENODD code of Blaum, Brady, Bruck, and Menon
+// (IEEE ToC 1995), which the paper cites as an erasure-code candidate for
+// redundancy groups [4]. EVENODD stores p data columns (p an odd prime)
+// plus two parity columns — one of horizontal (row) parity and one of
+// diagonal parity — and tolerates the loss of any two columns using only
+// XOR, no finite-field multiplication.
+//
+// As a Code, EvenOdd is a p/(p+2) scheme. Each shard is one column of the
+// (p−1)-row array; shard length must be a multiple of p−1 (row i of a
+// column occupies bytes [i·stride, (i+1)·stride) with stride =
+// len/(p−1)). Row p−1 is the standard imaginary all-zero row.
+//
+// Conventions (following the original paper):
+//
+//   - row parity      c(i, p)   = ⊕_j a(i, j)
+//   - special diag    S         = ⊕ { a(i, j) : (i+j) ≡ p−1 (mod p) }
+//   - diagonal parity c(d, p+1) = S ⊕ ⊕ { a(i, j) : (i+j) ≡ d (mod p) }
+//     for d = 0..p−2
+type EvenOdd struct {
+	p int // prime number of data columns
+}
+
+// ErrNotPrime reports a non-prime column count.
+var ErrNotPrime = errors.New("erasure: evenodd needs an odd prime number of data columns")
+
+// ErrShardStride reports a shard length not divisible by p−1.
+var ErrShardStride = errors.New("erasure: evenodd shard length must be a multiple of p-1")
+
+// NewEvenOdd returns an EVENODD codec with p data columns. p must be an
+// odd prime (3, 5, 7, ...).
+func NewEvenOdd(p int) (*EvenOdd, error) {
+	if p < 3 || !isPrime(p) {
+		return nil, fmt.Errorf("%w: got %d", ErrNotPrime, p)
+	}
+	return &EvenOdd{p: p}, nil
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DataShards returns p.
+func (e *EvenOdd) DataShards() int { return e.p }
+
+// TotalShards returns p + 2.
+func (e *EvenOdd) TotalShards() int { return e.p + 2 }
+
+// Name returns the scheme in m/n notation with an evenodd tag.
+func (e *EvenOdd) Name() string { return fmt.Sprintf("%d/%d-evenodd", e.p, e.p+2) }
+
+// layout validates shards and returns the row stride.
+func (e *EvenOdd) layout(shards [][]byte, needPresent int) (int, error) {
+	size, err := shardSize(shards, e.p+2, needPresent)
+	if err != nil {
+		return 0, err
+	}
+	if size%(e.p-1) != 0 {
+		return 0, fmt.Errorf("%w: len %d, p %d", ErrShardStride, size, e.p)
+	}
+	return size / (e.p - 1), nil
+}
+
+// cell returns the byte slice of array row i within a column buffer.
+func cell(buf []byte, i, stride int) []byte {
+	return buf[i*stride : (i+1)*stride]
+}
+
+// xorInto dst ^= src.
+func xorInto(dst, src []byte) {
+	for k, b := range src {
+		dst[k] ^= b
+	}
+}
+
+// specialS computes S = ⊕ a(i, j) over the special diagonal
+// (i+j ≡ p−1 mod p, i real) from intact data columns.
+func (e *EvenOdd) specialS(shards [][]byte, stride int) []byte {
+	p := e.p
+	s := make([]byte, stride)
+	for j := 1; j < p; j++ {
+		xorInto(s, cell(shards[j], p-1-j, stride))
+	}
+	return s
+}
+
+// Encode fills the row-parity column (index p) and the diagonal-parity
+// column (index p+1).
+func (e *EvenOdd) Encode(shards [][]byte) error {
+	stride, err := e.layout(shards, e.p+2)
+	if err != nil {
+		return err
+	}
+	p := e.p
+	rowPar := shards[p]
+	diagPar := shards[p+1]
+	for k := range rowPar {
+		rowPar[k] = 0
+		diagPar[k] = 0
+	}
+	// Row parity: XOR of whole columns equals row-wise XOR.
+	for j := 0; j < p; j++ {
+		xorInto(rowPar, shards[j])
+	}
+	// Diagonal parity: c(d, p+1) = S ⊕ (XOR over diagonal d).
+	s := e.specialS(shards, stride)
+	diag := e.diagKnownXor(shards, nil, stride)
+	for d := 0; d < p-1; d++ {
+		out := cell(diagPar, d, stride)
+		copy(out, s)
+		xorInto(out, cell(diag, d, stride))
+	}
+	return nil
+}
+
+// Verify recomputes both parity columns and compares.
+func (e *EvenOdd) Verify(shards [][]byte) (bool, error) {
+	size, err := shardSize(shards, e.p+2, e.p+2)
+	if err != nil {
+		return false, err
+	}
+	work := make([][]byte, len(shards))
+	for i, s := range shards {
+		if i < e.p {
+			work[i] = s
+		} else {
+			work[i] = make([]byte, size)
+		}
+	}
+	if err := e.Encode(work); err != nil {
+		return false, err
+	}
+	for i := e.p; i < e.p+2; i++ {
+		for k := range shards[i] {
+			if shards[i][k] != work[i][k] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// diagKnownXor returns, for each diagonal d = 0..p−1, the XOR of the
+// present data cells on it (columns in skip and nil shards excluded; the
+// imaginary row contributes nothing). Row p−1 of the result is the
+// special diagonal.
+func (e *EvenOdd) diagKnownXor(shards [][]byte, skip map[int]bool, stride int) []byte {
+	p := e.p
+	out := make([]byte, p*stride)
+	for j := 0; j < p; j++ {
+		if skip[j] || shards[j] == nil {
+			continue
+		}
+		for i := 0; i < p-1; i++ {
+			d := (i + j) % p
+			xorInto(cell(out, d, stride), cell(shards[j], i, stride))
+		}
+	}
+	return out
+}
+
+// Reconstruct rebuilds up to two missing columns in place.
+func (e *EvenOdd) Reconstruct(shards [][]byte) error {
+	stride, err := e.layout(shards, e.p)
+	if err != nil {
+		return err
+	}
+	var missing []int
+	for i, s := range shards {
+		if s == nil {
+			missing = append(missing, i)
+		}
+	}
+	switch len(missing) {
+	case 0:
+		return nil
+	case 1:
+		return e.reconstruct1(shards, missing[0], stride)
+	case 2:
+		return e.reconstruct2(shards, missing[0], missing[1], stride)
+	default:
+		return ErrTooFewShards
+	}
+}
+
+// reconstruct1 handles a single erasure.
+func (e *EvenOdd) reconstruct1(shards [][]byte, lost, stride int) error {
+	p := e.p
+	size := stride * (p - 1)
+	if lost >= p {
+		// A parity column: re-encode from the intact data. Encode needs
+		// both parity buffers; give the intact one a scratch copy so it
+		// is not clobbered... it would be recomputed identically anyway,
+		// so encoding in place is safe.
+		shards[lost] = make([]byte, size)
+		return e.Encode(shards)
+	}
+	// A data column: row parity ⊕ other data columns.
+	out := make([]byte, size)
+	copy(out, shards[p])
+	for j := 0; j < p; j++ {
+		if j != lost {
+			xorInto(out, shards[j])
+		}
+	}
+	shards[lost] = out
+	return nil
+}
+
+// reconstruct2 handles two erasures r < s.
+func (e *EvenOdd) reconstruct2(shards [][]byte, r, s, stride int) error {
+	p := e.p
+	size := stride * (p - 1)
+	switch {
+	case r == p && s == p+1:
+		// Both parity columns: plain re-encode.
+		shards[p] = make([]byte, size)
+		shards[p+1] = make([]byte, size)
+		return e.Encode(shards)
+	case s == p+1:
+		// A data column and the diagonal parity: row parity alone
+		// recovers the data column, then re-encode.
+		if err := e.reconstruct1(shards, r, stride); err != nil {
+			return err
+		}
+		shards[p+1] = make([]byte, size)
+		return e.Encode(shards)
+	case s == p:
+		// A data column and the row parity: recover the data through
+		// the diagonals, then re-encode.
+		if err := e.recoverDataViaDiagonals(shards, r, stride); err != nil {
+			return err
+		}
+		shards[p] = make([]byte, size)
+		return e.Encode(shards)
+	default:
+		return e.recoverTwoData(shards, r, s, stride)
+	}
+}
+
+// recoverDataViaDiagonals rebuilds data column r when the row parity is
+// also lost, using only the diagonal parity.
+func (e *EvenOdd) recoverDataViaDiagonals(shards [][]byte, r, stride int) error {
+	p := e.p
+	size := stride * (p - 1)
+	diag := e.diagKnownXor(shards, map[int]bool{r: true}, stride)
+
+	// Recover S first.
+	sVec := make([]byte, stride)
+	dStar := (p - 1 + r) % p // diagonal through the imaginary cell (p−1, r)
+	if dStar <= p-2 {
+		// Column r contributes nothing to diagonal dStar, so
+		// c(dStar, p+1) = S ⊕ knowns:  S = c(dStar, p+1) ⊕ knowns.
+		copy(sVec, cell(shards[p+1], dStar, stride))
+		xorInto(sVec, cell(diag, dStar, stride))
+	} else {
+		// r == 0: every real row of column 0 sits on a real parity
+		// diagonal d = i. Writing a(i, 0) = c(i, p+1) ⊕ S ⊕ known_i and
+		// folding the rows: ⊕_i a(i, 0) = ⊕_i base_i with
+		// base_i = c(i, p+1) ⊕ known_i (the p−1 copies of S cancel).
+		// The all-diagonal-parity identity ⊕_d c(d, p+1) = T ⊕ S (T =
+		// XOR of every data cell) then isolates S:
+		//   u := ⊕_d c(d, p+1) ⊕ (known data cells)   // = S ⊕ ⊕_i a(i,0)
+		//   S  = u ⊕ ⊕_i base_i.
+		u := make([]byte, stride)
+		for d := 0; d < p-1; d++ {
+			xorInto(u, cell(shards[p+1], d, stride))
+		}
+		for j := 0; j < p; j++ {
+			if j == r {
+				continue
+			}
+			for i := 0; i < p-1; i++ {
+				xorInto(u, cell(shards[j], i, stride))
+			}
+		}
+		copy(sVec, u)
+		for i := 0; i < p-1; i++ {
+			xorInto(sVec, cell(shards[p+1], i, stride)) // c(i, p+1)
+			xorInto(sVec, cell(diag, i, stride))        // known_i
+		}
+	}
+
+	// With S known, each row of column r comes off its diagonal.
+	out := make([]byte, size)
+	for i := 0; i < p-1; i++ {
+		d := (i + r) % p
+		dst := cell(out, i, stride)
+		if d <= p-2 {
+			// a(i, r) = c(d, p+1) ⊕ S ⊕ knowns on d.
+			copy(dst, cell(shards[p+1], d, stride))
+			xorInto(dst, sVec)
+			xorInto(dst, cell(diag, d, stride))
+		} else {
+			// The special diagonal: its cells XOR to S directly.
+			copy(dst, sVec)
+			xorInto(dst, cell(diag, p-1, stride))
+		}
+	}
+	shards[r] = out
+	return nil
+}
+
+// recoverTwoData implements the EVENODD zigzag for two lost data columns
+// r < s.
+func (e *EvenOdd) recoverTwoData(shards [][]byte, r, s, stride int) error {
+	p := e.p
+	size := stride * (p - 1)
+
+	// S = ⊕ row-parity cells ⊕ diagonal-parity cells (both intact).
+	sVec := make([]byte, stride)
+	for i := 0; i < p-1; i++ {
+		xorInto(sVec, cell(shards[p], i, stride))
+		xorInto(sVec, cell(shards[p+1], i, stride))
+	}
+
+	// Row syndromes: s0[i] = ⊕ of the two unknown cells in row i.
+	s0 := make([]byte, size)
+	for i := 0; i < p-1; i++ {
+		copy(cell(s0, i, stride), cell(shards[p], i, stride))
+	}
+	for j := 0; j < p; j++ {
+		if j == r || j == s {
+			continue
+		}
+		xorInto(s0, shards[j])
+	}
+
+	// Diagonal syndromes: s1[d] = ⊕ of the unknown cells on diagonal d,
+	// for d = 0..p−1 (the special diagonal included).
+	diag := e.diagKnownXor(shards, map[int]bool{r: true, s: true}, stride)
+	s1 := make([]byte, p*stride)
+	for d := 0; d < p-1; d++ {
+		dst := cell(s1, d, stride)
+		copy(dst, cell(shards[p+1], d, stride)) // c(d, p+1)
+		xorInto(dst, sVec)                      // ⊕ S
+		xorInto(dst, cell(diag, d, stride))     // ⊕ knowns
+	}
+	// Special diagonal: unknowns = S ⊕ knowns.
+	dst := cell(s1, p-1, stride)
+	copy(dst, sVec)
+	xorInto(dst, cell(diag, p-1, stride))
+
+	// Zigzag: start at the row of column s whose diagonal passes through
+	// the imaginary cell (p−1, r) — that diagonal has a single unknown.
+	outR := make([]byte, size)
+	outS := make([]byte, size)
+	delta := ((s-r)%p + p) % p
+	i := ((p-1-delta)%p + p) % p
+	for i != p-1 {
+		// Diagonal through (i, s): all other cells known except possibly
+		// the column-r cell at row (i + delta) mod p, which is either
+		// imaginary or already recovered by a previous step.
+		d := (i + s) % p
+		dstS := cell(outS, i, stride)
+		copy(dstS, cell(s1, d, stride))
+		ir := (i + delta) % p
+		if ir != p-1 {
+			xorInto(dstS, cell(outR, ir, stride))
+		}
+		// Row i now has one unknown: a(i, r) = s0[i] ⊕ a(i, s).
+		dstR := cell(outR, i, stride)
+		copy(dstR, cell(s0, i, stride))
+		xorInto(dstR, dstS)
+		i = ((i-delta)%p + p) % p
+	}
+	shards[r] = outR
+	shards[s] = outS
+	return nil
+}

@@ -1,0 +1,263 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// evenOddShards builds a random encoded EVENODD group for prime p with
+// the given stride (shard length = stride × (p−1)).
+func evenOddShards(t testing.TB, r *rng.Source, p, stride int) (*EvenOdd, [][]byte) {
+	t.Helper()
+	code, err := NewEvenOdd(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, p+2)
+	for i := range shards {
+		shards[i] = make([]byte, stride*(p-1))
+	}
+	for j := 0; j < p; j++ {
+		for k := range shards[j] {
+			shards[j][k] = byte(r.Intn(256))
+		}
+	}
+	if err := code.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	return code, shards
+}
+
+func TestNewEvenOddValidation(t *testing.T) {
+	for _, p := range []int{3, 5, 7, 11, 13} {
+		if _, err := NewEvenOdd(p); err != nil {
+			t.Errorf("NewEvenOdd(%d): %v", p, err)
+		}
+	}
+	for _, p := range []int{-1, 0, 1, 2, 4, 6, 8, 9, 15} {
+		if _, err := NewEvenOdd(p); err == nil {
+			t.Errorf("NewEvenOdd(%d) should fail", p)
+		}
+	}
+}
+
+func TestEvenOddShape(t *testing.T) {
+	code, _ := NewEvenOdd(5)
+	if code.DataShards() != 5 || code.TotalShards() != 7 {
+		t.Fatal("shape wrong")
+	}
+	if code.Name() != "5/7-evenodd" {
+		t.Fatalf("name %q", code.Name())
+	}
+}
+
+func TestEvenOddStrideValidation(t *testing.T) {
+	code, _ := NewEvenOdd(5)
+	shards := make([][]byte, 7)
+	for i := range shards {
+		shards[i] = make([]byte, 10) // not a multiple of p−1 = 4
+	}
+	if err := code.Encode(shards); !errors.Is(err, ErrShardStride) {
+		t.Fatalf("expected ErrShardStride, got %v", err)
+	}
+}
+
+func TestEvenOddEncodeVerify(t *testing.T) {
+	r := rng.New(1)
+	for _, p := range []int{3, 5, 7} {
+		code, shards := evenOddShards(t, r, p, 8)
+		ok, err := code.Verify(shards)
+		if err != nil || !ok {
+			t.Fatalf("p=%d verify after encode: ok=%v err=%v", p, ok, err)
+		}
+		shards[1][3] ^= 0xff
+		ok, err = code.Verify(shards)
+		if err != nil || ok {
+			t.Fatalf("p=%d verify accepted corruption", p)
+		}
+	}
+}
+
+func TestEvenOddRowParityProperty(t *testing.T) {
+	// Row parity column must equal the XOR of the data columns.
+	r := rng.New(2)
+	_, shards := evenOddShards(t, r, 5, 4)
+	for k := range shards[5] {
+		var acc byte
+		for j := 0; j < 5; j++ {
+			acc ^= shards[j][k]
+		}
+		if shards[5][k] != acc {
+			t.Fatalf("row parity wrong at byte %d", k)
+		}
+	}
+}
+
+func TestEvenOddSingleErasureAllColumns(t *testing.T) {
+	r := rng.New(3)
+	for _, p := range []int{3, 5, 7} {
+		for lost := 0; lost < p+2; lost++ {
+			code, shards := evenOddShards(t, r, p, 4)
+			want := append([]byte(nil), shards[lost]...)
+			shards[lost] = nil
+			if err := code.Reconstruct(shards); err != nil {
+				t.Fatalf("p=%d lost=%d: %v", p, lost, err)
+			}
+			if !bytes.Equal(shards[lost], want) {
+				t.Fatalf("p=%d lost=%d: wrong reconstruction", p, lost)
+			}
+		}
+	}
+}
+
+func TestEvenOddDoubleErasureAllPairs(t *testing.T) {
+	// The EVENODD guarantee: any two columns (data or parity, in any
+	// combination) are recoverable. Exhaustive for p = 3, 5, 7.
+	r := rng.New(4)
+	for _, p := range []int{3, 5, 7} {
+		for a := 0; a < p+2; a++ {
+			for b := a + 1; b < p+2; b++ {
+				code, shards := evenOddShards(t, r, p, 4)
+				wantA := append([]byte(nil), shards[a]...)
+				wantB := append([]byte(nil), shards[b]...)
+				shards[a], shards[b] = nil, nil
+				if err := code.Reconstruct(shards); err != nil {
+					t.Fatalf("p=%d lost=(%d,%d): %v", p, a, b, err)
+				}
+				if !bytes.Equal(shards[a], wantA) || !bytes.Equal(shards[b], wantB) {
+					t.Fatalf("p=%d lost=(%d,%d): wrong reconstruction", p, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestEvenOddTripleErasureFails(t *testing.T) {
+	r := rng.New(5)
+	code, shards := evenOddShards(t, r, 5, 4)
+	shards[0], shards[2], shards[6] = nil, nil, nil
+	if err := code.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("triple erasure: %v", err)
+	}
+}
+
+func TestEvenOddNoErasureNoop(t *testing.T) {
+	r := rng.New(6)
+	code, shards := evenOddShards(t, r, 5, 4)
+	snap := make([][]byte, len(shards))
+	for i, s := range shards {
+		snap[i] = append([]byte(nil), s...)
+	}
+	if err := code.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], snap[i]) {
+			t.Fatalf("no-op reconstruct mutated shard %d", i)
+		}
+	}
+}
+
+func TestEvenOddMatchesReedSolomonAvailability(t *testing.T) {
+	// EVENODD and a p/(p+2) Reed–Solomon code protect the same data with
+	// the same overhead; cross-check that both round-trip the same
+	// payloads under the same double-erasure patterns.
+	r := rng.New(7)
+	const p = 5
+	eo, err := NewEvenOdd(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewReedSolomon(p, p+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([][]byte, p)
+	for j := range data {
+		data[j] = make([]byte, 16)
+		for k := range data[j] {
+			data[j][k] = byte(r.Intn(256))
+		}
+	}
+	mk := func(code Code) [][]byte {
+		shards := make([][]byte, p+2)
+		for j := 0; j < p; j++ {
+			shards[j] = append([]byte(nil), data[j]...)
+		}
+		shards[p] = make([]byte, 16)
+		shards[p+1] = make([]byte, 16)
+		if err := code.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		return shards
+	}
+	eoShards, rsShards := mk(eo), mk(rs)
+	for a := 0; a < p; a++ {
+		for b := a + 1; b < p; b++ {
+			e1 := append([][]byte(nil), eoShards...)
+			e2 := append([][]byte(nil), rsShards...)
+			e1[a], e1[b], e2[a], e2[b] = nil, nil, nil, nil
+			if err := eo.Reconstruct(e1); err != nil {
+				t.Fatal(err)
+			}
+			if err := rs.Reconstruct(e2); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < p; j++ {
+				if !bytes.Equal(e1[j], data[j]) || !bytes.Equal(e2[j], data[j]) {
+					t.Fatalf("codes disagree with original at column %d", j)
+				}
+			}
+		}
+	}
+}
+
+// Property: random data, random double erasure, exact round-trip.
+func TestQuickEvenOddRoundTrip(t *testing.T) {
+	f := func(seed uint64, pIdx, strideSel uint8) bool {
+		primes := []int{3, 5, 7, 11}
+		p := primes[int(pIdx)%len(primes)]
+		stride := int(strideSel%7) + 1
+		r := rng.New(seed)
+		code, err := NewEvenOdd(p)
+		if err != nil {
+			return false
+		}
+		shards := make([][]byte, p+2)
+		for i := range shards {
+			shards[i] = make([]byte, stride*(p-1))
+		}
+		for j := 0; j < p; j++ {
+			for k := range shards[j] {
+				shards[j][k] = byte(r.Intn(256))
+			}
+		}
+		if err := code.Encode(shards); err != nil {
+			return false
+		}
+		orig := make([][]byte, len(shards))
+		for i, s := range shards {
+			orig[i] = append([]byte(nil), s...)
+		}
+		a := r.Intn(p + 2)
+		b := r.Intn(p + 2)
+		shards[a] = nil
+		shards[b] = nil
+		if err := code.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

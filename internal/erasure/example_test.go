@@ -1,0 +1,35 @@
+package erasure_test
+
+import (
+	"fmt"
+
+	"repro/internal/erasure"
+)
+
+func ExampleNew() {
+	// A 4/6 redundancy group: four data blocks, two check blocks,
+	// survives any two losses.
+	code, _ := erasure.New(4, 6)
+	shards := make([][]byte, 6)
+	for i := range shards {
+		shards[i] = make([]byte, 8)
+	}
+	copy(shards[0], "the data")
+	copy(shards[1], "spread o")
+	copy(shards[2], "ver four")
+	copy(shards[3], " shards!")
+	if err := code.Encode(shards); err != nil {
+		fmt.Println("encode:", err)
+		return
+	}
+	// Two disks die.
+	shards[0] = nil
+	shards[4] = nil
+	if err := code.Reconstruct(shards); err != nil {
+		fmt.Println("reconstruct:", err)
+		return
+	}
+	fmt.Println(string(shards[0]) + string(shards[1]) + string(shards[2]) + string(shards[3]))
+	// Output:
+	// the dataspread over four shards!
+}

@@ -1,0 +1,76 @@
+package erasure
+
+import "fmt"
+
+// Mirror is n-way replication: one data shard and n−1 identical copies.
+// This is the paper's 1/2 (two-way) and 1/3 (three-way) mirroring.
+type Mirror struct {
+	n int
+}
+
+// NewMirror returns an n-way mirroring codec (1/n scheme). n must be >= 2.
+func NewMirror(n int) (*Mirror, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("erasure: mirror needs n >= 2, got %d", n)
+	}
+	return &Mirror{n: n}, nil
+}
+
+// DataShards returns 1.
+func (m *Mirror) DataShards() int { return 1 }
+
+// TotalShards returns n.
+func (m *Mirror) TotalShards() int { return m.n }
+
+// Name returns the scheme in m/n notation, e.g. "1/2".
+func (m *Mirror) Name() string { return fmt.Sprintf("1/%d", m.n) }
+
+// Encode copies the data shard into every replica shard.
+func (m *Mirror) Encode(shards [][]byte) error {
+	size, err := shardSize(shards, m.n, m.n)
+	if err != nil {
+		return err
+	}
+	_ = size
+	for i := 1; i < m.n; i++ {
+		copy(shards[i], shards[0])
+	}
+	return nil
+}
+
+// Reconstruct fills missing shards from any surviving replica.
+func (m *Mirror) Reconstruct(shards [][]byte) error {
+	size, err := shardSize(shards, m.n, 1)
+	if err != nil {
+		return err
+	}
+	var src []byte
+	for _, s := range shards {
+		if s != nil {
+			src = s
+			break
+		}
+	}
+	for i, s := range shards {
+		if s == nil {
+			shards[i] = make([]byte, size)
+			copy(shards[i], src)
+		}
+	}
+	return nil
+}
+
+// Verify reports whether all replicas are identical.
+func (m *Mirror) Verify(shards [][]byte) (bool, error) {
+	if _, err := shardSize(shards, m.n, m.n); err != nil {
+		return false, err
+	}
+	for i := 1; i < m.n; i++ {
+		for j, b := range shards[i] {
+			if shards[0][j] != b {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

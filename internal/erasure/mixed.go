@@ -1,0 +1,151 @@
+package erasure
+
+import "fmt"
+
+// Mixed implements the paper's §2.2 "mixed scheme": a redundancy group
+// structured as m data blocks plus an XOR parity block, together with a
+// mirror of the data blocks and parity — RAID 5+1. Shards 0..m are the
+// primary side (data 0..m−1, parity m); shards m+1..2m+1 are the mirror
+// side in the same order.
+//
+// The scheme is not MDS: it stores m user blocks in 2(m+1) shards but
+// survives many patterns beyond its worst case. Any single side fully
+// lost is survivable (the mirror has everything); within a side, one
+// loss is XOR-repairable; and cross-side repair copies a shard from its
+// counterpart. Reconstruct applies these rules to a fixed point, which
+// recovers every pattern that is information-theoretically recoverable
+// for this layout.
+type Mixed struct {
+	m int
+}
+
+// NewMixed returns a mixed codec over m data blocks (m >= 2). Total
+// shards: 2(m+1).
+func NewMixed(m int) (*Mixed, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("erasure: mixed scheme needs m >= 2, got %d", m)
+	}
+	return &Mixed{m: m}, nil
+}
+
+// DataShards returns m.
+func (x *Mixed) DataShards() int { return x.m }
+
+// TotalShards returns 2(m+1).
+func (x *Mixed) TotalShards() int { return 2 * (x.m + 1) }
+
+// Name tags the scheme.
+func (x *Mixed) Name() string { return fmt.Sprintf("%d/%d-mixed", x.m, x.TotalShards()) }
+
+// side returns the index of the shard's counterpart on the other side.
+func (x *Mixed) counterpart(i int) int {
+	half := x.m + 1
+	if i < half {
+		return i + half
+	}
+	return i - half
+}
+
+// Encode fills parity and mirror shards from the data shards 0..m−1.
+func (x *Mixed) Encode(shards [][]byte) error {
+	size, err := shardSize(shards, x.TotalShards(), x.TotalShards())
+	if err != nil {
+		return err
+	}
+	m := x.m
+	parity := shards[m]
+	for i := 0; i < size; i++ {
+		parity[i] = 0
+	}
+	for d := 0; d < m; d++ {
+		for i, b := range shards[d] {
+			parity[i] ^= b
+		}
+	}
+	for i := 0; i <= m; i++ {
+		copy(shards[x.counterpart(i)], shards[i])
+	}
+	return nil
+}
+
+// Reconstruct repairs missing shards to a fixed point: mirror copies and
+// single-loss XOR repairs, repeated until no rule applies. Returns
+// ErrTooFewShards if unknowns remain (the pattern is unrecoverable).
+func (x *Mixed) Reconstruct(shards [][]byte) error {
+	size, err := shardSize(shards, x.TotalShards(), 1)
+	if err != nil {
+		return err
+	}
+	half := x.m + 1
+	progress := true
+	for progress {
+		progress = false
+		// Rule 1: copy from the counterpart.
+		for i := range shards {
+			if shards[i] == nil && shards[x.counterpart(i)] != nil {
+				shards[i] = append([]byte(nil), shards[x.counterpart(i)]...)
+				progress = true
+			}
+		}
+		// Rule 2: XOR-repair a side with exactly one missing shard.
+		for _, lo := range []int{0, half} {
+			missing := -1
+			count := 0
+			for i := lo; i < lo+half; i++ {
+				if shards[i] == nil {
+					missing = i
+					count++
+				}
+			}
+			if count != 1 {
+				continue
+			}
+			out := make([]byte, size)
+			for i := lo; i < lo+half; i++ {
+				if i == missing {
+					continue
+				}
+				for j, b := range shards[i] {
+					out[j] ^= b
+				}
+			}
+			shards[missing] = out
+			progress = true
+		}
+	}
+	for _, s := range shards {
+		if s == nil {
+			return ErrTooFewShards
+		}
+	}
+	return nil
+}
+
+// Verify checks both parities and the mirror relation.
+func (x *Mixed) Verify(shards [][]byte) (bool, error) {
+	size, err := shardSize(shards, x.TotalShards(), x.TotalShards())
+	if err != nil {
+		return false, err
+	}
+	half := x.m + 1
+	for i := 0; i < half; i++ {
+		a, b := shards[i], shards[x.counterpart(i)]
+		for j := 0; j < size; j++ {
+			if a[j] != b[j] {
+				return false, nil
+			}
+		}
+	}
+	for _, lo := range []int{0, half} {
+		for j := 0; j < size; j++ {
+			var acc byte
+			for i := lo; i < lo+half; i++ {
+				acc ^= shards[i][j]
+			}
+			if acc != 0 {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,186 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func mixedShards(t testing.TB, r *rng.Source, m, size int) (*Mixed, [][]byte) {
+	t.Helper()
+	code, err := NewMixed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, code.TotalShards())
+	for i := range shards {
+		shards[i] = make([]byte, size)
+	}
+	for d := 0; d < m; d++ {
+		for j := range shards[d] {
+			shards[d][j] = byte(r.Intn(256))
+		}
+	}
+	if err := code.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	return code, shards
+}
+
+func TestNewMixedValidation(t *testing.T) {
+	if _, err := NewMixed(1); err == nil {
+		t.Fatal("m=1 accepted")
+	}
+	code, err := NewMixed(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.DataShards() != 4 || code.TotalShards() != 10 {
+		t.Fatal("shape wrong")
+	}
+	if code.Name() != "4/10-mixed" {
+		t.Fatalf("name %q", code.Name())
+	}
+}
+
+func TestMixedEncodeVerify(t *testing.T) {
+	r := rng.New(1)
+	code, shards := mixedShards(t, r, 4, 64)
+	ok, err := code.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("verify after encode: %v %v", ok, err)
+	}
+	shards[2][10] ^= 1
+	if ok, _ := code.Verify(shards); ok {
+		t.Fatal("verify accepted corruption")
+	}
+}
+
+func TestMixedSurvivesWholeSide(t *testing.T) {
+	// The headline property: lose an entire side (m+1 shards), recover.
+	r := rng.New(2)
+	for _, lo := range []int{0, 5} {
+		code, shards := mixedShards(t, r, 4, 32)
+		want := make([][]byte, len(shards))
+		for i, s := range shards {
+			want[i] = append([]byte(nil), s...)
+		}
+		for i := lo; i < lo+5; i++ {
+			shards[i] = nil
+		}
+		if err := code.Reconstruct(shards); err != nil {
+			t.Fatalf("side %d: %v", lo, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], want[i]) {
+				t.Fatalf("side %d: shard %d wrong", lo, i)
+			}
+		}
+	}
+}
+
+func TestMixedSurvivesSidePlusOne(t *testing.T) {
+	// One whole side plus a single shard of the other: the survivor side
+	// XOR-repairs its one loss, then mirrors everything back.
+	r := rng.New(3)
+	code, shards := mixedShards(t, r, 3, 32)
+	want := make([][]byte, len(shards))
+	for i, s := range shards {
+		want[i] = append([]byte(nil), s...)
+	}
+	for i := 4; i < 8; i++ { // whole mirror side (m=3 → half=4)
+		shards[i] = nil
+	}
+	shards[1] = nil // plus one primary shard
+	if err := code.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], want[i]) {
+			t.Fatalf("shard %d wrong", i)
+		}
+	}
+}
+
+func TestMixedUnrecoverablePattern(t *testing.T) {
+	// Losing the same two data shards on both sides plus both parities
+	// leaves two unknowns in every equation: unrecoverable.
+	r := rng.New(4)
+	code, shards := mixedShards(t, r, 3, 16)
+	// half = 4: primary data 0,1; mirror data 4,5; parities 3, 7.
+	for _, i := range []int{0, 1, 3, 4, 5, 7} {
+		shards[i] = nil
+	}
+	if err := code.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("expected ErrTooFewShards, got %v", err)
+	}
+}
+
+func TestMixedCounterpartLossRecoverable(t *testing.T) {
+	// Both copies of one data block lost, everything else intact: each
+	// side XOR-repairs its own copy.
+	r := rng.New(5)
+	code, shards := mixedShards(t, r, 4, 16)
+	want := append([]byte(nil), shards[2]...)
+	shards[2] = nil
+	shards[code.counterpart(2)] = nil
+	if err := code.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[2], want) {
+		t.Fatal("repair wrong")
+	}
+}
+
+// Property: any loss pattern that Reconstruct accepts restores the exact
+// original content, and patterns of ≤ 1 loss per... any two random
+// losses are always recoverable for this layout.
+func TestQuickMixedRandomLosses(t *testing.T) {
+	f := func(seed uint64, m8, losses8 uint8) bool {
+		m := int(m8%4) + 2
+		r := rng.New(seed)
+		code, err := NewMixed(m)
+		if err != nil {
+			return false
+		}
+		shards := make([][]byte, code.TotalShards())
+		for i := range shards {
+			shards[i] = make([]byte, 24)
+		}
+		for d := 0; d < m; d++ {
+			for j := range shards[d] {
+				shards[d][j] = byte(r.Intn(256))
+			}
+		}
+		if err := code.Encode(shards); err != nil {
+			return false
+		}
+		want := make([][]byte, len(shards))
+		for i, s := range shards {
+			want[i] = append([]byte(nil), s...)
+		}
+		losses := int(losses8) % code.TotalShards()
+		for _, idx := range r.SampleK(code.TotalShards(), losses) {
+			shards[idx] = nil
+		}
+		err = code.Reconstruct(shards)
+		if losses <= 2 && err != nil {
+			return false // any double loss is recoverable here
+		}
+		if err != nil {
+			return true // declared unrecoverable: acceptable for >2 losses
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], want[i]) {
+				return false // recovered but wrong: never acceptable
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

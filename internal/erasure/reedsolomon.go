@@ -1,0 +1,146 @@
+package erasure
+
+import (
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// ReedSolomon is a generalized Reed–Solomon m/n erasure code built from a
+// Cauchy generator matrix over GF(2^8): m data shards, k = n−m check
+// shards, any m of the n shards reconstruct the group. These are the
+// paper's 4/6 and 8/10 ECC configurations (and any other m/n).
+type ReedSolomon struct {
+	m, n int
+	// gen is the full n×m generator: the identity on top (data rows)
+	// followed by the k Cauchy check rows. shard_i = gen.Row(i) · data.
+	gen *gf256.Matrix
+}
+
+// NewReedSolomon returns an m/n Reed–Solomon codec. Requires
+// 1 <= m < n and n <= 256.
+func NewReedSolomon(m, n int) (*ReedSolomon, error) {
+	if m < 1 || n <= m || n > 256 {
+		return nil, fmt.Errorf("erasure: invalid reed-solomon scheme %d/%d", m, n)
+	}
+	k := n - m
+	gen := gf256.NewMatrix(n, m)
+	for i := 0; i < m; i++ {
+		gen.Set(i, i, 1)
+	}
+	cauchy := gf256.Cauchy(k, m)
+	for i := 0; i < k; i++ {
+		copy(gen.Row(m+i), cauchy.Row(i))
+	}
+	return &ReedSolomon{m: m, n: n, gen: gen}, nil
+}
+
+// DataShards returns m.
+func (rs *ReedSolomon) DataShards() int { return rs.m }
+
+// TotalShards returns n.
+func (rs *ReedSolomon) TotalShards() int { return rs.n }
+
+// Name returns the scheme in m/n notation, e.g. "8/10".
+func (rs *ReedSolomon) Name() string { return fmt.Sprintf("%d/%d", rs.m, rs.n) }
+
+// Encode fills the k check shards from the m data shards.
+func (rs *ReedSolomon) Encode(shards [][]byte) error {
+	size, err := shardSize(shards, rs.n, rs.n)
+	if err != nil {
+		return err
+	}
+	for c := rs.m; c < rs.n; c++ {
+		row := rs.gen.Row(c)
+		out := shards[c]
+		for i := 0; i < size; i++ {
+			out[i] = 0
+		}
+		for d := 0; d < rs.m; d++ {
+			gf256.MulSlice(row[d], shards[d], out)
+		}
+	}
+	return nil
+}
+
+// Reconstruct rebuilds all missing shards (nil entries) in place, provided
+// at least m shards are present.
+func (rs *ReedSolomon) Reconstruct(shards [][]byte) error {
+	size, err := shardSize(shards, rs.n, rs.m)
+	if err != nil {
+		return err
+	}
+	// Collect the first m present shard indices.
+	present := make([]int, 0, rs.m)
+	anyMissing := false
+	for i, s := range shards {
+		if s == nil {
+			anyMissing = true
+		} else if len(present) < rs.m {
+			present = append(present, i)
+		}
+	}
+	if !anyMissing {
+		return nil
+	}
+	// Solve for the data shards: sub = gen[present rows], data =
+	// sub^-1 · presentShards.
+	sub := rs.gen.SubMatrix(present)
+	inv, err := sub.Invert()
+	if err != nil {
+		// Cannot happen for a Cauchy generator; surface it anyway.
+		return fmt.Errorf("erasure: reconstruct: %w", err)
+	}
+	data := make([][]byte, rs.m)
+	for d := 0; d < rs.m; d++ {
+		if shards[d] != nil {
+			// Fast path: the data shard survived; no solve needed.
+			data[d] = shards[d]
+			continue
+		}
+		row := inv.Row(d)
+		out := make([]byte, size)
+		for j, idx := range present {
+			gf256.MulSlice(row[j], shards[idx], out)
+		}
+		data[d] = out
+		shards[d] = out
+	}
+	// Re-encode any missing check shards from the recovered data.
+	for c := rs.m; c < rs.n; c++ {
+		if shards[c] != nil {
+			continue
+		}
+		row := rs.gen.Row(c)
+		out := make([]byte, size)
+		for d := 0; d < rs.m; d++ {
+			gf256.MulSlice(row[d], data[d], out)
+		}
+		shards[c] = out
+	}
+	return nil
+}
+
+// Verify recomputes the check shards and compares.
+func (rs *ReedSolomon) Verify(shards [][]byte) (bool, error) {
+	size, err := shardSize(shards, rs.n, rs.n)
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, size)
+	for c := rs.m; c < rs.n; c++ {
+		row := rs.gen.Row(c)
+		for i := range buf {
+			buf[i] = 0
+		}
+		for d := 0; d < rs.m; d++ {
+			gf256.MulSlice(row[d], shards[d], buf)
+		}
+		for i, b := range shards[c] {
+			if buf[i] != b {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

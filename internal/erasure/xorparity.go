@@ -1,0 +1,93 @@
+package erasure
+
+import "fmt"
+
+// XORParity is the RAID-5-like m/(m+1) scheme: m data shards plus one XOR
+// parity shard. It tolerates exactly one lost shard. These are the paper's
+// 2/3 and 4/5 configurations.
+type XORParity struct {
+	m int
+}
+
+// NewXORParity returns an m/(m+1) single-parity codec. m must be >= 2
+// (m == 1 is mirroring).
+func NewXORParity(m int) (*XORParity, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("erasure: xor parity needs m >= 2, got %d", m)
+	}
+	return &XORParity{m: m}, nil
+}
+
+// DataShards returns m.
+func (x *XORParity) DataShards() int { return x.m }
+
+// TotalShards returns m + 1.
+func (x *XORParity) TotalShards() int { return x.m + 1 }
+
+// Name returns the scheme in m/n notation, e.g. "4/5".
+func (x *XORParity) Name() string { return fmt.Sprintf("%d/%d", x.m, x.m+1) }
+
+// Encode computes the parity shard as the XOR of the data shards.
+func (x *XORParity) Encode(shards [][]byte) error {
+	size, err := shardSize(shards, x.m+1, x.m+1)
+	if err != nil {
+		return err
+	}
+	parity := shards[x.m]
+	for i := 0; i < size; i++ {
+		parity[i] = 0
+	}
+	for d := 0; d < x.m; d++ {
+		for i, b := range shards[d] {
+			parity[i] ^= b
+		}
+	}
+	return nil
+}
+
+// Reconstruct rebuilds at most one missing shard by XOR of the others.
+func (x *XORParity) Reconstruct(shards [][]byte) error {
+	size, err := shardSize(shards, x.m+1, x.m)
+	if err != nil {
+		return err
+	}
+	missing := -1
+	for i, s := range shards {
+		if s == nil {
+			missing = i
+		}
+	}
+	if missing < 0 {
+		return nil // nothing to do
+	}
+	out := make([]byte, size)
+	for i, s := range shards {
+		if i == missing {
+			continue
+		}
+		for j, b := range s {
+			out[j] ^= b
+		}
+	}
+	shards[missing] = out
+	return nil
+}
+
+// Verify reports whether the parity shard equals the XOR of the data
+// shards.
+func (x *XORParity) Verify(shards [][]byte) (bool, error) {
+	size, err := shardSize(shards, x.m+1, x.m+1)
+	if err != nil {
+		return false, err
+	}
+	for i := 0; i < size; i++ {
+		var acc byte
+		for d := 0; d <= x.m; d++ {
+			acc ^= shards[d][i]
+		}
+		if acc != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}

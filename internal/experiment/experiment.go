@@ -1,0 +1,150 @@
+// Package experiment defines one reproduction per table and figure of the
+// paper's evaluation (§3). Each experiment sweeps the same parameters the
+// authors swept and emits the rows/series they report, via
+// internal/report tables.
+//
+// Experiments accept an Options struct so the same definitions serve three
+// consumers: cmd/farmsim (paper scale), the test suite (miniature scale),
+// and bench_test.go (one benchmark per table/figure).
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/report"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Runs is the Monte Carlo trajectories per data point (the paper
+	// uses 100–1000).
+	Runs int
+	// BaseSeed makes campaigns reproducible.
+	BaseSeed uint64
+	// Workers caps parallel runs; 0 = GOMAXPROCS.
+	Workers int
+	// Scale multiplies the paper's data sizes (1.0 = the full 2 PB
+	// system; 0.1 = a 0.2 PB miniature with the same dynamics). Sweeps
+	// over system size (Figure 8) scale their sweep points.
+	Scale float64
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Runs <= 0 {
+		o.Runs = 100
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// baseConfig returns the paper's Table 2 system scaled by o.Scale.
+func (o Options) baseConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.TotalDataBytes = int64(float64(2*disk.PB) * o.Scale)
+	if cfg.TotalDataBytes < cfg.GroupBytes {
+		cfg.TotalDataBytes = cfg.GroupBytes
+	}
+	return cfg
+}
+
+// mcCache memoizes Monte Carlo campaigns within a process: Figures 4(a)
+// and 4(b) share one parameter sweep, and repeated CLI ids in a single
+// invocation cost nothing extra. Results are deterministic in (cfg, runs,
+// seed), so caching cannot change any output.
+var mcCache sync.Map // string -> core.Result
+
+// monteCarlo runs one data point, memoized.
+func (o Options) monteCarlo(cfg core.Config) (core.Result, error) {
+	cfg.Hook = nil // hooks are never set on experiment configs; be safe
+	key := fmt.Sprintf("%+v|runs=%d|seed=%d", cfg, o.Runs, o.BaseSeed)
+	if v, ok := mcCache.Load(key); ok {
+		return v.(core.Result), nil
+	}
+	res, err := core.MonteCarlo(cfg, core.MonteCarloOptions{
+		Runs:     o.Runs,
+		BaseSeed: o.BaseSeed,
+		Workers:  o.Workers,
+	})
+	if err != nil {
+		return res, err
+	}
+	mcCache.Store(key, res)
+	return res, nil
+}
+
+// Experiment reproduces one table or figure.
+type Experiment struct {
+	// ID is the paper label: "table1", "fig4a", ...
+	ID string
+	// Title describes the content.
+	Title string
+	// Cost hints at relative runtime: "static", "cheap", "moderate",
+	// "heavy".
+	Cost string
+	// Run executes the experiment.
+	Run func(Options) ([]*report.Table, error)
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiment: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Lookup returns the experiment for a paper label.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return paperOrder(out[i].ID) < paperOrder(out[j].ID) })
+	return out
+}
+
+// paperOrder sorts experiments as they appear in the paper; extensions
+// (ext-*) follow in lexical order.
+func paperOrder(id string) int {
+	order := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5", "fig6", "table3", "fig7", "fig8a", "fig8b", "ext-adaptive", "ext-smart"}
+	for i, v := range order {
+		if v == id {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// gb is shorthand for byte sizes in tables.
+func gb(n int64) int64 { return n * disk.GB }
+
+// fmtGB renders a group size label.
+func fmtGB(bytes int64) string {
+	return fmt.Sprintf("%d GB", bytes/disk.GB)
+}

@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOpts shrinks every experiment to seconds for the test suite.
+func tinyOpts() Options {
+	return Options{Runs: 3, BaseSeed: 42, Scale: 0.01}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig3", "fig4a", "fig4b",
+		"fig5", "fig6", "table3", "fig7", "fig8a", "fig8b",
+		"ext-adaptive", "ext-smart"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d is %s, want %s (paper order)", i, all[i].ID, id)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown id succeeded")
+	}
+}
+
+func TestExperimentMetadata(t *testing.T) {
+	for _, e := range All() {
+		if e.Title == "" || e.Cost == "" || e.Run == nil {
+			t.Errorf("experiment %s missing metadata", e.ID)
+		}
+	}
+}
+
+func TestTable1Static(t *testing.T) {
+	e, _ := Lookup("table1")
+	tabs, err := e.Run(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 || len(tabs[0].Rows) != 4 {
+		t.Fatalf("table1 shape wrong: %+v", tabs)
+	}
+	var sb strings.Builder
+	if err := tabs[0].WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"0.50", "0.35", "0.25", "0.20"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table1 missing rate %s:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestTable2Static(t *testing.T) {
+	e, _ := Lookup("table2")
+	tabs, err := e.Run(Options{Runs: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tabs[0].WriteText(&sb)
+	for _, want := range []string{"2 PB", "10 GB", "1/2", "30 sec", "16 MB/sec"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table2 missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestFig6AndTable3Tiny(t *testing.T) {
+	opts := tinyOpts()
+	e, _ := Lookup("fig6")
+	tabs, err := e.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("fig6 should emit 3 panels, got %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) == 0 || len(tab.Rows) > 10 {
+			t.Fatalf("fig6 panel has %d rows, want 1-10", len(tab.Rows))
+		}
+	}
+	e3, _ := Lookup("table3")
+	tabs3, err := e3.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs3) != 1 || len(tabs3[0].Rows) != 3 {
+		t.Fatal("table3 shape wrong")
+	}
+}
+
+func TestFig7Tiny(t *testing.T) {
+	e, _ := Lookup("fig7")
+	tabs, err := e.Run(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 || len(tabs[0].Rows) != 4 {
+		t.Fatal("fig7 shape wrong")
+	}
+}
+
+func TestFig3TinySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tinyOpts()
+	opts.Runs = 2
+	e, _ := Lookup("fig3")
+	tabs, err := e.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("fig3 should emit 2 panels, got %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != 6 {
+			t.Fatalf("fig3 panel has %d rows, want 6 schemes", len(tab.Rows))
+		}
+	}
+}
+
+func TestFig4bRatioColumn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tinyOpts()
+	opts.Runs = 2
+	e, _ := Lookup("fig4b")
+	tabs, err := e.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows
+	if len(rows) != len(fig4GroupSizes)*len(fig4LatenciesMin) {
+		t.Fatalf("fig4b has %d rows", len(rows))
+	}
+	// Zero latency must give ratio 0.
+	if rows[0][2] != "0" {
+		t.Fatalf("first ratio = %q, want 0", rows[0][2])
+	}
+}
+
+func TestFig5Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tinyOpts()
+	opts.Runs = 2
+	e, _ := Lookup("fig5")
+	tabs, err := e.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs[0].Rows) != 4 {
+		t.Fatalf("fig5 has %d series, want 4", len(tabs[0].Rows))
+	}
+}
+
+func TestFig8Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tinyOpts()
+	opts.Runs = 2
+	for _, id := range []string{"fig8a", "fig8b"} {
+		e, _ := Lookup(id)
+		tabs, err := e.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tabs[0].Rows) != 6 {
+			t.Fatalf("%s has %d rows, want 6 schemes", id, len(tabs[0].Rows))
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Runs != 100 || o.Scale != 1 || o.BaseSeed != 1 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestBaseConfigScaling(t *testing.T) {
+	o := Options{Scale: 0.5}.withDefaults()
+	cfg := o.baseConfig()
+	full := Options{Scale: 1}.withDefaults().baseConfig()
+	if cfg.TotalDataBytes*2 != full.TotalDataBytes {
+		t.Fatalf("scale 0.5 gave %d bytes, want half of %d",
+			cfg.TotalDataBytes, full.TotalDataBytes)
+	}
+	// Scale never shrinks below one group.
+	tiny := Options{Scale: 1e-12}.withDefaults().baseConfig()
+	if tiny.TotalDataBytes < tiny.GroupBytes {
+		t.Fatal("scaled system smaller than one group")
+	}
+}

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ext-smart",
+		Title: "Extension: S.M.A.R.T. failure prediction and proactive " +
+			"draining (§2.3) vs purely reactive recovery",
+		Cost: "moderate",
+		Run:  runExtSmart,
+	})
+}
+
+// runExtSmart extends the paper's §2.3 remark — that a S.M.A.R.T.-like
+// monitor lets the system avoid unreliable disks — into a quantified
+// experiment: with prediction accuracy a and a day of lead time, a
+// fraction of failing drives is drained before death, removing those
+// failures from the window-of-vulnerability budget entirely.
+func runExtSmart(opts Options) ([]*report.Table, error) {
+	opts = opts.withDefaults()
+	t := report.NewTable("Extension: S.M.A.R.T. prediction accuracy vs reliability",
+		"prediction accuracy", "P(data loss)", "predicted/run", "drained blocks/run", "reactive rebuilds/run")
+	for _, acc := range []float64{0, 0.3, 0.6, 0.9} {
+		cfg := opts.baseConfig()
+		cfg.GroupBytes = gb(5)
+		cfg.SmartAccuracy = acc
+		cfg.SmartLeadHours = 24
+		res, err := opts.monteCarlo(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", 100*acc),
+			report.Pct(res.PLoss),
+			report.F(res.Predicted.Mean()),
+			report.F(res.DrainedBlocks.Mean()),
+			report.F(res.BlocksRebuilt.Mean()))
+		opts.logf("ext-smart acc=%.1f ploss=%.3f drained=%.0f",
+			acc, res.PLoss, res.DrainedBlocks.Mean())
+	}
+	t.AddNote("5 GB groups, two-way mirroring + FARM, 24 h warning lead; runs=%d, scale=%.3g",
+		opts.Runs, opts.Scale)
+	t.AddNote("expected shape: reactive rebuild volume falls roughly with accuracy;")
+	t.AddNote("P(loss) falls because drained drives never open a vulnerability window")
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"repro/internal/redundancy"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig3",
+		Title: "Probability of data loss with and without FARM across " +
+			"redundancy schemes (group sizes 1 GB and 5 GB, zero detection latency)",
+		Cost: "heavy",
+		Run:  runFig3,
+	})
+}
+
+// runFig3 reproduces Figure 3: six redundancy configurations (1/2, 1/3,
+// 2/3, 4/5, 4/6, 8/10), each simulated with FARM and with the traditional
+// single-spare scheme, at redundancy group sizes 1 GB and 5 GB, with
+// failure detection latency assumed zero.
+func runFig3(opts Options) ([]*report.Table, error) {
+	opts = opts.withDefaults()
+	var tables []*report.Table
+	for _, groupBytes := range []int64{gb(1), gb(5)} {
+		t := report.NewTable(
+			"Figure 3("+map[int64]string{gb(1): "a", gb(5): "b"}[groupBytes]+
+				"): probability of data loss, group size "+fmtGB(groupBytes),
+			"scheme", "with FARM", "w/o FARM", "FARM advantage")
+		for _, scheme := range redundancy.PaperSchemes() {
+			var ploss [2]float64
+			for i, farm := range []bool{true, false} {
+				cfg := opts.baseConfig()
+				cfg.GroupBytes = groupBytes
+				cfg.Scheme = scheme
+				cfg.DetectionLatencyHours = 0
+				cfg.UseFARM = farm
+				res, err := opts.monteCarlo(cfg)
+				if err != nil {
+					return nil, err
+				}
+				ploss[i] = res.PLoss
+				opts.logf("fig3 group=%s scheme=%s farm=%v ploss=%.3f",
+					fmtGB(groupBytes), scheme, farm, res.PLoss)
+			}
+			adv := "-"
+			if ploss[0] > 0 {
+				adv = report.F(ploss[1]/ploss[0]) + "x"
+			} else if ploss[1] > 0 {
+				adv = "inf"
+			}
+			t.AddRow(scheme.String(), report.Pct(ploss[0]), report.Pct(ploss[1]), adv)
+		}
+		t.AddNote("runs=%d per point, scale=%.3g, six simulated years", opts.Runs, opts.Scale)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,250 @@
+// Package gf256 implements arithmetic in the Galois field GF(2^8) and the
+// small dense matrix operations needed for Reed–Solomon erasure coding.
+//
+// The field is GF(2)[x]/(x^8 + x^4 + x^3 + x^2 + 1), the 0x11d polynomial
+// used by most storage erasure codes. Multiplication and division run off
+// precomputed log/exp tables built at package init.
+package gf256
+
+import "errors"
+
+// fieldPoly is the irreducible polynomial, less the x^8 term.
+const fieldPoly = 0x1d
+
+var (
+	expTable [512]byte // exp[i] = g^i, doubled so Mul can skip a mod
+	logTable [256]byte // log[x] = i with g^i == x, log[0] unused
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		expTable[i] = x
+		expTable[i+255] = x
+		logTable[x] = byte(i)
+		// multiply x by the generator g = 2
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= fieldPoly
+		}
+	}
+	expTable[510] = expTable[0]
+	expTable[511] = expTable[1]
+}
+
+// Add returns a + b in GF(2^8). Addition is XOR; it is its own inverse.
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// ErrDivZero reports division by zero in the field.
+var ErrDivZero = errors.New("gf256: division by zero")
+
+// Div returns a / b in GF(2^8). It panics on b == 0, which is always a
+// programming error in matrix code paths.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic(ErrDivZero)
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a. It panics on a == 0.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic(ErrDivZero)
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns the generator raised to the power n (n may exceed 255).
+func Exp(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return expTable[n]
+}
+
+// MulSlice sets dst[i] ^= c * src[i] for all i: the inner loop of erasure
+// encode and reconstruct. dst and src must have equal length.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[logC+int(logTable[s])]
+		}
+	}
+}
+
+// Matrix is a dense row-major matrix over GF(2^8).
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte // len Rows*Cols
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("gf256: non-positive matrix dimensions")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	n := NewMatrix(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// MulMatrix returns a × b. Panics if shapes are incompatible.
+func MulMatrix(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic("gf256: matrix shape mismatch")
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			MulSlice(av, b.Row(k), orow)
+		}
+	}
+	return out
+}
+
+// ErrSingular reports a non-invertible matrix, meaning the chosen erasure
+// pattern cannot be decoded (should never happen with a Cauchy code).
+var ErrSingular = errors.New("gf256: singular matrix")
+
+// Invert returns the inverse of a square matrix via Gauss–Jordan
+// elimination, or ErrSingular.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		panic("gf256: Invert on non-square matrix")
+	}
+	n := m.Rows
+	work := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Normalize pivot row.
+		p := work.At(col, col)
+		if p != 1 {
+			scale := Inv(p)
+			scaleRow(work.Row(col), scale)
+			scaleRow(inv.Row(col), scale)
+		}
+		// Eliminate the column elsewhere.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			MulSlice(f, work.Row(col), work.Row(r))
+			MulSlice(f, inv.Row(col), inv.Row(r))
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+func scaleRow(row []byte, c byte) {
+	for i, v := range row {
+		row[i] = Mul(v, c)
+	}
+}
+
+// Cauchy returns the rows×cols Cauchy matrix with entries
+// 1/(x_i + y_j), x_i = i + cols, y_j = j. Every square submatrix of a
+// Cauchy matrix is invertible, which is exactly the property an m/n
+// erasure code needs: any m surviving rows decode. Requires
+// rows + cols <= 256.
+func Cauchy(rows, cols int) *Matrix {
+	if rows+cols > 256 {
+		panic("gf256: Cauchy matrix too large for GF(256)")
+	}
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, Inv(byte(i+cols)^byte(j)))
+		}
+	}
+	return m
+}
+
+// SubMatrix returns the matrix formed by the given rows (each a full row).
+func (m *Matrix) SubMatrix(rows []int) *Matrix {
+	out := NewMatrix(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}

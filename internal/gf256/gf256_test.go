@@ -1,0 +1,301 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSelfInverse(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if Add(byte(a), byte(a)) != 0 {
+			t.Fatalf("a+a != 0 for a=%d", a)
+		}
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if Mul(byte(a), 1) != byte(a) {
+			t.Fatalf("a*1 != a for a=%d", a)
+		}
+		if Mul(byte(a), 0) != 0 {
+			t.Fatalf("a*0 != 0 for a=%d", a)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	for a := 0; a < 256; a += 3 {
+		for b := 0; b < 256; b += 5 {
+			if Mul(byte(a), byte(b)) != Mul(byte(b), byte(a)) {
+				t.Fatalf("multiplication not commutative at %d,%d", a, b)
+			}
+		}
+	}
+}
+
+func TestMulMatchesSlowReference(t *testing.T) {
+	// Carry-less polynomial multiplication mod 0x11d.
+	slow := func(a, b byte) byte {
+		var p byte
+		for b > 0 {
+			if b&1 != 0 {
+				p ^= a
+			}
+			carry := a&0x80 != 0
+			a <<= 1
+			if carry {
+				a ^= fieldPoly
+			}
+			b >>= 1
+		}
+		return p
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), slow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			p := Mul(byte(a), byte(b))
+			if Div(p, byte(b)) != byte(a) {
+				t.Fatalf("Div(Mul(%d,%d),%d) != %d", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Mul(byte(a), Inv(byte(a))) != 1 {
+			t.Fatalf("a * Inv(a) != 1 for a=%d", a)
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(5, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestExpPeriodicity(t *testing.T) {
+	if Exp(0) != 1 {
+		t.Fatal("g^0 != 1")
+	}
+	for n := 0; n < 255; n++ {
+		if Exp(n) != Exp(n+255) {
+			t.Fatalf("Exp not periodic at %d", n)
+		}
+	}
+	if Exp(-1) != Exp(254) {
+		t.Fatal("Exp of negative exponent wrong")
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	// g = 2 must generate the full multiplicative group: 255 distinct
+	// powers.
+	seen := map[byte]bool{}
+	for n := 0; n < 255; n++ {
+		v := Exp(n)
+		if seen[v] {
+			t.Fatalf("generator repeats at power %d", n)
+		}
+		seen[v] = true
+	}
+}
+
+// Field axioms as properties.
+func TestQuickFieldAxioms(t *testing.T) {
+	assoc := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	distrib := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	addAssoc := func(a, b, c byte) bool {
+		return Add(Add(a, b), c) == Add(a, Add(b, c))
+	}
+	for name, f := range map[string]func(a, b, c byte) bool{
+		"mul-associative": assoc,
+		"distributive":    distrib,
+		"add-associative": addAssoc,
+	} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 0, 255}
+	dst := []byte{10, 20, 30, 40, 50}
+	want := make([]byte, len(src))
+	for i := range src {
+		want[i] = Add(dst[i], Mul(7, src[i]))
+	}
+	MulSlice(7, src, dst)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulSlice mismatch at %d: %d != %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMulSliceSpecialCoefficients(t *testing.T) {
+	src := []byte{5, 6, 7}
+	dst := []byte{1, 2, 3}
+	MulSlice(0, src, dst)
+	if dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+		t.Fatal("MulSlice with c=0 modified dst")
+	}
+	MulSlice(1, src, dst)
+	if dst[0] != 1^5 || dst[1] != 2^6 || dst[2] != 3^7 {
+		t.Fatal("MulSlice with c=1 is not plain XOR")
+	}
+}
+
+func TestMulSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MulSlice(3, []byte{1, 2}, []byte{1})
+}
+
+func TestMatrixIdentityMultiply(t *testing.T) {
+	m := NewMatrix(3, 3)
+	vals := []byte{1, 2, 3, 4, 5, 6, 7, 9, 11}
+	copy(m.Data, vals)
+	p := MulMatrix(Identity(3), m)
+	for i := range vals {
+		if p.Data[i] != vals[i] {
+			t.Fatalf("I*m != m at %d", i)
+		}
+	}
+	p2 := MulMatrix(m, Identity(3))
+	for i := range vals {
+		if p2.Data[i] != vals[i] {
+			t.Fatalf("m*I != m at %d", i)
+		}
+	}
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	m := Cauchy(4, 4)
+	inv, err := m.Invert()
+	if err != nil {
+		t.Fatalf("Invert: %v", err)
+	}
+	p := MulMatrix(m, inv)
+	id := Identity(4)
+	for i := range id.Data {
+		if p.Data[i] != id.Data[i] {
+			t.Fatalf("m * m^-1 != I at %d: got %d", i, p.Data[i])
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2) // duplicate row
+	if _, err := m.Invert(); err != ErrSingular {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestInvertNeedsPivotSwap(t *testing.T) {
+	// Leading zero forces a row swap.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 0)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 0)
+	inv, err := m.Invert()
+	if err != nil {
+		t.Fatalf("Invert: %v", err)
+	}
+	p := MulMatrix(m, inv)
+	id := Identity(2)
+	for i := range id.Data {
+		if p.Data[i] != id.Data[i] {
+			t.Fatal("inverse wrong after pivot swap")
+		}
+	}
+}
+
+func TestCauchyAllSquareSubmatricesInvertible(t *testing.T) {
+	// The decoding guarantee: any k rows of a Cauchy matrix with k columns
+	// form an invertible matrix. Exhaustive for a 6×3 Cauchy.
+	c := Cauchy(6, 3)
+	rows := []int{0, 1, 2, 3, 4, 5}
+	var choose func(start int, cur []int)
+	checked := 0
+	choose = func(start int, cur []int) {
+		if len(cur) == 3 {
+			sub := c.SubMatrix(cur)
+			if _, err := sub.Invert(); err != nil {
+				t.Fatalf("singular Cauchy submatrix %v", cur)
+			}
+			checked++
+			return
+		}
+		for i := start; i < len(rows); i++ {
+			choose(i+1, append(cur, rows[i]))
+		}
+	}
+	choose(0, nil)
+	if checked != 20 {
+		t.Fatalf("checked %d submatrices, want C(6,3)=20", checked)
+	}
+}
+
+func TestCauchyTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized Cauchy did not panic")
+		}
+	}()
+	Cauchy(200, 100)
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := NewMatrix(3, 2)
+	copy(m.Data, []byte{1, 2, 3, 4, 5, 6})
+	s := m.SubMatrix([]int{2, 0})
+	if s.At(0, 0) != 5 || s.At(0, 1) != 6 || s.At(1, 0) != 1 || s.At(1, 1) != 2 {
+		t.Fatalf("SubMatrix wrong: %v", s.Data)
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	MulMatrix(NewMatrix(2, 3), NewMatrix(2, 3))
+}

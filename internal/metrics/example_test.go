@@ -1,0 +1,30 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+func ExampleWelford() {
+	var w metrics.Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	fmt.Printf("n=%d mean=%.1f stddev=%.2f\n", w.N(), w.Mean(), w.StdDev())
+	// Output:
+	// n=8 mean=5.0 stddev=2.14
+}
+
+func ExampleProportion() {
+	// Probability of data loss over Monte Carlo runs, with a Wilson 95%
+	// interval.
+	var p metrics.Proportion
+	for run := 0; run < 100; run++ {
+		p.Add(run < 7) // 7 of 100 runs lost data
+	}
+	lo, hi := p.Wilson95()
+	fmt.Printf("P(loss) = %.2f [%.3f, %.3f]\n", p.Estimate(), lo, hi)
+	// Output:
+	// P(loss) = 0.07 [0.034, 0.137]
+}

@@ -1,0 +1,210 @@
+// Package metrics provides the streaming statistics the Monte Carlo driver
+// and the experiments use: Welford mean/variance, binomial proportion
+// estimates with 95% confidence intervals (Figure 7's error bars), and
+// fixed-width histograms.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance in one pass, numerically stably.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 for no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 for none).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 for none).
+func (w *Welford) Max() float64 { return w.max }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// z95 is the two-sided 95% normal quantile.
+const z95 = 1.959963984540054
+
+// CI95 returns the 95% confidence half-width for the mean (normal
+// approximation, appropriate at the run counts the experiments use).
+func (w *Welford) CI95() float64 { return z95 * w.StdErr() }
+
+// Merge folds another accumulator into this one (parallel reduction).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+// Proportion estimates a probability from Bernoulli trials — the
+// probability of data loss over Monte Carlo runs.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Add records one trial.
+func (p *Proportion) Add(success bool) {
+	p.Trials++
+	if success {
+		p.Successes++
+	}
+}
+
+// Estimate returns the point estimate successes/trials (0 for no trials).
+func (p *Proportion) Estimate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// Wilson95 returns the Wilson score 95% interval (lo, hi), which behaves
+// sensibly at the extremes (0 or all losses) where the Wald interval
+// collapses.
+func (p *Proportion) Wilson95() (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 1
+	}
+	n := float64(p.Trials)
+	ph := p.Estimate()
+	z2 := z95 * z95
+	den := 1 + z2/n
+	center := (ph + z2/(2*n)) / den
+	half := z95 * math.Sqrt(ph*(1-ph)/n+z2/(4*n*n)) / den
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi) with out-of-range
+// counters.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	Under   int
+	Over    int
+	count   int
+}
+
+// ErrHistogram reports an invalid histogram specification.
+var ErrHistogram = errors.New("metrics: invalid histogram")
+
+// NewHistogram builds a histogram with n equal buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 || hi <= lo {
+		return nil, ErrHistogram
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}, nil
+}
+
+// Add bins one observation.
+func (h *Histogram) Add(x float64) {
+	h.count++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i == len(h.Buckets) { // guard fp edge
+			i--
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Count returns total observations including out-of-range ones.
+func (h *Histogram) Count() int { return h.count }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sample, interpolating
+// between order statistics. It sorts a copy; fine for experiment-sized
+// samples.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	if i >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(i)
+	return s[i]*(1-frac) + s[i+1]*frac
+}

@@ -1,0 +1,341 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/redundancy"
+	"repro/internal/rng"
+)
+
+// testStore builds a small store with short blocks so tests stay fast.
+func testStore(t *testing.T, scheme redundancy.Scheme) *Store {
+	t.Helper()
+	cfg := Config{
+		Scheme:              scheme,
+		BlockBytes:          256,
+		BlocksPerCollection: 4 * scheme.M,
+		NumCollections:      32,
+		NumDisks:            scheme.N + 8,
+		PlacementSeed:       11,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randBytes(r *rng.Source, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.Intn(256))
+	}
+	return out
+}
+
+var testSchemes = []redundancy.Scheme{
+	{M: 1, N: 2}, {M: 1, N: 3}, {M: 2, N: 3}, {M: 4, N: 6},
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Scheme = redundancy.Scheme{M: 0, N: 2} },
+		func(c *Config) { c.BlockBytes = 0 },
+		func(c *Config) { c.BlocksPerCollection = 0 },
+		func(c *Config) { c.BlocksPerCollection = 3; c.Scheme = redundancy.Scheme{M: 2, N: 3} },
+		func(c *Config) { c.NumCollections = 0 },
+		func(c *Config) { c.NumDisks = 2 },
+	}
+	for i, m := range mutations {
+		cfg := DefaultConfig()
+		m(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for _, scheme := range testSchemes {
+		s := testStore(t, scheme)
+		for i, size := range []int{0, 1, 255, 256, 257, 1000, 3000} {
+			name := string(rune('a' + i))
+			data := randBytes(r, size)
+			if err := s.Put(name, data); err != nil {
+				t.Fatalf("%v size %d: Put: %v", scheme, size, err)
+			}
+			got, err := s.Get(name)
+			if err != nil {
+				t.Fatalf("%v size %d: Get: %v", scheme, size, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%v size %d: round trip mismatch", scheme, size)
+			}
+		}
+		if err := s.CheckIntegrity(); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+	}
+}
+
+func TestPutDuplicate(t *testing.T) {
+	s := testStore(t, redundancy.Scheme{M: 1, N: 2})
+	if err := s.Put("x", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("x", []byte("again")); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Put: %v", err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := testStore(t, redundancy.Scheme{M: 1, N: 2})
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing: %v", err)
+	}
+	if _, err := s.Size("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Size missing: %v", err)
+	}
+}
+
+func TestSizeAndFiles(t *testing.T) {
+	s := testStore(t, redundancy.Scheme{M: 2, N: 3})
+	s.Put("a", make([]byte, 700))
+	s.Put("b", make([]byte, 10))
+	if n, _ := s.Size("a"); n != 700 {
+		t.Fatalf("Size = %d", n)
+	}
+	if len(s.Files()) != 2 {
+		t.Fatalf("Files = %v", s.Files())
+	}
+	if s.UsedBlocks() != 4 { // ceil(700/256)=3 + 1
+		t.Fatalf("UsedBlocks = %d", s.UsedBlocks())
+	}
+}
+
+func TestDeleteFreesSlotsAndKeepsParity(t *testing.T) {
+	r := rng.New(2)
+	s := testStore(t, redundancy.Scheme{M: 4, N: 6})
+	s.Put("f", randBytes(r, 2048))
+	used := s.UsedBlocks()
+	if err := s.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if s.UsedBlocks() != used-8 {
+		t.Fatalf("UsedBlocks after delete = %d", s.UsedBlocks())
+	}
+	if err := s.CheckIntegrity(); err != nil {
+		t.Fatalf("parity broken after delete: %v", err)
+	}
+	if err := s.Delete("f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestDeltaParityMatchesFullEncode(t *testing.T) {
+	// The §2.2 small-write path must leave exactly the parity a full
+	// re-encode would produce — CheckIntegrity re-encodes and compares.
+	r := rng.New(3)
+	for _, scheme := range testSchemes {
+		s := testStore(t, scheme)
+		for i := 0; i < 10; i++ {
+			s.Put(string(rune('a'+i)), randBytes(r, 100+137*i))
+		}
+		if err := s.CheckIntegrity(); err != nil {
+			t.Fatalf("%v: delta parity diverged: %v", scheme, err)
+		}
+	}
+}
+
+func TestDegradedRead(t *testing.T) {
+	r := rng.New(4)
+	for _, scheme := range testSchemes {
+		s := testStore(t, scheme)
+		data := randBytes(r, 5000)
+		if err := s.Put("f", data); err != nil {
+			t.Fatal(err)
+		}
+		// Fail up to the scheme's tolerance and read through.
+		for k := 0; k < scheme.FaultTolerance(); k++ {
+			s.FailDisk(k)
+			got, err := s.Get("f")
+			if err != nil {
+				t.Fatalf("%v after %d failures: %v", scheme, k+1, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%v after %d failures: corrupted read", scheme, k+1)
+			}
+		}
+	}
+}
+
+func TestReadBeyondToleranceFails(t *testing.T) {
+	r := rng.New(5)
+	s := testStore(t, redundancy.Scheme{M: 1, N: 2})
+	s.Put("f", randBytes(r, 4096))
+	// Kill every disk: reads must fail cleanly, not corrupt.
+	for id := 0; id < s.NumDisks(); id++ {
+		s.FailDisk(id)
+	}
+	if _, err := s.Get("f"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("expected ErrUnavailable, got %v", err)
+	}
+}
+
+func TestRecoverRestoresRedundancy(t *testing.T) {
+	r := rng.New(6)
+	for _, scheme := range testSchemes {
+		s := testStore(t, scheme)
+		data := randBytes(r, 8000)
+		s.Put("f", data)
+		lost := s.FailDisk(0)
+		stats := s.Recover()
+		if stats.ShardsRebuilt != lost {
+			t.Fatalf("%v: rebuilt %d of %d shards", scheme, stats.ShardsRebuilt, lost)
+		}
+		if stats.Unrecoverable != 0 {
+			t.Fatalf("%v: %d unrecoverable", scheme, stats.Unrecoverable)
+		}
+		if err := s.CheckIntegrity(); err != nil {
+			t.Fatalf("%v after recover: %v", scheme, err)
+		}
+		got, err := s.Get("f")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("%v: data wrong after recover (%v)", scheme, err)
+		}
+	}
+}
+
+func TestRecoverDeclusters(t *testing.T) {
+	// FARM property: rebuilt shards land on many disks.
+	s := testStore(t, redundancy.Scheme{M: 1, N: 2})
+	r := rng.New(7)
+	for i := 0; i < 12; i++ {
+		s.Put(string(rune('a'+i)), randBytes(r, 2000))
+	}
+	lost := s.FailDisk(1)
+	if lost < 4 {
+		t.Skip("disk 1 held too few shards for a spread test")
+	}
+	stats := s.Recover()
+	if stats.TargetsUsed < 2 {
+		t.Fatalf("rebuilt %d shards onto %d disks; expected declustered targets",
+			stats.ShardsRebuilt, stats.TargetsUsed)
+	}
+}
+
+func TestWritesWithDiskDownThenRecover(t *testing.T) {
+	// A new write while a disk is down must fail cleanly if it touches a
+	// collection with a dead shard... the store routes around it after
+	// Recover re-homes the shards.
+	r := rng.New(8)
+	s := testStore(t, redundancy.Scheme{M: 2, N: 3})
+	s.Put("before", randBytes(r, 3000))
+	s.FailDisk(0)
+	s.Recover()
+	if err := s.Put("after", randBytes(r, 3000)); err != nil {
+		t.Fatalf("Put after recover: %v", err)
+	}
+	if err := s.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"before", "after"} {
+		if _, err := s.Get(name); err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+	}
+}
+
+func TestStoreFull(t *testing.T) {
+	cfg := Config{
+		Scheme:              redundancy.Scheme{M: 1, N: 2},
+		BlockBytes:          16,
+		BlocksPerCollection: 1,
+		NumCollections:      2,
+		NumDisks:            6,
+		PlacementSeed:       1,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("c", make([]byte, 16)); !errors.Is(err, ErrFull) {
+		t.Fatalf("overfull Put: %v", err)
+	}
+}
+
+func TestAddDiskUsedByRecovery(t *testing.T) {
+	// With barely enough disks, recovery may need a fresh one.
+	cfg := Config{
+		Scheme:              redundancy.Scheme{M: 1, N: 2},
+		BlockBytes:          64,
+		BlocksPerCollection: 2,
+		NumCollections:      4,
+		NumDisks:            4,
+		PlacementSeed:       2,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	s.Put("f", randBytes(r, 256))
+	s.FailDisk(0)
+	s.AddDisk()
+	stats := s.Recover()
+	if stats.Unrecoverable > 0 {
+		t.Fatalf("unrecoverable shards with a fresh disk available: %+v", stats)
+	}
+	if err := s.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary file contents round-trip through every scheme,
+// including after a tolerated failure + recovery.
+func TestQuickPutFailRecoverGet(t *testing.T) {
+	f := func(seed uint64, sizeSel uint16, schemeSel uint8) bool {
+		scheme := testSchemes[int(schemeSel)%len(testSchemes)]
+		size := int(sizeSel) % 4000
+		cfg := Config{
+			Scheme:              scheme,
+			BlockBytes:          128,
+			BlocksPerCollection: 4 * scheme.M,
+			NumCollections:      32,
+			NumDisks:            scheme.N + 8,
+			PlacementSeed:       seed,
+		}
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		data := randBytes(r, size)
+		if err := s.Put("f", data); err != nil {
+			return false
+		}
+		s.FailDisk(int(seed % uint64(cfg.NumDisks)))
+		s.Recover()
+		got, err := s.Get("f")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data) && s.CheckIntegrity() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package objstore
+
+import "fmt"
+
+// FailDisk takes a virtual disk out of service, dropping its shards. It
+// returns the number of shards lost. Reads continue in degraded mode as
+// long as every collection keeps at least m shards.
+func (s *Store) FailDisk(id int) int {
+	d := s.disks[id]
+	if !d.alive {
+		return 0
+	}
+	d.alive = false
+	lost := len(d.shards)
+	d.shards = make(map[shardKey][]byte)
+	for _, col := range s.collections {
+		for rep, cd := range col.disks {
+			if cd == id {
+				col.disks[rep] = -1
+			}
+		}
+	}
+	return lost
+}
+
+// RecoverStats reports what a Recover pass did.
+type RecoverStats struct {
+	// ShardsRebuilt counts shards re-created on new disks.
+	ShardsRebuilt int
+	// Unrecoverable counts shards that could not be rebuilt (fewer than
+	// m survivors — data loss).
+	Unrecoverable int
+	// TargetsUsed is the number of distinct disks that received rebuilt
+	// shards (FARM declustering: many, not one).
+	TargetsUsed int
+}
+
+// Recover rebuilds every lost shard FARM-style: each missing shard of
+// each collection is reconstructed from any m survivors and written to a
+// new disk chosen from the collection's candidate stream — alive, not
+// already holding a shard of the collection (rule (b)). Lost collections
+// (fewer than m survivors) are counted, not resurrected.
+func (s *Store) Recover() RecoverStats {
+	var stats RecoverStats
+	targets := map[int]bool{}
+	for _, col := range s.collections {
+		var missing []int
+		exclude := map[int]bool{}
+		for rep, d := range col.disks {
+			if d < 0 {
+				missing = append(missing, rep)
+			} else {
+				exclude[d] = true
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		if len(col.disks)-len(missing) < s.cfg.Scheme.M {
+			stats.Unrecoverable += len(missing)
+			continue
+		}
+		// Assemble survivors once, reconstruct all missing shards.
+		shards := make([][]byte, s.cfg.Scheme.N)
+		for rep, d := range col.disks {
+			if d < 0 {
+				continue
+			}
+			data, err := s.shard(col, rep)
+			if err != nil {
+				continue
+			}
+			shards[rep] = append([]byte(nil), data...)
+		}
+		if err := s.codec.Reconstruct(shards); err != nil {
+			stats.Unrecoverable += len(missing)
+			continue
+		}
+		for _, rep := range missing {
+			target, _, err := s.hasher.RecoveryTarget(
+				storeView{s}, uint64(col.id), rep, int64(s.shardBytes), exclude, 0)
+			if err != nil {
+				stats.Unrecoverable++
+				continue
+			}
+			s.disks[target].shards[shardKey{col.id, rep}] = shards[rep]
+			col.disks[rep] = target
+			exclude[target] = true
+			targets[target] = true
+			stats.ShardsRebuilt++
+		}
+	}
+	stats.TargetsUsed = len(targets)
+	return stats
+}
+
+// AddDisk grows the cluster with a fresh virtual disk and returns its ID.
+func (s *Store) AddDisk() int {
+	id := len(s.disks)
+	s.disks = append(s.disks, &vdisk{id: id, alive: true, shards: make(map[shardKey][]byte)})
+	return id
+}
+
+// CheckIntegrity verifies every collection: shards live where the
+// metadata says, group parity verifies, and no disk holds two shards of
+// one collection. Returns the first violation.
+func (s *Store) CheckIntegrity() error {
+	for _, col := range s.collections {
+		seen := map[int]bool{}
+		shards := make([][]byte, s.cfg.Scheme.N)
+		complete := true
+		for rep, d := range col.disks {
+			if d < 0 {
+				complete = false
+				continue
+			}
+			if seen[d] {
+				return fmt.Errorf("objstore: collection %d has two shards on disk %d", col.id, d)
+			}
+			seen[d] = true
+			data, ok := s.disks[d].shards[shardKey{col.id, rep}]
+			if !ok {
+				return fmt.Errorf("objstore: collection %d shard %d missing from disk %d", col.id, rep, d)
+			}
+			shards[rep] = data
+		}
+		if complete {
+			ok, err := s.codec.Verify(shards)
+			if err != nil {
+				return fmt.Errorf("objstore: verifying collection %d: %w", col.id, err)
+			}
+			if !ok {
+				return fmt.Errorf("objstore: collection %d parity mismatch", col.id)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Rendezvous (highest-random-weight) placement over sub-clusters.
+//
+// RUSH's defining property beyond fair share and candidate lists is
+// graceful growth: when a batch ("sub-cluster") of new disks arrives,
+// only the data that should live on the new batch moves; nothing
+// reshuffles among the old batches. The hash-mod mapping in Hasher does
+// not have that property on its own, so replacement-heavy deployments
+// use this two-level scheme: pick the sub-cluster by weighted rendezvous
+// hashing — which moves exactly the minimal fraction on growth — then
+// pick the disk within the sub-cluster by uniform hashing.
+package placement
+
+import "math"
+
+// SubCluster is one batch of disks added to the system together,
+// weighted by its capacity share (the paper's §3.6: "the reorganization
+// of data should be based on the weight of disks").
+type SubCluster struct {
+	// FirstDisk is the global ID of the batch's first disk.
+	FirstDisk int
+	// Disks is the batch size.
+	Disks int
+	// Weight is the batch's placement weight; proportional to total
+	// batch capacity in the usual configuration.
+	Weight float64
+}
+
+// Rendezvous places blocks over a growable list of weighted sub-clusters.
+type Rendezvous struct {
+	seed     uint64
+	clusters []SubCluster
+}
+
+// NewRendezvous returns a placer with no sub-clusters; call Add before
+// placing.
+func NewRendezvous(seed uint64) *Rendezvous {
+	return &Rendezvous{seed: seed}
+}
+
+// Add appends a sub-cluster of the given size and weight and returns its
+// index. Disk IDs continue from the previous batch.
+func (r *Rendezvous) Add(disks int, weight float64) int {
+	if disks <= 0 || weight <= 0 {
+		panic("placement: sub-cluster needs positive size and weight")
+	}
+	first := 0
+	if n := len(r.clusters); n > 0 {
+		last := r.clusters[n-1]
+		first = last.FirstDisk + last.Disks
+	}
+	r.clusters = append(r.clusters, SubCluster{FirstDisk: first, Disks: disks, Weight: weight})
+	return len(r.clusters) - 1
+}
+
+// NumDisks returns the total disk population across sub-clusters.
+func (r *Rendezvous) NumDisks() int {
+	if len(r.clusters) == 0 {
+		return 0
+	}
+	last := r.clusters[len(r.clusters)-1]
+	return last.FirstDisk + last.Disks
+}
+
+// NumSubClusters returns the number of batches added.
+func (r *Rendezvous) NumSubClusters() int { return len(r.clusters) }
+
+// score computes the weighted rendezvous score of a block key against a
+// sub-cluster: weight / -log(U) with U the key/cluster hash mapped to
+// (0,1). The sub-cluster with the highest score wins; this realizes
+// sampling proportional to weights with minimal movement on growth.
+func (r *Rendezvous) score(key uint64, clusterIdx int) float64 {
+	h := mix64(r.seed ^ key*0x9e3779b97f4a7c15 ^ uint64(clusterIdx)*0xd1b54a32d192ed03)
+	// Map to (0,1); add 1 to avoid zero.
+	u := (float64(h>>11) + 1) / (1 << 53)
+	return r.clusters[clusterIdx].Weight / -math.Log(u)
+}
+
+// Locate maps a block key (e.g. group<<8|replica) to a disk: rendezvous
+// choice of sub-cluster, then uniform hash within the batch. trial walks
+// the within-batch candidate stream for collision/eligibility handling.
+func (r *Rendezvous) Locate(key uint64, trial int) int {
+	if len(r.clusters) == 0 {
+		panic("placement: no sub-clusters")
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for i := range r.clusters {
+		if s := r.score(key, i); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	c := r.clusters[best]
+	h := mix64(r.seed ^ key*0x8cb92ba72f3d8dd7 ^ uint64(trial)*0x9e3779b97f4a7c15)
+	return c.FirstDisk + int(h%uint64(c.Disks))
+}
+
+// SubClusterOf reports which batch holds a disk ID, or -1.
+func (r *Rendezvous) SubClusterOf(disk int) int {
+	for i, c := range r.clusters {
+		if disk >= c.FirstDisk && disk < c.FirstDisk+c.Disks {
+			return i
+		}
+	}
+	return -1
+}

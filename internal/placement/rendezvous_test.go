@@ -1,0 +1,162 @@
+package placement
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRendezvousEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Locate with no sub-clusters did not panic")
+		}
+	}()
+	NewRendezvous(1).Locate(5, 0)
+}
+
+func TestRendezvousAddValidation(t *testing.T) {
+	r := NewRendezvous(1)
+	for _, c := range [][2]float64{{0, 1}, {-3, 1}, {5, 0}, {5, -1}} {
+		func() {
+			defer func() { recover() }()
+			r.Add(int(c[0]), c[1])
+			t.Errorf("Add(%v, %v) did not panic", c[0], c[1])
+		}()
+	}
+}
+
+func TestRendezvousDiskIDsContiguous(t *testing.T) {
+	r := NewRendezvous(2)
+	r.Add(10, 1)
+	r.Add(5, 1)
+	r.Add(20, 2)
+	if r.NumDisks() != 35 || r.NumSubClusters() != 3 {
+		t.Fatalf("NumDisks=%d NumSubClusters=%d", r.NumDisks(), r.NumSubClusters())
+	}
+	if r.SubClusterOf(0) != 0 || r.SubClusterOf(9) != 0 ||
+		r.SubClusterOf(10) != 1 || r.SubClusterOf(14) != 1 ||
+		r.SubClusterOf(15) != 2 || r.SubClusterOf(34) != 2 {
+		t.Fatal("SubClusterOf boundaries wrong")
+	}
+	if r.SubClusterOf(35) != -1 || r.SubClusterOf(-1) != -1 {
+		t.Fatal("SubClusterOf out-of-range wrong")
+	}
+}
+
+func TestRendezvousDeterministic(t *testing.T) {
+	mk := func() *Rendezvous {
+		r := NewRendezvous(7)
+		r.Add(10, 1)
+		r.Add(10, 1)
+		return r
+	}
+	a, b := mk(), mk()
+	for key := uint64(0); key < 500; key++ {
+		if a.Locate(key, 0) != b.Locate(key, 0) {
+			t.Fatalf("nondeterministic at key %d", key)
+		}
+	}
+}
+
+func TestRendezvousWeightProportionality(t *testing.T) {
+	// A batch with twice the weight should receive ~twice the keys.
+	r := NewRendezvous(3)
+	r.Add(10, 1)
+	r.Add(10, 2)
+	counts := [2]int{}
+	const keys = 30000
+	for key := uint64(0); key < keys; key++ {
+		counts[r.SubClusterOf(r.Locate(key, 0))]++
+	}
+	frac := float64(counts[1]) / keys
+	if math.Abs(frac-2.0/3) > 0.02 {
+		t.Fatalf("heavy batch got %.3f of keys, want ~0.667", frac)
+	}
+}
+
+func TestRendezvousUniformWithinBatch(t *testing.T) {
+	r := NewRendezvous(4)
+	r.Add(20, 1)
+	counts := make([]int, 20)
+	const keys = 40000
+	for key := uint64(0); key < keys; key++ {
+		counts[r.Locate(key, 0)]++
+	}
+	want := float64(keys) / 20
+	for id, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("disk %d drew %d, want ~%.0f", id, c, want)
+		}
+	}
+}
+
+func TestRendezvousMinimalMovementOnGrowth(t *testing.T) {
+	// The RUSH growth property: adding a batch moves only the keys that
+	// now belong to it; keys staying in old batches keep their exact
+	// disk. Expected moved fraction = newWeight / totalWeight.
+	before := NewRendezvous(5)
+	before.Add(20, 1)
+	before.Add(20, 1)
+	after := NewRendezvous(5)
+	after.Add(20, 1)
+	after.Add(20, 1)
+	after.Add(20, 1) // the new batch: 1/3 of total weight
+
+	const keys = 30000
+	moved, movedToNew := 0, 0
+	for key := uint64(0); key < keys; key++ {
+		a := before.Locate(key, 0)
+		b := after.Locate(key, 0)
+		if a != b {
+			moved++
+			if after.SubClusterOf(b) == 2 {
+				movedToNew++
+			}
+		}
+	}
+	if moved != movedToNew {
+		t.Fatalf("%d of %d moved keys reshuffled among OLD batches; growth must not do that",
+			moved-movedToNew, moved)
+	}
+	frac := float64(moved) / keys
+	if math.Abs(frac-1.0/3) > 0.02 {
+		t.Fatalf("moved fraction %.3f, want ~1/3", frac)
+	}
+}
+
+func TestRendezvousTrialsVaryWithinBatch(t *testing.T) {
+	// The trial stream must stay inside the chosen batch (the
+	// sub-cluster choice depends only on the key) and walk its disks.
+	r := NewRendezvous(6)
+	r.Add(10, 1)
+	r.Add(10, 1)
+	key := uint64(99)
+	batch := r.SubClusterOf(r.Locate(key, 0))
+	seen := map[int]bool{}
+	for trial := 0; trial < 50; trial++ {
+		d := r.Locate(key, trial)
+		if r.SubClusterOf(d) != batch {
+			t.Fatalf("trial %d left the batch", trial)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("trial stream visited only %d disks", len(seen))
+	}
+}
+
+// Property: Locate is always a valid disk ID, for arbitrary seeds, keys,
+// and batch layouts.
+func TestQuickRendezvousInRange(t *testing.T) {
+	f := func(seed, key uint64, b1, b2 uint8, trial uint8) bool {
+		r := NewRendezvous(seed)
+		r.Add(int(b1%30)+1, 1)
+		r.Add(int(b2%30)+1, 1.5)
+		d := r.Locate(key, int(trial))
+		return d >= 0 && d < r.NumDisks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

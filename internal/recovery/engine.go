@@ -1,0 +1,212 @@
+package recovery
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/disk"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Stats aggregates recovery-engine behaviour over one run.
+type Stats struct {
+	// BlocksRebuilt counts completed block reconstructions.
+	BlocksRebuilt int
+	// Redirections counts recovery-target failures that forced the
+	// rebuild to an alternative target (§2.3 "recovery redirection").
+	Redirections int
+	// Resourcings counts rebuilds whose read source failed and was
+	// replaced by an alternative buddy.
+	Resourcings int
+	// DroppedLost counts rebuilds abandoned because the group lost data.
+	DroppedLost int
+	// Window accumulates per-block windows of vulnerability: failure
+	// (not detection) to rebuild completion, in hours.
+	Window metrics.Welford
+	// SparesUsed counts replacement drives activated (SpareDisk engine).
+	SparesUsed int
+}
+
+// Engine is a recovery strategy. The core simulator calls HandleFailure at
+// the instant a disk dies (to fix up in-flight work) and HandleDetection
+// once the failure is noticed (to start rebuilding the lost blocks).
+type Engine interface {
+	// HandleFailure reacts to disk diskID dying at now: rebuilds in
+	// flight that read from or write to it must be redirected or
+	// re-sourced.
+	HandleFailure(now sim.Time, diskID int)
+	// HandleDetection starts recovery for the blocks lost with diskID.
+	// failedAt is the underlying failure time (now - failedAt is the
+	// detection latency contribution to the vulnerability window).
+	HandleDetection(now sim.Time, diskID int, failedAt sim.Time, lost []cluster.BlockRef)
+	// Stats returns the engine's counters.
+	Stats() *Stats
+	// Name identifies the engine ("farm" or "spare").
+	Name() string
+	// SetObserver installs an optional callback fired when a block
+	// rebuild completes ("rebuilt") or is abandoned ("dropped"), for
+	// tracing.
+	SetObserver(fn func(now sim.Time, kind string, group, rep, diskID int))
+}
+
+// DiskSpawner lets an engine add drives to the system; the simulator hooks
+// it to schedule failure events for the new drives. Returns the disk ID.
+type DiskSpawner func(now sim.Time) int
+
+// rebuild carries the engine-level state of one block reconstruction.
+type rebuild struct {
+	task     *Task
+	failedAt sim.Time // when the block was lost
+	// trial is the candidate-stream position of the current target, so
+	// redirection resumes the stream past it (FARM only).
+	trial int
+}
+
+// base holds the machinery common to both engines.
+type base struct {
+	cl    *cluster.Cluster
+	eng   *sim.Engine
+	sched *Scheduler
+	// bw yields the per-disk bandwidth available to a rebuild starting
+	// at a given time (fixed in the paper's base experiments; diurnal
+	// under adaptive recovery, §2.4).
+	bw    workload.BandwidthModel
+	stats Stats
+	// active indexes live rebuilds by the disks they touch.
+	bySource map[int][]*rebuild
+	byTarget map[int][]*rebuild
+	// perGroupTargets tracks in-flight rebuild targets per group so two
+	// rebuilds of one group never pick the same disk.
+	perGroupTargets map[int]map[int]bool
+	// observer, when set, sees rebuilt/dropped block events.
+	observer func(now sim.Time, kind string, group, rep, diskID int)
+}
+
+func newBase(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload.BandwidthModel) base {
+	return base{
+		cl:              cl,
+		eng:             eng,
+		sched:           sched,
+		bw:              bw,
+		bySource:        make(map[int][]*rebuild),
+		byTarget:        make(map[int][]*rebuild),
+		perGroupTargets: make(map[int]map[int]bool),
+	}
+}
+
+func (b *base) Stats() *Stats { return &b.stats }
+
+// SetObserver implements Engine.
+func (b *base) SetObserver(fn func(now sim.Time, kind string, group, rep, diskID int)) {
+	b.observer = fn
+}
+
+// observe fires the observer if installed.
+func (b *base) observe(now sim.Time, kind string, group, rep, diskID int) {
+	if b.observer != nil {
+		b.observer(now, kind, group, rep, diskID)
+	}
+}
+
+// blockDuration is the transfer time of one block rebuild requested now.
+func (b *base) blockDuration() sim.Time {
+	mbps := b.bw.RecoveryMBps(float64(b.eng.Now()))
+	return sim.Time(disk.RebuildHours(b.cl.BlockBytes, mbps))
+}
+
+// track registers a rebuild in the disk indexes.
+func (b *base) track(r *rebuild) {
+	b.bySource[r.task.Source] = append(b.bySource[r.task.Source], r)
+	b.byTarget[r.task.Target] = append(b.byTarget[r.task.Target], r)
+	tg := b.perGroupTargets[r.task.Group]
+	if tg == nil {
+		tg = make(map[int]bool, 2)
+		b.perGroupTargets[r.task.Group] = tg
+	}
+	tg[r.task.Target] = true
+}
+
+// untrack removes a rebuild from the disk indexes.
+func (b *base) untrack(r *rebuild) {
+	b.bySource[r.task.Source] = removeRebuild(b.bySource[r.task.Source], r)
+	b.byTarget[r.task.Target] = removeRebuild(b.byTarget[r.task.Target], r)
+	if tg := b.perGroupTargets[r.task.Group]; tg != nil {
+		delete(tg, r.task.Target)
+		if len(tg) == 0 {
+			delete(b.perGroupTargets, r.task.Group)
+		}
+	}
+}
+
+func removeRebuild(list []*rebuild, r *rebuild) []*rebuild {
+	for i, x := range list {
+		if x == r {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+// complete finishes a rebuild: install the block and record the window.
+func (b *base) complete(now sim.Time, r *rebuild) {
+	b.untrack(r)
+	if b.cl.Groups[r.task.Group].Lost {
+		// The group lost data while this block was in flight; the
+		// reservation stands as wasted space dropped with the group.
+		b.cl.ReleaseTarget(r.task.Target)
+		b.stats.DroppedLost++
+		b.observe(now, "dropped", r.task.Group, r.task.Rep, r.task.Target)
+		return
+	}
+	b.cl.PlaceRecovered(r.task.Group, r.task.Rep, r.task.Target)
+	b.stats.BlocksRebuilt++
+	b.stats.Window.Add(float64(now - r.failedAt))
+	b.observe(now, "rebuilt", r.task.Group, r.task.Rep, r.task.Target)
+}
+
+// abandon drops a rebuild whose group is beyond repair.
+func (b *base) abandon(r *rebuild) {
+	b.sched.Cancel(r.task)
+	b.untrack(r)
+	b.cl.ReleaseTarget(r.task.Target)
+	b.stats.DroppedLost++
+}
+
+// resource replaces the failed read source of a rebuild, or abandons it if
+// the group is lost.
+func (b *base) resource(r *rebuild) {
+	grp := &b.cl.Groups[r.task.Group]
+	if grp.Lost {
+		b.abandon(r)
+		return
+	}
+	src := b.cl.SourceFor(r.task.Group, r.task.Target)
+	if src < 0 {
+		// No intact block remains; with Available < m the group is
+		// already latched lost, so this is unreachable unless m == 0.
+		b.abandon(r)
+		return
+	}
+	b.sched.Cancel(r.task)
+	b.untrack(r)
+	nt := &Task{
+		Group:    r.task.Group,
+		Rep:      r.task.Rep,
+		Source:   src,
+		Target:   r.task.Target,
+		Duration: r.task.Duration,
+	}
+	r.task = nt
+	b.track(r)
+	b.stats.Resourcings++
+	b.sched.Submit(nt, func(now sim.Time, _ *Task) { b.complete(now, r) })
+}
+
+// rebuildsTouching returns copies of the rebuild lists for a disk, since
+// handlers mutate the underlying indexes.
+func (b *base) rebuildsTouching(diskID int) (asSource, asTarget []*rebuild) {
+	asSource = append([]*rebuild(nil), b.bySource[diskID]...)
+	asTarget = append([]*rebuild(nil), b.byTarget[diskID]...)
+	return
+}

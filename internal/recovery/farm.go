@@ -1,0 +1,154 @@
+package recovery
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// FARM is the paper's FAst Recovery Mechanism: declustered, parallel
+// rebuild. Each lost block is re-created on a disk drawn from the group's
+// placement candidate stream, subject to the paper's target rules:
+// (a) alive, (b) holding no other block of the group, (c) with space.
+// Targets are spread across the whole cluster, so rebuilds proceed in
+// parallel and the window of vulnerability is roughly one group-rebuild
+// long instead of one disk-rebuild long.
+type FARM struct {
+	base
+}
+
+// NewFARM returns a FARM engine over the given cluster. bw supplies the
+// per-disk recovery bandwidth (use FixedBW for the paper's base model).
+func NewFARM(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload.BandwidthModel) *FARM {
+	return &FARM{base: newBase(cl, eng, sched, bw)}
+}
+
+// FixedBW is shorthand for the constant-bandwidth model.
+func FixedBW(mbps float64) workload.BandwidthModel {
+	return workload.Fixed{MBps: mbps}
+}
+
+// Name implements Engine.
+func (f *FARM) Name() string { return "farm" }
+
+// HandleDetection schedules one parallel rebuild per lost block.
+func (f *FARM) HandleDetection(now sim.Time, diskID int, failedAt sim.Time, lost []cluster.BlockRef) {
+	for _, ref := range lost {
+		f.startRebuild(failedAt, int(ref.Group), int(ref.Rep))
+	}
+}
+
+// startRebuild selects target and source for one block and submits the
+// transfer. Returns silently if the group is already beyond repair.
+func (f *FARM) startRebuild(failedAt sim.Time, group, rep int) {
+	grp := &f.cl.Groups[group]
+	if grp.Lost {
+		f.stats.DroppedLost++
+		return
+	}
+	src := f.cl.SourceFor(group, -1)
+	if src < 0 {
+		f.stats.DroppedLost++
+		return
+	}
+	r := &rebuild{failedAt: failedAt}
+	target, trial, ok := f.pickTarget(group, rep, 0)
+	if !ok {
+		// Nowhere to put the block (cluster effectively full/dead);
+		// leave the group degraded.
+		f.stats.DroppedLost++
+		return
+	}
+	r.trial = trial
+	r.task = &Task{
+		Group:    group,
+		Rep:      rep,
+		Source:   src,
+		Target:   target,
+		Duration: f.blockDuration(),
+	}
+	f.track(r)
+	f.sched.Submit(r.task, func(now sim.Time, _ *Task) { f.complete(now, r) })
+}
+
+// pickTarget applies the paper's rules via the placement candidate stream,
+// additionally excluding targets already claimed by in-flight rebuilds of
+// the same group. It reserves space on the chosen disk.
+func (f *FARM) pickTarget(group, rep, startTrial int) (target, trial int, ok bool) {
+	exclude := f.cl.BuddyDisks(group)
+	for t := range f.perGroupTargets[group] {
+		exclude[t] = true
+	}
+	target, trial, err := f.cl.Hasher().RecoveryTarget(
+		f.cl, uint64(group), rep, f.cl.BlockBytes, exclude, startTrial)
+	if err != nil {
+		return -1, 0, false
+	}
+	if !f.cl.ReserveTarget(target) {
+		// Raced with another reservation landing between Eligible and
+		// Reserve; walk further down the stream.
+		t2, tr2, err2 := f.cl.Hasher().RecoveryTarget(
+			f.cl, uint64(group), rep, f.cl.BlockBytes, exclude, trial+1)
+		if err2 != nil || !f.cl.ReserveTarget(t2) {
+			return -1, 0, false
+		}
+		return t2, tr2, true
+	}
+	return target, trial, true
+}
+
+// HandleFailure redirects rebuilds writing to the dead disk and re-sources
+// rebuilds reading from it.
+func (f *FARM) HandleFailure(now sim.Time, diskID int) {
+	asSource, asTarget := f.rebuildsTouching(diskID)
+	for _, r := range asTarget {
+		f.redirect(now, r)
+	}
+	for _, r := range asSource {
+		// Skip rebuilds already fixed by redirection (task replaced).
+		if r.task.Source == diskID {
+			f.resource(r)
+		}
+	}
+}
+
+// redirect moves a rebuild to the next candidate target after its target
+// died mid-rebuild — the paper's recovery redirection. The transfer
+// restarts from scratch on the new disk.
+func (f *FARM) redirect(now sim.Time, r *rebuild) {
+	f.sched.Cancel(r.task)
+	f.untrack(r)
+	// No ReleaseTarget: the dead disk's byte accounting is already gone.
+	grp := &f.cl.Groups[r.task.Group]
+	if grp.Lost {
+		f.stats.DroppedLost++
+		return
+	}
+	target, trial, ok := f.pickTarget(r.task.Group, r.task.Rep, r.trial+1)
+	if !ok {
+		f.stats.DroppedLost++
+		return
+	}
+	src := r.task.Source
+	if f.cl.Disks[src].State != disk.Alive || src == target {
+		src = f.cl.SourceFor(r.task.Group, target)
+		if src < 0 {
+			f.cl.ReleaseTarget(target)
+			f.stats.DroppedLost++
+			return
+		}
+	}
+	nt := &Task{
+		Group:    r.task.Group,
+		Rep:      r.task.Rep,
+		Source:   src,
+		Target:   target,
+		Duration: r.task.Duration,
+	}
+	r.task = nt
+	r.trial = trial
+	f.track(r)
+	f.stats.Redirections++
+	f.sched.Submit(nt, func(now sim.Time, _ *Task) { f.complete(now, r) })
+}

@@ -1,0 +1,206 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSchedulerParallelWhenDisjoint(t *testing.T) {
+	eng := sim.New()
+	s := NewScheduler(eng, 6)
+	var doneAt []sim.Time
+	for i := 0; i < 3; i++ {
+		task := &Task{Group: i, Source: i * 2, Target: i*2 + 1, Duration: 10}
+		s.Submit(task, func(now sim.Time, _ *Task) { doneAt = append(doneAt, now) })
+	}
+	eng.Run()
+	if len(doneAt) != 3 {
+		t.Fatalf("completed %d tasks", len(doneAt))
+	}
+	for _, at := range doneAt {
+		if at != 10 {
+			t.Fatalf("disjoint tasks did not run in parallel: done at %v", at)
+		}
+	}
+	if s.Started != 3 || s.Completed != 3 {
+		t.Fatalf("counters: started=%d completed=%d", s.Started, s.Completed)
+	}
+}
+
+func TestSchedulerSerializesSharedTarget(t *testing.T) {
+	// The no-FARM situation: every task writes to disk 5.
+	eng := sim.New()
+	s := NewScheduler(eng, 6)
+	var doneAt []sim.Time
+	for i := 0; i < 4; i++ {
+		task := &Task{Group: i, Source: i, Target: 5, Duration: 10}
+		s.Submit(task, func(now sim.Time, _ *Task) { doneAt = append(doneAt, now) })
+	}
+	eng.Run()
+	want := []sim.Time{10, 20, 30, 40}
+	if len(doneAt) != len(want) {
+		t.Fatalf("completed %d tasks", len(doneAt))
+	}
+	for i, at := range doneAt {
+		if at != want[i] {
+			t.Fatalf("serialized completion %d at %v, want %v", i, at, want[i])
+		}
+	}
+}
+
+func TestSchedulerSerializesSharedSource(t *testing.T) {
+	eng := sim.New()
+	s := NewScheduler(eng, 6)
+	var doneAt []sim.Time
+	for i := 0; i < 2; i++ {
+		task := &Task{Group: i, Source: 0, Target: i + 1, Duration: 5}
+		s.Submit(task, func(now sim.Time, _ *Task) { doneAt = append(doneAt, now) })
+	}
+	eng.Run()
+	if len(doneAt) != 2 || doneAt[0] != 5 || doneAt[1] != 10 {
+		t.Fatalf("shared source not serialized: %v", doneAt)
+	}
+}
+
+func TestSchedulerChainedDependency(t *testing.T) {
+	// t1 uses (0,1); t2 uses (1,2); t3 uses (2,3). At submit time t2's
+	// source (1) is busy, so t2 waits for t1; t3's disks are both free,
+	// so t3 runs alongside t1. Completion order: 1 and 3 at t=10 (FIFO),
+	// then 2 at t=20.
+	eng := sim.New()
+	s := NewScheduler(eng, 4)
+	var order []int
+	submit := func(id, src, tgt int) {
+		s.Submit(&Task{Group: id, Source: src, Target: tgt, Duration: 10},
+			func(now sim.Time, _ *Task) { order = append(order, id) })
+	}
+	submit(1, 0, 1)
+	submit(2, 1, 2)
+	submit(3, 2, 3)
+	eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 3 || order[2] != 2 {
+		t.Fatalf("chain order %v, want [1 3 2]", order)
+	}
+	if eng.Now() != 20 {
+		t.Fatalf("finished at %v, want 20", eng.Now())
+	}
+}
+
+func TestSchedulerRefileBetweenQueues(t *testing.T) {
+	// t2 parks on busy target 2; when 2 frees, its source 1 is still busy
+	// (t3 holds it), so t2 re-files onto disk 1's queue and runs last.
+	eng := sim.New()
+	s := NewScheduler(eng, 4)
+	var order []int
+	add := func(id, src, tgt int, dur sim.Time) {
+		s.Submit(&Task{Group: id, Source: src, Target: tgt, Duration: dur},
+			func(now sim.Time, _ *Task) { order = append(order, id) })
+	}
+	add(1, 0, 2, 5)  // holds 2 until t=5
+	add(3, 1, 3, 20) // holds 1 until t=20
+	add(2, 1, 2, 5)  // target 2 busy -> parks on 2; at t=5 re-files to 1; runs at 20
+	eng.Run()
+	if len(order) != 3 || order[len(order)-1] != 2 {
+		t.Fatalf("re-file order %v, want task 2 last", order)
+	}
+}
+
+func TestSchedulerCancelPending(t *testing.T) {
+	eng := sim.New()
+	s := NewScheduler(eng, 3)
+	done := 0
+	t1 := &Task{Group: 1, Source: 0, Target: 1, Duration: 10}
+	t2 := &Task{Group: 2, Source: 0, Target: 2, Duration: 10}
+	s.Submit(t1, func(sim.Time, *Task) { done++ })
+	s.Submit(t2, func(sim.Time, *Task) { done++ })
+	if !s.Cancel(t2) {
+		t.Fatal("cancel pending failed")
+	}
+	eng.Run()
+	if done != 1 {
+		t.Fatalf("done = %d, want 1 (cancelled task must not fire)", done)
+	}
+	if !t2.Cancelled() || !t1.Done() {
+		t.Fatal("task states wrong")
+	}
+}
+
+func TestSchedulerCancelRunningFreesDisks(t *testing.T) {
+	eng := sim.New()
+	s := NewScheduler(eng, 3)
+	done := 0
+	t1 := &Task{Group: 1, Source: 0, Target: 1, Duration: 100}
+	t2 := &Task{Group: 2, Source: 0, Target: 2, Duration: 10}
+	s.Submit(t1, func(sim.Time, *Task) { done++ })
+	s.Submit(t2, func(sim.Time, *Task) { done++ })
+	if !s.Busy(0) || !s.Busy(1) {
+		t.Fatal("t1 should be running")
+	}
+	s.Cancel(t1)
+	if s.Busy(1) {
+		t.Fatal("cancel did not free target")
+	}
+	eng.Run()
+	if done != 1 {
+		t.Fatalf("done = %d, want 1", done)
+	}
+	if eng.Now() != 10 {
+		t.Fatalf("t2 should have started immediately after cancel; ended at %v", eng.Now())
+	}
+}
+
+func TestSchedulerCancelDoneReturnsFalse(t *testing.T) {
+	eng := sim.New()
+	s := NewScheduler(eng, 2)
+	task := &Task{Group: 1, Source: 0, Target: 1, Duration: 1}
+	s.Submit(task, nil)
+	eng.Run()
+	if s.Cancel(task) {
+		t.Fatal("cancelling a done task returned true")
+	}
+}
+
+func TestSchedulerGrow(t *testing.T) {
+	eng := sim.New()
+	s := NewScheduler(eng, 2)
+	s.Grow(5)
+	task := &Task{Group: 1, Source: 0, Target: 4, Duration: 1}
+	s.Submit(task, nil)
+	eng.Run()
+	if !task.Done() {
+		t.Fatal("task on grown disk slot did not run")
+	}
+	if s.QueueLen(4) != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestSchedulerSameSourceTargetPanics(t *testing.T) {
+	eng := sim.New()
+	s := NewScheduler(eng, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("source == target did not panic")
+		}
+	}()
+	s.Submit(&Task{Group: 1, Source: 1, Target: 1, Duration: 1}, nil)
+}
+
+func TestSchedulerFIFOFairness(t *testing.T) {
+	// Tasks contending on one target complete in submission order.
+	eng := sim.New()
+	s := NewScheduler(eng, 10)
+	var order []int
+	for i := 0; i < 8; i++ {
+		id := i
+		s.Submit(&Task{Group: id, Source: id, Target: 9, Duration: 1},
+			func(now sim.Time, _ *Task) { order = append(order, id) })
+	}
+	eng.Run()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package recovery
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// SpareDisk is the traditional RAID baseline the paper compares against:
+// when a drive fails, a fresh dedicated spare is activated and *every*
+// block of the failed drive is rebuilt onto that one spare. The spare's
+// single recovery slot serializes the transfers, so the window of
+// vulnerability covers the whole disk rebuild ("reconstruction requests
+// queue up at the single recovery target", §3.2).
+type SpareDisk struct {
+	base
+	spawn DiskSpawner
+	// spareFor maps a failed disk to the spare rebuilding it, and
+	// spareRole maps a spare back to its failed disk, so a spare failure
+	// can re-drive the remaining work onto a new spare.
+	spareFor  map[int]int
+	spareRole map[int]int
+}
+
+// NewSpareDisk returns the traditional engine. spawn provisions fresh
+// spare drives on demand (the simulator schedules their failures). bw
+// supplies the per-disk recovery bandwidth (use FixedBW for the paper's
+// base model).
+func NewSpareDisk(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload.BandwidthModel, spawn DiskSpawner) *SpareDisk {
+	return &SpareDisk{
+		base:      newBase(cl, eng, sched, bw),
+		spawn:     spawn,
+		spareFor:  make(map[int]int),
+		spareRole: make(map[int]int),
+	}
+}
+
+// Name implements Engine.
+func (s *SpareDisk) Name() string { return "spare" }
+
+// HandleDetection activates a spare for the failed disk and queues every
+// lost block onto it.
+func (s *SpareDisk) HandleDetection(now sim.Time, diskID int, failedAt sim.Time, lost []cluster.BlockRef) {
+	if len(lost) == 0 {
+		return // nothing resided on the drive; no spare needed
+	}
+	spare := s.activateSpare(now, diskID)
+	for _, ref := range lost {
+		s.startRebuild(failedAt, int(ref.Group), int(ref.Rep), spare)
+	}
+}
+
+// activateSpare provisions the dedicated replacement drive for failed.
+func (s *SpareDisk) activateSpare(now sim.Time, failed int) int {
+	spare := s.spawn(now)
+	s.sched.Grow(s.cl.NumDisks())
+	s.spareFor[failed] = spare
+	s.spareRole[spare] = failed
+	s.stats.SparesUsed++
+	return spare
+}
+
+// startRebuild queues one block onto the designated spare.
+func (s *SpareDisk) startRebuild(failedAt sim.Time, group, rep, spare int) {
+	grp := &s.cl.Groups[group]
+	if grp.Lost {
+		s.stats.DroppedLost++
+		return
+	}
+	src := s.cl.SourceFor(group, spare)
+	if src < 0 {
+		s.stats.DroppedLost++
+		return
+	}
+	if !s.cl.ReserveTarget(spare) {
+		// The spare cannot be full in the paper's regime (a fresh drive
+		// absorbing at most one failed drive's data); treat as dropped.
+		s.stats.DroppedLost++
+		return
+	}
+	r := &rebuild{failedAt: failedAt}
+	r.task = &Task{
+		Group:    group,
+		Rep:      rep,
+		Source:   src,
+		Target:   spare,
+		Duration: s.blockDuration(),
+	}
+	s.track(r)
+	s.sched.Submit(r.task, func(now sim.Time, _ *Task) { s.complete(now, r) })
+}
+
+// HandleFailure reacts to any disk death: if it was an active spare, the
+// outstanding work restarts on a new spare; rebuilds sourced from the dead
+// disk are re-sourced.
+func (s *SpareDisk) HandleFailure(now sim.Time, diskID int) {
+	if failed, ok := s.spareRole[diskID]; ok {
+		delete(s.spareRole, diskID)
+		delete(s.spareFor, failed)
+		asSource, asTarget := s.rebuildsTouching(diskID)
+		if len(asTarget) > 0 {
+			replacement := s.activateSpare(now, failed)
+			for _, r := range asTarget {
+				s.sched.Cancel(r.task)
+				s.untrack(r)
+				if s.cl.Groups[r.task.Group].Lost {
+					s.stats.DroppedLost++
+					continue
+				}
+				s.stats.Redirections++
+				s.startRebuild(r.failedAt, r.task.Group, r.task.Rep, replacement)
+			}
+		}
+		for _, r := range asSource {
+			if r.task.Source == diskID {
+				s.resource(r)
+			}
+		}
+		return
+	}
+	asSource, asTarget := s.rebuildsTouching(diskID)
+	// A regular data disk died. Rebuilds targeting it do not exist under
+	// this engine (targets are always spares) unless bookkeeping broke.
+	for _, r := range asTarget {
+		s.sched.Cancel(r.task)
+		s.untrack(r)
+		s.stats.DroppedLost++
+	}
+	for _, r := range asSource {
+		if r.task.Source == diskID {
+			s.resource(r)
+		}
+	}
+}
+
+// SpareOf returns the active spare for a failed disk, or -1 (test hook).
+func (s *SpareDisk) SpareOf(failed int) int {
+	if sp, ok := s.spareFor[failed]; ok {
+		return sp
+	}
+	return -1
+}

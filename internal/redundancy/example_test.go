@@ -1,0 +1,37 @@
+package redundancy_test
+
+import (
+	"fmt"
+
+	"repro/internal/redundancy"
+)
+
+func ExampleParse() {
+	scheme := redundancy.MustParse("4/6")
+	fmt.Println("scheme:", scheme)
+	fmt.Println("tolerates:", scheme.FaultTolerance(), "failures")
+	fmt.Printf("efficiency: %.2f\n", scheme.StorageEfficiency())
+	// Output:
+	// scheme: 4/6
+	// tolerates: 2 failures
+	// efficiency: 0.67
+}
+
+func ExampleScheme_BlockBytes() {
+	scheme := redundancy.MustParse("4/6")
+	const groupBytes = 10 << 30 // 10 GiB of user data
+	fmt.Printf("block: %d GiB\n", scheme.BlockBytes(groupBytes)>>30)
+	fmt.Printf("raw group: %d GiB\n", scheme.GroupRawBytes(groupBytes)>>30)
+	// Output:
+	// block: 2 GiB
+	// raw group: 15 GiB
+}
+
+func ExampleScheme_Lost() {
+	scheme := redundancy.MustParse("8/10")
+	fmt.Println("8 of 10 blocks left:", scheme.Lost(8))
+	fmt.Println("7 of 10 blocks left:", scheme.Lost(7))
+	// Output:
+	// 8 of 10 blocks left: false
+	// 7 of 10 blocks left: true
+}

@@ -1,0 +1,108 @@
+// Package redundancy models the paper's redundancy-group configurations:
+// m/n schemes that store m blocks of user data plus n−m check blocks and
+// survive the loss of any n−m blocks.
+//
+// This is the shared vocabulary between the reliability simulator (which
+// only needs loss-tolerance semantics and block sizes) and the byte-level
+// codecs in internal/erasure (which implement the same schemes on data).
+package redundancy
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Scheme is an m/n redundancy configuration. The paper writes m⌢n; we use
+// the "m/n" notation from Figures 3 and 8. m == 1 is n-way mirroring;
+// n−m == 1 is RAID-5-like single parity; the rest are general erasure
+// codes.
+type Scheme struct {
+	M int // user-data blocks per group
+	N int // total blocks per group (data + check)
+}
+
+// ErrScheme reports an invalid scheme specification.
+var ErrScheme = errors.New("redundancy: invalid scheme")
+
+// NewScheme validates and returns an m/n scheme.
+func NewScheme(m, n int) (Scheme, error) {
+	if m < 1 || n <= m {
+		return Scheme{}, fmt.Errorf("%w: %d/%d", ErrScheme, m, n)
+	}
+	return Scheme{M: m, N: n}, nil
+}
+
+// Parse reads "m/n" notation, e.g. "1/2", "8/10".
+func Parse(s string) (Scheme, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return Scheme{}, fmt.Errorf("%w: %q", ErrScheme, s)
+	}
+	m, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	n, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil {
+		return Scheme{}, fmt.Errorf("%w: %q", ErrScheme, s)
+	}
+	return NewScheme(m, n)
+}
+
+// MustParse is Parse for package-level tables; it panics on error.
+func MustParse(s string) Scheme {
+	sch, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return sch
+}
+
+// String returns the "m/n" notation.
+func (s Scheme) String() string { return fmt.Sprintf("%d/%d", s.M, s.N) }
+
+// CheckBlocks returns k = n − m, the number of parity/replica blocks.
+func (s Scheme) CheckBlocks() int { return s.N - s.M }
+
+// FaultTolerance returns the number of simultaneous block losses a group
+// survives: n − m.
+func (s Scheme) FaultTolerance() int { return s.N - s.M }
+
+// StorageEfficiency returns m/n, the ratio of user data to total storage —
+// the paper's storage-efficiency tradeoff (1/2 for two-way mirroring,
+// m/n for an ECC).
+func (s Scheme) StorageEfficiency() float64 { return float64(s.M) / float64(s.N) }
+
+// StorageOverhead returns n/m, the raw bytes stored per user byte.
+func (s Scheme) StorageOverhead() float64 { return float64(s.N) / float64(s.M) }
+
+// BlockBytes returns the size of a single block for a group holding
+// groupBytes of user data: user data is split over the m data blocks, and
+// every block (data or check) has the same size.
+func (s Scheme) BlockBytes(groupBytes int64) int64 {
+	return (groupBytes + int64(s.M) - 1) / int64(s.M)
+}
+
+// GroupRawBytes returns the total raw bytes a group occupies on disk.
+func (s Scheme) GroupRawBytes(groupBytes int64) int64 {
+	return s.BlockBytes(groupBytes) * int64(s.N)
+}
+
+// Lost reports whether a group with the given number of still-available
+// blocks has lost data (fewer than m survivors).
+func (s Scheme) Lost(available int) bool { return available < s.M }
+
+// IsMirror reports whether the scheme is n-way replication.
+func (s Scheme) IsMirror() bool { return s.M == 1 }
+
+// IsSingleParity reports whether the scheme is RAID-5-like (k == 1).
+func (s Scheme) IsSingleParity() bool { return s.N-s.M == 1 }
+
+// PaperSchemes returns the six configurations of Figure 3 in paper order:
+// 1/2, 1/3, 2/3, 4/5, 4/6, 8/10.
+func PaperSchemes() []Scheme {
+	return []Scheme{
+		{M: 1, N: 2}, {M: 1, N: 3},
+		{M: 2, N: 3}, {M: 4, N: 5},
+		{M: 4, N: 6}, {M: 8, N: 10},
+	}
+}

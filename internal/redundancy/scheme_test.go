@@ -1,0 +1,167 @@
+package redundancy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSchemeValidation(t *testing.T) {
+	valid := [][2]int{{1, 2}, {1, 3}, {2, 3}, {4, 5}, {4, 6}, {8, 10}, {16, 20}}
+	for _, v := range valid {
+		if _, err := NewScheme(v[0], v[1]); err != nil {
+			t.Errorf("NewScheme(%d,%d): %v", v[0], v[1], err)
+		}
+	}
+	invalid := [][2]int{{0, 2}, {-1, 3}, {2, 2}, {3, 2}, {5, 5}}
+	for _, v := range invalid {
+		if _, err := NewScheme(v[0], v[1]); err == nil {
+			t.Errorf("NewScheme(%d,%d) should fail", v[0], v[1])
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := map[string]Scheme{
+		"1/2":    {1, 2},
+		"8/10":   {8, 10},
+		" 4 / 6": {4, 6},
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "1", "1/2/3", "a/b", "2/1", "0/4"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on garbage did not panic")
+		}
+	}()
+	MustParse("zzz")
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range PaperSchemes() {
+		rt, err := Parse(s.String())
+		if err != nil || rt != s {
+			t.Errorf("round trip failed for %v: %v %v", s, rt, err)
+		}
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	cases := []struct {
+		s          Scheme
+		tol        int
+		efficiency float64
+	}{
+		{Scheme{1, 2}, 1, 0.5},
+		{Scheme{1, 3}, 2, 1.0 / 3},
+		{Scheme{2, 3}, 1, 2.0 / 3},
+		{Scheme{4, 5}, 1, 0.8},
+		{Scheme{4, 6}, 2, 2.0 / 3},
+		{Scheme{8, 10}, 2, 0.8},
+	}
+	for _, c := range cases {
+		if c.s.FaultTolerance() != c.tol {
+			t.Errorf("%v tolerance = %d, want %d", c.s, c.s.FaultTolerance(), c.tol)
+		}
+		if got := c.s.StorageEfficiency(); got != c.efficiency {
+			t.Errorf("%v efficiency = %v, want %v", c.s, got, c.efficiency)
+		}
+		if c.s.CheckBlocks() != c.s.N-c.s.M {
+			t.Errorf("%v check blocks wrong", c.s)
+		}
+	}
+}
+
+func TestBlockBytes(t *testing.T) {
+	const gib = int64(1) << 30
+	cases := []struct {
+		s     Scheme
+		group int64
+		block int64
+		raw   int64
+	}{
+		{Scheme{1, 2}, 10 * gib, 10 * gib, 20 * gib},
+		{Scheme{4, 6}, 10 * gib, 10 * gib / 4, 15 * gib},
+		{Scheme{8, 10}, 8 * gib, gib, 10 * gib},
+		{Scheme{4, 5}, 10, 3, 15}, // ceil division: 10/4 -> 3
+	}
+	for _, c := range cases {
+		if got := c.s.BlockBytes(c.group); got != c.block {
+			t.Errorf("%v BlockBytes(%d) = %d, want %d", c.s, c.group, got, c.block)
+		}
+		if got := c.s.GroupRawBytes(c.group); got != c.raw {
+			t.Errorf("%v GroupRawBytes(%d) = %d, want %d", c.s, c.group, got, c.raw)
+		}
+	}
+}
+
+func TestLostPredicate(t *testing.T) {
+	s := Scheme{4, 6}
+	for avail := 0; avail <= 6; avail++ {
+		want := avail < 4
+		if s.Lost(avail) != want {
+			t.Errorf("Lost(%d) = %v, want %v", avail, s.Lost(avail), want)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	if !(Scheme{1, 2}).IsMirror() || (Scheme{2, 3}).IsMirror() {
+		t.Error("IsMirror wrong")
+	}
+	if !(Scheme{4, 5}).IsSingleParity() || (Scheme{4, 6}).IsSingleParity() {
+		t.Error("IsSingleParity wrong")
+	}
+}
+
+func TestPaperSchemesOrder(t *testing.T) {
+	got := PaperSchemes()
+	want := []string{"1/2", "1/3", "2/3", "4/5", "4/6", "8/10"}
+	if len(got) != len(want) {
+		t.Fatalf("PaperSchemes length %d", len(got))
+	}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Errorf("scheme %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: raw bytes always cover the user bytes with overhead n/m, and
+// efficiency * overhead == 1.
+func TestQuickConsistency(t *testing.T) {
+	f := func(m8, n8 uint8, group uint32) bool {
+		m := int(m8%12) + 1
+		n := m + int(n8%8) + 1
+		s, err := NewScheme(m, n)
+		if err != nil {
+			return false
+		}
+		g := int64(group) + 1
+		raw := s.GroupRawBytes(g)
+		if raw < g {
+			return false
+		}
+		eff := s.StorageEfficiency()
+		ovh := s.StorageOverhead()
+		return eff > 0 && eff <= 1 && ovh >= 1 && eff*ovh > 0.999 && eff*ovh < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

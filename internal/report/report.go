@@ -1,0 +1,141 @@
+// Package report renders experiment results as aligned plain-text tables
+// and CSV, the formats cmd/farmsim prints for each reproduced table and
+// figure.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of formatted cells.
+type Table struct {
+	Title   string
+	Notes   []string // free-form caption lines
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable starts a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a caption line printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		// Trim trailing padding.
+		for b.Len() > 0 && b.String()[b.Len()-1] == ' ' {
+			s := b.String()
+			b.Reset()
+			b.WriteString(strings.TrimRight(s, " "))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i, w2 := range widths {
+		sep[i] = strings.Repeat("-", w2)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("  ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (quotes only when
+// needed).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Pct formats a probability as a percentage with one decimal.
+func Pct(p float64) string { return fmt.Sprintf("%.1f%%", 100*p) }
+
+// PctCI formats a probability with its 95% interval.
+func PctCI(p, lo, hi float64) string {
+	return fmt.Sprintf("%.1f%% [%.1f, %.1f]", 100*p, 100*lo, 100*hi)
+}
+
+// F formats a float compactly.
+func F(v float64) string {
+	switch {
+	case v != 0 && (v < 0.001 || v >= 1e6):
+		return fmt.Sprintf("%.3g", v)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// GB formats a byte count in decimal-free GiB.
+func GB(bytes int64) string {
+	return fmt.Sprintf("%.1f", float64(bytes)/float64(1<<30))
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteTextAligned(t *testing.T) {
+	tb := NewTable("Demo", "scheme", "ploss")
+	tb.AddRow("1/2", "3.0%")
+	tb.AddRow("8/10", "0.1%")
+	tb.AddNote("runs=%d", 100)
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" || !strings.HasPrefix(lines[1], "====") {
+		t.Fatalf("title block wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "scheme  ploss") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "runs=100") {
+		t.Fatalf("note missing:\n%s", out)
+	}
+	// Columns align: "1/2 " padded to width of "scheme".
+	if !strings.Contains(out, "1/2     3.0%") {
+		t.Fatalf("row not aligned:\n%s", out)
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tb := NewTable("x", "a", "b", "c")
+	tb.AddRow("1")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "hello")
+	tb.AddRow("with,comma", `with"quote`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,hello\n\"with,comma\",\"with\"\"quote\"\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.031) != "3.1%" {
+		t.Errorf("Pct = %q", Pct(0.031))
+	}
+	if got := PctCI(0.5, 0.4, 0.6); got != "50.0% [40.0, 60.0]" {
+		t.Errorf("PctCI = %q", got)
+	}
+	if F(5) != "5" {
+		t.Errorf("F(5) = %q", F(5))
+	}
+	if F(0.125) != "0.125" {
+		t.Errorf("F(0.125) = %q", F(0.125))
+	}
+	if F(1e9) != "1e+09" {
+		t.Errorf("F(1e9) = %q", F(1e9))
+	}
+	if GB(1<<30) != "1.0" {
+		t.Errorf("GB = %q", GB(1<<30))
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := NewTable("", "only")
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "only\n") {
+		t.Fatalf("untitled table wrong:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,123 @@
+package rng
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// PiecewiseHazard models a piecewise-constant hazard (failure) rate over
+// time, the form the paper takes from the disk-drive industry's reliability
+// tables (Elerath 2000, IDEMA R2-98): the instantaneous failure rate is
+// constant within each age band and drops as drives burn in.
+//
+// Times are in arbitrary but consistent units (the simulator uses hours).
+type PiecewiseHazard struct {
+	// bounds[i] is the start time of segment i; bounds[0] must be 0.
+	bounds []float64
+	// rates[i] is the hazard rate on [bounds[i], bounds[i+1]).
+	// The final rate extends to +inf.
+	rates []float64
+	// cum[i] is the cumulative hazard at bounds[i].
+	cum []float64
+}
+
+// ErrHazard reports an invalid hazard specification.
+var ErrHazard = errors.New("rng: invalid piecewise hazard")
+
+// NewPiecewiseHazard builds a hazard from segment start times and rates.
+// starts must begin at 0 and strictly increase; rates must be positive and
+// have the same length as starts. The last rate extends forever.
+func NewPiecewiseHazard(starts, rates []float64) (*PiecewiseHazard, error) {
+	if len(starts) == 0 || len(starts) != len(rates) || starts[0] != 0 {
+		return nil, ErrHazard
+	}
+	for i := range starts {
+		if rates[i] <= 0 || (i > 0 && starts[i] <= starts[i-1]) {
+			return nil, ErrHazard
+		}
+	}
+	h := &PiecewiseHazard{
+		bounds: append([]float64(nil), starts...),
+		rates:  append([]float64(nil), rates...),
+		cum:    make([]float64, len(starts)),
+	}
+	for i := 1; i < len(starts); i++ {
+		h.cum[i] = h.cum[i-1] + h.rates[i-1]*(starts[i]-starts[i-1])
+	}
+	return h, nil
+}
+
+// Rate returns the hazard rate at age t (t < 0 is treated as 0).
+func (h *PiecewiseHazard) Rate(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, t)
+	// SearchFloat64s returns the first index with bounds[i] >= t; we want
+	// the segment containing t.
+	if i == len(h.bounds) || h.bounds[i] > t {
+		i--
+	}
+	return h.rates[i]
+}
+
+// Cumulative returns the integrated hazard H(t) = ∫₀ᵗ rate.
+func (h *PiecewiseHazard) Cumulative(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(h.bounds, t)
+	if i == len(h.bounds) || h.bounds[i] > t {
+		i--
+	}
+	return h.cum[i] + h.rates[i]*(t-h.bounds[i])
+}
+
+// Survival returns S(t) = exp(-H(t)), the probability a fresh unit survives
+// past age t.
+func (h *PiecewiseHazard) Survival(t float64) float64 {
+	return math.Exp(-h.Cumulative(t))
+}
+
+// invert returns the age at which the cumulative hazard reaches target.
+func (h *PiecewiseHazard) invert(target float64) float64 {
+	// Find the segment whose cumulative range contains target.
+	i := sort.SearchFloat64s(h.cum, target)
+	if i == len(h.cum) || h.cum[i] > target {
+		i--
+	}
+	return h.bounds[i] + (target-h.cum[i])/h.rates[i]
+}
+
+// SampleAge draws a failure age for a fresh unit: the age T at which the
+// unit fails, with P(T > t) = exp(-H(t)). Inversion sampling: solve
+// H(T) = -log(U).
+func (h *PiecewiseHazard) SampleAge(r *Source) float64 {
+	u := 1 - r.Float64() // in (0, 1]
+	return h.invert(-math.Log(u))
+}
+
+// SampleAgeAfter draws a failure age conditioned on survival to age t0
+// (memory of burn-in: an old disk fails at the old-age rate). Returns an
+// age strictly greater than t0.
+func (h *PiecewiseHazard) SampleAgeAfter(r *Source, t0 float64) float64 {
+	if t0 < 0 {
+		t0 = 0
+	}
+	u := 1 - r.Float64()
+	return h.invert(h.Cumulative(t0) - math.Log(u))
+}
+
+// Scale returns a new hazard with every rate multiplied by factor — the
+// paper's "disk vintage" knob (Figure 8(b) doubles all failure rates).
+func (h *PiecewiseHazard) Scale(factor float64) (*PiecewiseHazard, error) {
+	if factor <= 0 {
+		return nil, ErrHazard
+	}
+	rates := make([]float64, len(h.rates))
+	for i, v := range h.rates {
+		rates[i] = v * factor
+	}
+	return NewPiecewiseHazard(h.bounds, rates)
+}

@@ -1,0 +1,191 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// hoursPerMonth mirrors the simulator's convention for the Table 1 bands.
+const hoursPerMonth = 730.0
+
+func table1Hazard(t *testing.T) *PiecewiseHazard {
+	t.Helper()
+	h, err := NewPiecewiseHazard(
+		[]float64{0, 3 * hoursPerMonth, 6 * hoursPerMonth, 12 * hoursPerMonth},
+		[]float64{0.005 / 1000, 0.0035 / 1000, 0.0025 / 1000, 0.002 / 1000},
+	)
+	if err != nil {
+		t.Fatalf("NewPiecewiseHazard: %v", err)
+	}
+	return h
+}
+
+func TestHazardValidation(t *testing.T) {
+	cases := []struct {
+		starts, rates []float64
+	}{
+		{nil, nil},
+		{[]float64{0}, []float64{0.1, 0.2}},
+		{[]float64{1}, []float64{0.1}},             // must start at 0
+		{[]float64{0, 5, 5}, []float64{1, 1, 1}},   // non-increasing
+		{[]float64{0, 5}, []float64{0.1, 0}},       // zero rate
+		{[]float64{0, 5}, []float64{0.1, -1}},      // negative rate
+		{[]float64{0, 5, 2}, []float64{0.1, 1, 1}}, // decreasing bound
+	}
+	for i, c := range cases {
+		if _, err := NewPiecewiseHazard(c.starts, c.rates); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestHazardRate(t *testing.T) {
+	h := table1Hazard(t)
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 0.005 / 1000},
+		{hoursPerMonth, 0.005 / 1000},
+		{3 * hoursPerMonth, 0.0035 / 1000},
+		{5 * hoursPerMonth, 0.0035 / 1000},
+		{6 * hoursPerMonth, 0.0025 / 1000},
+		{12 * hoursPerMonth, 0.002 / 1000},
+		{72 * hoursPerMonth, 0.002 / 1000},
+		{-5, 0.005 / 1000},
+	}
+	for _, c := range cases {
+		if got := h.Rate(c.t); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("Rate(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestCumulativeMatchesNumericIntegral(t *testing.T) {
+	h := table1Hazard(t)
+	for _, age := range []float64{0, 100, 2000, 5000, 20000, 52560} {
+		// Trapezoid integration of Rate (rate is piecewise constant, so a
+		// fine midpoint sum is exact up to step effects at boundaries).
+		const step = 1.0
+		sum := 0.0
+		for x := 0.0; x < age; x += step {
+			sum += h.Rate(x+step/2) * step
+		}
+		if got := h.Cumulative(age); math.Abs(got-sum) > 1e-3 {
+			t.Errorf("Cumulative(%v) = %v, numeric = %v", age, got, sum)
+		}
+	}
+}
+
+func TestSurvivalMonotone(t *testing.T) {
+	h := table1Hazard(t)
+	prev := 1.0
+	for age := 0.0; age <= 6*8760; age += 500 {
+		s := h.Survival(age)
+		if s > prev+1e-12 {
+			t.Fatalf("Survival increased at age %v: %v > %v", age, s, prev)
+		}
+		if s <= 0 || s > 1 {
+			t.Fatalf("Survival(%v) = %v out of (0,1]", age, s)
+		}
+		prev = s
+	}
+}
+
+func TestSixYearFailureFraction(t *testing.T) {
+	// The paper reports roughly 10% of disks failing over 6 years with the
+	// Table 1 rates; check the analytic model agrees to the right order.
+	h := table1Hazard(t)
+	sixYears := 6.0 * 8760
+	pFail := 1 - h.Survival(sixYears)
+	if pFail < 0.08 || pFail > 0.15 {
+		t.Fatalf("6-year failure probability = %v, want ~0.10", pFail)
+	}
+}
+
+func TestSampleAgeDistribution(t *testing.T) {
+	h := table1Hazard(t)
+	r := New(21)
+	const n = 100000
+	sixYears := 6.0 * 8760
+	failedBySix := 0
+	for i := 0; i < n; i++ {
+		if h.SampleAge(r) <= sixYears {
+			failedBySix++
+		}
+	}
+	got := float64(failedBySix) / n
+	want := 1 - h.Survival(sixYears)
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("empirical 6-year failure %v, analytic %v", got, want)
+	}
+}
+
+func TestSampleAgeAfterConditional(t *testing.T) {
+	h := table1Hazard(t)
+	r := New(22)
+	t0 := 10000.0
+	for i := 0; i < 10000; i++ {
+		age := h.SampleAgeAfter(r, t0)
+		if age <= t0 {
+			t.Fatalf("conditional sample %v <= t0 %v", age, t0)
+		}
+	}
+}
+
+func TestSampleAgeAfterMatchesMemorylessTail(t *testing.T) {
+	// Deep in the final (constant-rate) segment the conditional
+	// distribution must be exponential with the tail rate.
+	h := table1Hazard(t)
+	r := New(23)
+	t0 := 20000.0
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += h.SampleAgeAfter(r, t0) - t0
+	}
+	mean := sum / n
+	want := 1000 / 0.002 // 1/rate
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("conditional tail mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestScale(t *testing.T) {
+	h := table1Hazard(t)
+	h2, err := h.Scale(2)
+	if err != nil {
+		t.Fatalf("Scale: %v", err)
+	}
+	for _, age := range []float64{0, 1000, 10000, 50000} {
+		if math.Abs(h2.Rate(age)-2*h.Rate(age)) > 1e-15 {
+			t.Errorf("scaled rate at %v: %v, want %v", age, h2.Rate(age), 2*h.Rate(age))
+		}
+		if math.Abs(h2.Cumulative(age)-2*h.Cumulative(age)) > 1e-12 {
+			t.Errorf("scaled cumulative at %v mismatch", age)
+		}
+	}
+	if _, err := h.Scale(0); err == nil {
+		t.Error("Scale(0) should fail")
+	}
+}
+
+// Property: inversion sampling round-trips — Cumulative(SampleAge) is
+// exponential(1), so its mean over many draws is ~1.
+func TestQuickInversionRoundTrip(t *testing.T) {
+	h := table1Hazard(t)
+	f := func(seed uint64) bool {
+		r := New(seed)
+		sum := 0.0
+		const n = 2000
+		for i := 0; i < n; i++ {
+			sum += h.Cumulative(h.SampleAge(r))
+		}
+		mean := sum / n
+		return mean > 0.9 && mean < 1.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

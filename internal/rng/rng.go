@@ -1,0 +1,170 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation for the FARM simulator.
+//
+// Reliability simulations must be reproducible: the same seed must produce
+// the same six-year trajectory on every platform, and Monte Carlo drivers
+// must be able to hand each parallel run an independent stream derived from
+// a single master seed. The standard library's math/rand (v1) does not
+// guarantee a stable algorithm across Go releases for its top-level
+// functions, so this package pins a specific generator: xoshiro256** seeded
+// through splitmix64, the combination recommended by the xoshiro authors.
+package rng
+
+import "math"
+
+// Source is a deterministic xoshiro256** generator. It is not safe for
+// concurrent use; give each goroutine its own Source (see Split).
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from seed via splitmix64, so that nearby
+// seeds (0, 1, 2, ...) still yield well-separated streams.
+func New(seed uint64) *Source {
+	var r Source
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets the generator state from seed as New does.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
+	// All-zero state is the one invalid state for xoshiro; splitmix64
+	// cannot produce four zero outputs in a row, but guard regardless.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s3 = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Split derives a new independent Source from this one. The child stream is
+// seeded from fresh output of the parent, so parent and child do not
+// overlap in any practical sense. Used to give each Monte Carlo run its own
+// stream.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	un := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, un)
+		if lo >= un || lo >= (-un)%un {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	// -log(U) with U in (0, 1]; Float64 returns [0,1), so flip.
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, via the Marsaglia polar method.
+func (r *Source) Norm(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// SampleK fills a reservoir sample of k indices drawn without replacement
+// from [0, n). The result is sorted order-free (reservoir order). If k >= n
+// it returns all n indices.
+func (r *Source) SampleK(n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = i
+	}
+	for i := k; i < n; i++ {
+		j := r.Intn(i + 1)
+		if j < k {
+			out[j] = i
+		}
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+func ExampleEngine() {
+	eng := sim.New()
+	eng.Schedule(10, "disk-fail", func(now sim.Time) {
+		fmt.Printf("t=%v: disk failed\n", now)
+		eng.After(0.5, "detect", func(now sim.Time) {
+			fmt.Printf("t=%v: failure detected, rebuild starts\n", now)
+		})
+	})
+	eng.Run()
+	fmt.Printf("clock: %v, events fired: %d\n", eng.Now(), eng.Fired())
+	// Output:
+	// t=10: disk failed
+	// t=10.5: failure detected, rebuild starts
+	// clock: 10.5, events fired: 2
+}

@@ -1,0 +1,167 @@
+// Package sim is a small discrete-event simulation kernel: a virtual clock
+// and a priority queue of timestamped events with deterministic ordering.
+//
+// It stands in for the PARSEC simulation library the paper used. The FARM
+// simulator only needs sequential discrete-event semantics — schedule,
+// cancel, advance — so the kernel is deliberately simple, allocation-light,
+// and fully deterministic: events at equal times fire in scheduling order
+// (FIFO by sequence number), which keeps every run reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Time is virtual simulation time. The FARM simulator measures it in hours.
+type Time float64
+
+// Forever is a time later than any event the simulator schedules.
+const Forever = Time(math.MaxFloat64)
+
+// Event is a scheduled callback. The zero Event is invalid; obtain events
+// from Engine.Schedule.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index, -1 when not queued
+	fn    func(now Time)
+	label string
+}
+
+// Time returns the event's scheduled time.
+func (e *Event) Time() Time { return e.at }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Pending reports whether the event is still queued (not fired, not
+// cancelled).
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// Engine owns the virtual clock and the event queue. Not safe for
+// concurrent use: a simulation run is single-threaded by design, and
+// parallelism lives one level up (many independent runs).
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventHeap
+	fired uint64
+}
+
+// New returns an Engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (diagnostics).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// ErrPast reports an attempt to schedule an event before the current time.
+var ErrPast = errors.New("sim: schedule in the past")
+
+// Schedule enqueues fn to run at time at. It returns the Event, which can
+// be cancelled. Scheduling at the current time is allowed (the event fires
+// after all earlier-scheduled events at that time). Scheduling in the past
+// panics: that is always a simulator bug, not a recoverable condition.
+func (e *Engine) Schedule(at Time, label string, fn func(now Time)) *Event {
+	if at < e.now {
+		panic(ErrPast)
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run delay after the current time.
+func (e *Engine) After(delay Time, label string, fn func(now Time)) *Event {
+	return e.Schedule(e.now+delay, label, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a harmless no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.fn = nil
+	return true
+}
+
+// Step fires the single earliest pending event and advances the clock to
+// its time. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	fn := ev.fn
+	ev.fn = nil
+	fn(e.now)
+	return true
+}
+
+// RunUntil fires events in order until the queue is empty or the next
+// event is after deadline. The clock finishes at min(deadline, last event
+// time)… precisely: it is left at deadline if the queue drained past it,
+// so that callers can read Now() == deadline for an uneventful tail.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run drains the queue completely.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// eventHeap orders by (time, seq) so simultaneous events fire in the order
+// they were scheduled — the property that keeps runs deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

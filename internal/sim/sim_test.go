@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyEngine(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("fresh engine Now = %v", e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	e.Run() // must not hang
+	if e.Len() != 0 || e.Fired() != 0 {
+		t.Fatal("empty engine mutated state")
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(30, "c", func(Time) { got = append(got, 3) })
+	e.Schedule(10, "a", func(Time) { got = append(got, 1) })
+	e.Schedule(20, "b", func(Time) { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(5, "tie", func(Time) { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("simultaneous events not FIFO: %v", got)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	var at Time
+	e.Schedule(10, "first", func(now Time) {
+		e.After(5, "second", func(now Time) { at = now })
+	})
+	e.Run()
+	if at != 15 {
+		t.Fatalf("After fired at %v, want 15", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, "x", func(Time) {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, "past", func(Time) {})
+}
+
+func TestScheduleAtNow(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(10, "x", func(now Time) {
+		e.Schedule(now, "same-time", func(Time) { fired = true })
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("event scheduled at the current time never fired")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(10, "x", func(Time) { fired = true })
+	if !ev.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double-cancel returned true")
+	}
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.Schedule(Time(i), "x", func(Time) { got = append(got, i) })
+	}
+	e.Cancel(evs[3])
+	e.Cancel(evs[7])
+	e.Run()
+	want := []int{0, 1, 2, 4, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.Schedule(at, "x", func(now Time) { got = append(got, now) })
+	}
+	e.RunUntil(12)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(12) fired %d events, want 2", len(got))
+	}
+	if e.Now() != 12 {
+		t.Fatalf("clock = %v, want 12", e.Now())
+	}
+	e.RunUntil(100)
+	if len(got) != 4 {
+		t.Fatalf("RunUntil(100) total fired %d, want 4", len(got))
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want advanced to deadline 100", e.Now())
+	}
+}
+
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(10, "x", func(Time) { fired = true })
+	e.RunUntil(10)
+	if !fired {
+		t.Fatal("event exactly at deadline did not fire")
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := New()
+	ev := e.Schedule(42, "hello", func(Time) {})
+	if ev.Time() != 42 || ev.Label() != "hello" {
+		t.Fatalf("accessors: %v %q", ev.Time(), ev.Label())
+	}
+}
+
+func TestFiredCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 25; i++ {
+		e.Schedule(Time(i), "x", func(Time) {})
+	}
+	e.Run()
+	if e.Fired() != 25 {
+		t.Fatalf("Fired = %d, want 25", e.Fired())
+	}
+}
+
+func TestReentrantScheduling(t *testing.T) {
+	// An event chain: each event schedules the next; clock advances
+	// strictly; 1000 links terminate.
+	e := New()
+	count := 0
+	var step func(now Time)
+	step = func(now Time) {
+		count++
+		if count < 1000 {
+			e.After(1, "chain", step)
+		}
+	}
+	e.Schedule(0, "chain", step)
+	e.Run()
+	if count != 1000 {
+		t.Fatalf("chain length %d, want 1000", count)
+	}
+	if e.Now() != 999 {
+		t.Fatalf("clock = %v, want 999", e.Now())
+	}
+}
+
+// Property: for arbitrary schedules, the firing order is sorted by time and
+// by insertion order among ties.
+func TestQuickOrdering(t *testing.T) {
+	f := func(times []uint8) bool {
+		e := New()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, tt := range times {
+			at := Time(tt)
+			seq := i
+			e.Schedule(at, "q", func(now Time) {
+				fired = append(fired, rec{at: now, seq: seq})
+			})
+		}
+		e.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

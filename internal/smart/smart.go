@@ -1,0 +1,61 @@
+// Package smart models S.M.A.R.T.-style disk health monitoring. The paper
+// (§2.3) notes that with S.M.A.R.T. "or a similar system to monitor the
+// health of disks, we are able to avoid unreliable disks" when choosing
+// recovery targets; the same signal enables proactive draining — copying a
+// suspect drive's blocks away before it actually dies, collapsing the
+// window of vulnerability for predicted failures (Hughes et al., IEEE
+// Trans. Reliability 2000 report usable prediction rates).
+//
+// A Monitor is a simple two-parameter predictor: each failure is flagged
+// in advance with probability Accuracy, and flagged failures receive a
+// warning LeadHours before death. The simulator marks warned drives as
+// suspects — excluded from placement and recovery-target choice — and
+// drains them.
+package smart
+
+import (
+	"errors"
+
+	"repro/internal/rng"
+)
+
+// Monitor is a probabilistic failure predictor.
+type Monitor struct {
+	// Accuracy is the fraction of failures predicted in advance (0..1).
+	// Zero disables prediction entirely.
+	Accuracy float64
+	// LeadHours is how far ahead of the failure the warning fires.
+	LeadHours float64
+}
+
+// ErrMonitor reports invalid monitor parameters.
+var ErrMonitor = errors.New("smart: invalid monitor parameters")
+
+// NewMonitor validates the predictor parameters.
+func NewMonitor(accuracy, leadHours float64) (Monitor, error) {
+	if accuracy < 0 || accuracy > 1 || leadHours < 0 {
+		return Monitor{}, ErrMonitor
+	}
+	return Monitor{Accuracy: accuracy, LeadHours: leadHours}, nil
+}
+
+// Enabled reports whether the monitor can ever produce a warning.
+func (m Monitor) Enabled() bool { return m.Accuracy > 0 && m.LeadHours > 0 }
+
+// Predict decides whether the failure at failAt (hours) is caught, and if
+// so at what time the warning fires. Warnings never fire before now: a
+// prediction whose lead would place it in the past fires immediately
+// (now), modelling a drive already deep in its pre-failure signature.
+func (m Monitor) Predict(r *rng.Source, now, failAt float64) (warnAt float64, predicted bool) {
+	if !m.Enabled() {
+		return 0, false
+	}
+	if r.Float64() >= m.Accuracy {
+		return 0, false
+	}
+	warnAt = failAt - m.LeadHours
+	if warnAt < now {
+		warnAt = now
+	}
+	return warnAt, true
+}

@@ -1,0 +1,106 @@
+package smart
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(0.5, 24); err != nil {
+		t.Fatalf("valid monitor rejected: %v", err)
+	}
+	for _, c := range [][2]float64{{-0.1, 24}, {1.1, 24}, {0.5, -1}} {
+		if _, err := NewMonitor(c[0], c[1]); err == nil {
+			t.Errorf("NewMonitor(%v, %v) should fail", c[0], c[1])
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	cases := []struct {
+		acc, lead float64
+		want      bool
+	}{
+		{0, 24, false},
+		{0.5, 0, false},
+		{0.5, 24, true},
+		{1, 1, true},
+	}
+	for _, c := range cases {
+		m := Monitor{Accuracy: c.acc, LeadHours: c.lead}
+		if m.Enabled() != c.want {
+			t.Errorf("Enabled(%v, %v) = %v", c.acc, c.lead, m.Enabled())
+		}
+	}
+}
+
+func TestDisabledNeverPredicts(t *testing.T) {
+	r := rng.New(1)
+	m := Monitor{Accuracy: 0, LeadHours: 24}
+	for i := 0; i < 1000; i++ {
+		if _, ok := m.Predict(r, 0, 100); ok {
+			t.Fatal("disabled monitor predicted")
+		}
+	}
+}
+
+func TestPerfectMonitorAlwaysPredicts(t *testing.T) {
+	r := rng.New(2)
+	m := Monitor{Accuracy: 1, LeadHours: 24}
+	for i := 0; i < 1000; i++ {
+		warnAt, ok := m.Predict(r, 0, 100)
+		if !ok {
+			t.Fatal("perfect monitor missed a failure")
+		}
+		if warnAt != 76 {
+			t.Fatalf("warnAt = %v, want 76", warnAt)
+		}
+	}
+}
+
+func TestPredictionRateMatchesAccuracy(t *testing.T) {
+	r := rng.New(3)
+	m := Monitor{Accuracy: 0.3, LeadHours: 24}
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if _, ok := m.Predict(r, 0, 1000); ok {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("prediction rate %v, want ~0.3", rate)
+	}
+}
+
+func TestWarningNeverInPast(t *testing.T) {
+	r := rng.New(4)
+	m := Monitor{Accuracy: 1, LeadHours: 100}
+	warnAt, ok := m.Predict(r, 50, 120) // lead would place it at 20 < now
+	if !ok || warnAt != 50 {
+		t.Fatalf("clipped warning = (%v, %v), want (50, true)", warnAt, ok)
+	}
+}
+
+// Property: a warning is always in [now, failAt].
+func TestQuickWarningWindow(t *testing.T) {
+	f := func(seed uint64, lead8 uint8, gap8 uint8) bool {
+		r := rng.New(seed)
+		lead := float64(lead8)
+		m := Monitor{Accuracy: 1, LeadHours: lead}
+		now := 100.0
+		failAt := now + float64(gap8) + 1
+		warnAt, ok := m.Predict(r, now, failAt)
+		if lead == 0 {
+			return !ok
+		}
+		return ok && warnAt >= now && warnAt <= failAt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

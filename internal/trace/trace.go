@@ -1,0 +1,164 @@
+// Package trace records the event stream of a simulation run — failures,
+// detections, rebuilds, losses, warnings, batches — for inspection and
+// replay. cmd/farmtrace dumps a run's trace as JSON lines; tests use the
+// recorder to assert event ordering properties (a detection never precedes
+// its failure, a rebuild never precedes its detection, ...).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind labels an event.
+type Kind string
+
+// Event kinds emitted by the simulator.
+const (
+	KindDiskFail   Kind = "disk-fail"   // a drive died
+	KindDetect     Kind = "detect"      // the death was noticed
+	KindRebuilt    Kind = "rebuilt"     // one block reconstruction completed
+	KindDropped    Kind = "dropped"     // a rebuild was abandoned (group lost)
+	KindDataLoss   Kind = "data-loss"   // group(s) crossed into data loss
+	KindSmartWarn  Kind = "smart-warn"  // a health monitor flagged a drive
+	KindDrained    Kind = "drained"     // a suspect drive was fully drained
+	KindBatchAdded Kind = "batch-added" // a replacement batch arrived
+)
+
+// Event is one timestamped simulator occurrence. Times are simulation
+// hours.
+type Event struct {
+	Time   float64 `json:"t"`
+	Kind   Kind    `json:"kind"`
+	Disk   int     `json:"disk,omitempty"`
+	Group  int     `json:"group,omitempty"`
+	Rep    int     `json:"rep,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// Recorder buffers events in arrival order. Not safe for concurrent use —
+// a simulation run is single-threaded, and each run gets its own Recorder.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one event.
+func (r *Recorder) Record(e Event) { r.events = append(r.events, e) }
+
+// Events returns the recorded stream (caller must not mutate).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// WriteJSONL writes one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range r.events {
+		if err := enc.Encode(&r.events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a stream written by WriteJSONL.
+func ReadJSONL(rd io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(rd)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Summary aggregates an event stream.
+type Summary struct {
+	Counts        map[Kind]int
+	FirstLossAt   float64 // -1 if no loss
+	LastEventAt   float64
+	DistinctDisks int
+}
+
+// Summarize computes a Summary.
+func Summarize(events []Event) Summary {
+	s := Summary{Counts: make(map[Kind]int), FirstLossAt: -1}
+	disks := map[int]bool{}
+	for _, e := range events {
+		s.Counts[e.Kind]++
+		if e.Kind == KindDataLoss && s.FirstLossAt < 0 {
+			s.FirstLossAt = e.Time
+		}
+		if e.Time > s.LastEventAt {
+			s.LastEventAt = e.Time
+		}
+		if e.Kind == KindDiskFail {
+			disks[e.Disk] = true
+		}
+	}
+	s.DistinctDisks = len(disks)
+	return s
+}
+
+// WriteSummary prints a human-readable digest.
+func (s Summary) WriteSummary(w io.Writer) error {
+	kinds := make([]string, 0, len(s.Counts))
+	for k := range s.Counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		if _, err := fmt.Fprintf(w, "%-12s %d\n", k, s.Counts[Kind(k)]); err != nil {
+			return err
+		}
+	}
+	if s.FirstLossAt >= 0 {
+		fmt.Fprintf(w, "first data loss at %.1f h (%.2f years)\n",
+			s.FirstLossAt, s.FirstLossAt/8760)
+	} else {
+		fmt.Fprintln(w, "no data loss")
+	}
+	_, err := fmt.Fprintf(w, "last event at %.1f h\n", s.LastEventAt)
+	return err
+}
+
+// CheckCausality verifies ordering invariants of a simulator trace:
+// events are time-sorted, each disk's detect follows its failure, and no
+// rebuild completes before the simulation starts. Returns the first
+// violation found.
+func CheckCausality(events []Event) error {
+	last := -1.0
+	failedAt := map[int]float64{}
+	for i, e := range events {
+		if e.Time < last {
+			return fmt.Errorf("trace: event %d at %v precedes predecessor at %v", i, e.Time, last)
+		}
+		last = e.Time
+		switch e.Kind {
+		case KindDiskFail:
+			failedAt[e.Disk] = e.Time
+		case KindDetect:
+			f, ok := failedAt[e.Disk]
+			if !ok {
+				return fmt.Errorf("trace: detect of disk %d without failure", e.Disk)
+			}
+			if e.Time < f {
+				return fmt.Errorf("trace: detect of disk %d at %v precedes failure at %v", e.Disk, e.Time, f)
+			}
+		case KindRebuilt:
+			if e.Time < 0 {
+				return fmt.Errorf("trace: rebuild before start")
+			}
+		}
+	}
+	return nil
+}

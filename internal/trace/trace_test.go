@@ -1,0 +1,139 @@
+// Package trace_test lives outside the trace package so the integration
+// test can import internal/core (which itself imports trace) without a
+// cycle.
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	. "repro/internal/trace"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	events := []Event{
+		{Time: 1, Kind: KindDiskFail, Disk: 3, Detail: "blocks=10"},
+		{Time: 1.01, Kind: KindDetect, Disk: 3},
+		{Time: 2, Kind: KindRebuilt, Group: 7, Rep: 1, Disk: 9},
+	}
+	for _, e := range events {
+		rec.Record(e)
+	}
+	if rec.Len() != 3 {
+		t.Fatalf("Len = %d", rec.Len())
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip lost events: %d", len(back))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, back[i], events[i])
+		}
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Time: 1, Kind: KindDiskFail, Disk: 1},
+		{Time: 2, Kind: KindDiskFail, Disk: 2},
+		{Time: 3, Kind: KindDataLoss, Detail: "groups=2"},
+		{Time: 4, Kind: KindRebuilt},
+	}
+	s := Summarize(events)
+	if s.Counts[KindDiskFail] != 2 || s.Counts[KindRebuilt] != 1 {
+		t.Fatalf("counts wrong: %+v", s.Counts)
+	}
+	if s.FirstLossAt != 3 || s.LastEventAt != 4 || s.DistinctDisks != 2 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "first data loss at 3.0 h") {
+		t.Fatalf("summary text wrong:\n%s", buf.String())
+	}
+}
+
+func TestSummarizeNoLoss(t *testing.T) {
+	s := Summarize([]Event{{Time: 1, Kind: KindDiskFail, Disk: 1}})
+	if s.FirstLossAt != -1 {
+		t.Fatal("FirstLossAt should be -1 with no loss")
+	}
+	var buf bytes.Buffer
+	s.WriteSummary(&buf)
+	if !strings.Contains(buf.String(), "no data loss") {
+		t.Fatal("summary should say no data loss")
+	}
+}
+
+func TestCheckCausality(t *testing.T) {
+	good := []Event{
+		{Time: 1, Kind: KindDiskFail, Disk: 1},
+		{Time: 1.5, Kind: KindDetect, Disk: 1},
+		{Time: 2, Kind: KindRebuilt},
+	}
+	if err := CheckCausality(good); err != nil {
+		t.Fatalf("good trace rejected: %v", err)
+	}
+	unsorted := []Event{{Time: 2, Kind: KindDiskFail, Disk: 1}, {Time: 1, Kind: KindDetect, Disk: 1}}
+	if err := CheckCausality(unsorted); err == nil {
+		t.Fatal("unsorted trace accepted")
+	}
+	orphan := []Event{{Time: 1, Kind: KindDetect, Disk: 5}}
+	if err := CheckCausality(orphan); err == nil {
+		t.Fatal("orphan detect accepted")
+	}
+}
+
+func TestSimulatorTraceIsCausal(t *testing.T) {
+	// Integration: a real run's trace passes the causality check and
+	// contains the expected event kinds.
+	cfg := core.DefaultConfig()
+	cfg.TotalDataBytes = 10 * disk.TB
+	cfg.SmartAccuracy = 0.5
+	cfg.SmartLeadHours = 24
+	rec := NewRecorder()
+	cfg.Hook = rec.Record
+	s, err := core.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCausality(rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(rec.Events())
+	if sum.Counts[KindDiskFail] != res.DiskFailures {
+		t.Fatalf("trace has %d failures, result says %d",
+			sum.Counts[KindDiskFail], res.DiskFailures)
+	}
+	if sum.Counts[KindRebuilt] != res.BlocksRebuilt {
+		t.Fatalf("trace has %d rebuilds, result says %d",
+			sum.Counts[KindRebuilt], res.BlocksRebuilt)
+	}
+	if res.PredictedFailures > 0 && sum.Counts[KindSmartWarn] == 0 {
+		t.Fatal("predictions made but no warnings traced")
+	}
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFixed(t *testing.T) {
+	f, err := NewFixed(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RecoveryMBps(0) != 16 || f.RecoveryMBps(1e6) != 16 {
+		t.Fatal("fixed model not constant")
+	}
+	if f.Name() != "fixed" {
+		t.Fatal("name wrong")
+	}
+	if _, err := NewFixed(0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := NewFixed(-4); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+}
+
+func TestNewDiurnalValidation(t *testing.T) {
+	if _, err := NewDiurnal(80, 16, 0.8, 14); err != nil {
+		t.Fatalf("valid diurnal rejected: %v", err)
+	}
+	bad := []struct{ disk, floor, share, peak float64 }{
+		{0, 16, 0.8, 14},
+		{80, 0, 0.8, 14},
+		{80, 100, 0.8, 14}, // floor > disk
+		{80, 16, 1.5, 14},
+		{80, 16, -0.1, 14},
+		{80, 16, 0.8, 24},
+		{80, 16, 0.8, -1},
+	}
+	for i, c := range bad {
+		if _, err := NewDiurnal(c.disk, c.floor, c.share, c.peak); err == nil {
+			t.Errorf("bad diurnal %d accepted", i)
+		}
+	}
+}
+
+func TestDiurnalPeakAndTrough(t *testing.T) {
+	d, err := NewDiurnal(80, 16, 0.8, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the peak hour, users take 80% → recovery gets max(16, 16) = 16.
+	if got := d.RecoveryMBps(14); math.Abs(got-16) > 1e-9 {
+		t.Fatalf("peak recovery = %v, want 16", got)
+	}
+	// Twelve hours later, user share is zero → recovery gets the disk.
+	if got := d.RecoveryMBps(2); math.Abs(got-80) > 1e-9 {
+		t.Fatalf("trough recovery = %v, want 80", got)
+	}
+	if d.Name() != "diurnal" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestDiurnalPeriodicity(t *testing.T) {
+	d, _ := NewDiurnal(80, 16, 0.8, 14)
+	for h := 0.0; h < 24; h += 0.5 {
+		a := d.RecoveryMBps(h)
+		b := d.RecoveryMBps(h + 24*365)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("not 24h-periodic at hour %v: %v vs %v", h, a, b)
+		}
+	}
+}
+
+func TestDiurnalUserShareRange(t *testing.T) {
+	d, _ := NewDiurnal(80, 16, 0.8, 14)
+	for h := 0.0; h < 48; h += 0.25 {
+		s := d.UserShare(h)
+		if s < 0 || s > 0.8+1e-12 {
+			t.Fatalf("user share %v out of [0, 0.8] at hour %v", s, h)
+		}
+	}
+	if got := d.UserShare(14); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("peak share = %v, want 0.8", got)
+	}
+}
+
+func TestDiurnalFloorRespected(t *testing.T) {
+	// Even with crushing user load, recovery keeps its floor.
+	d, _ := NewDiurnal(80, 16, 1.0, 12)
+	for h := 0.0; h < 24; h += 0.1 {
+		if d.RecoveryMBps(h) < 16-1e-9 {
+			t.Fatalf("recovery fell below floor at hour %v", h)
+		}
+	}
+}
+
+func TestMeanRecoveryMBps(t *testing.T) {
+	f, _ := NewFixed(16)
+	if got := MeanRecoveryMBps(f); math.Abs(got-16) > 1e-9 {
+		t.Fatalf("fixed mean = %v", got)
+	}
+	d, _ := NewDiurnal(80, 16, 0.8, 14)
+	mean := MeanRecoveryMBps(d)
+	// Average user share is 0.4, so mean free bandwidth is 48; the floor
+	// only binds near the peak, lifting the mean slightly.
+	if mean < 48-1 || mean > 56 {
+		t.Fatalf("diurnal mean = %v, want ~48-52", mean)
+	}
+	// The adaptive model must beat the paper's fixed reservation.
+	if mean <= 16 {
+		t.Fatal("adaptive model no better than fixed floor")
+	}
+}
+
+// Property: recovery bandwidth is always within [floor, disk] for valid
+// models at any time.
+func TestQuickDiurnalBounds(t *testing.T) {
+	f := func(hour float64, share uint8) bool {
+		d, err := NewDiurnal(80, 16, float64(share%101)/100, 14)
+		if err != nil {
+			return false
+		}
+		got := d.RecoveryMBps(math.Abs(hour))
+		return got >= 16-1e-9 && got <= 80+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeHourHandled(t *testing.T) {
+	d, _ := NewDiurnal(80, 16, 0.8, 14)
+	if got := d.UserShare(-10); got < 0 || got > 0.8 {
+		t.Fatalf("negative hour share = %v", got)
+	}
+}
