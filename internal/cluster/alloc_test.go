@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/redundancy"
+)
+
+// TestFailDiskZeroAlloc is the allocation-regression gate for the
+// per-failure bookkeeping: failing a disk and unlinking its blocks must
+// not touch the heap (the byDisk slice is handed back, group state is
+// updated in the flat arena).
+func TestFailDiskZeroAlloc(t *testing.T) {
+	c, err := New(testConfig(redundancy.Scheme{M: 1, N: 2}, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 50
+	if c.NumDisks() < runs+2 {
+		t.Fatalf("cluster too small for the test: %d disks", c.NumDisks())
+	}
+	next := 0
+	if n := testing.AllocsPerRun(runs, func() {
+		c.FailDisk(next, float64(next))
+		next++
+	}); n != 0 {
+		t.Fatalf("FailDisk allocates %v times per run, want 0", n)
+	}
+}
+
+// TestRecoveryTargetSelectionZeroAlloc gates the steady-state rebuild
+// targeting path: filling the reusable buddy-exclusion scratch and
+// walking the candidate stream must be allocation-free.
+func TestRecoveryTargetSelectionZeroAlloc(t *testing.T) {
+	c, err := New(testConfig(redundancy.Scheme{M: 1, N: 3}, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail one disk so there are genuinely missing blocks to target.
+	lost, _ := c.FailDisk(1, 0)
+	if len(lost) == 0 {
+		t.Fatal("disk 1 held no blocks")
+	}
+	ref := lost[0]
+	// Warm the scratch once (first use sizes it to the disk population).
+	c.BuddyExcludes(int(ref.Group))
+	if n := testing.AllocsPerRun(100, func() {
+		ex := c.BuddyExcludes(int(ref.Group))
+		if _, _, err := c.Hasher().RecoveryTarget(
+			c, uint64(ref.Group), int(ref.Rep), c.BlockBytes, ex, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("recovery-target selection allocates %v times per run, want 0", n)
+	}
+}
+
+// TestBuddyExcludesMatchesGroupState pins BuddyExcludes semantics: the
+// scratch must contain exactly the disks holding intact blocks of the
+// group, and a following call for another group must fully supersede it.
+func TestBuddyExcludesMatchesGroupState(t *testing.T) {
+	c, err := New(testConfig(redundancy.Scheme{M: 1, N: 3}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := func(ds []int32, id int) bool {
+		for _, d := range ds {
+			if int(d) == id {
+				return true
+			}
+		}
+		return false
+	}
+	for g := 0; g < 10; g++ {
+		ex := c.BuddyExcludes(g)
+		for id := 0; id < c.NumDisks(); id++ {
+			want := in(c.Groups[g].Disks, id)
+			if got := ex.Excluded(id); got != want {
+				t.Fatalf("group %d disk %d: excluded=%v want %v", g, id, got, want)
+			}
+		}
+	}
+	// Epoch reuse: the next call must clear the previous group's marks.
+	first := c.BuddyExcludes(0)
+	d0 := int(c.Groups[0].Disks[0])
+	second := c.BuddyExcludes(1)
+	if first != second {
+		t.Fatal("BuddyExcludes must return the shared scratch")
+	}
+	if !in(c.Groups[1].Disks, d0) && second.Excluded(d0) {
+		t.Fatal("stale exclusion survived epoch reset")
+	}
+}

@@ -82,6 +82,10 @@ type Cluster struct {
 	Disks      []*disk.Drive
 	Groups     []Group
 	hasher     *placement.Hasher
+	// groupDisks is the flat arena backing every Group.Disks slice: one
+	// []int32 of NumGroups×N words allocated at build instead of one
+	// slice header + backing array per group.
+	groupDisks []int32
 	// byDisk[d] lists the blocks resident on disk d.
 	byDisk [][]BlockRef
 	// aliveCount tracks the alive drive population.
@@ -90,8 +94,13 @@ type Cluster struct {
 	LostGroups int
 	// suspect flags drives a health monitor (S.M.A.R.T., §2.3) expects
 	// to fail; suspects are excluded from placement and recovery-target
-	// choice and are typically being drained.
-	suspect map[int]bool
+	// choice and are typically being drained. One bit per disk slot.
+	suspect []uint64
+	// excl is the reusable epoch-stamped exclusion scratch handed to
+	// recovery-target selection; resetting it is O(1) and refilling it
+	// allocates nothing, so steady-state rebuild targeting produces no
+	// garbage (the former per-rebuild map[int]bool did).
+	excl placement.ExcludeSet
 }
 
 // ErrBuild reports that initial placement could not complete.
@@ -104,26 +113,41 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	numDisks := cfg.DisksFor()
+	n := cfg.Scheme.N
 	c := &Cluster{
 		Cfg:        cfg,
 		BlockBytes: cfg.Scheme.BlockBytes(cfg.GroupBytes),
 		Disks:      make([]*disk.Drive, numDisks),
 		Groups:     make([]Group, cfg.NumGroups),
 		hasher:     placement.NewHasher(cfg.PlacementSeed),
+		groupDisks: make([]int32, cfg.NumGroups*n),
 		byDisk:     make([][]BlockRef, numDisks),
 		aliveCount: numDisks,
+		suspect:    make([]uint64, (numDisks+63)/64),
 	}
 	for i := range c.Disks {
 		c.Disks[i] = disk.NewDrive(i, cfg.DiskModel, 0)
 	}
-	n := cfg.Scheme.N
+	// Pre-reserve every per-disk block index at the expected
+	// blocks-per-disk (with slack for placement jitter) so the build loop
+	// never regrows them; placement is near-balanced, so overflow past
+	// the slack is rare and handled by the ordinary append path.
+	totalBlocks := cfg.NumGroups * n
+	est := totalBlocks/numDisks + 1
+	est += est/4 + 2
+	for d := range c.byDisk {
+		c.byDisk[d] = make([]BlockRef, 0, est)
+	}
+	// One reusable placement buffer for the whole build: with the flat
+	// group arena this makes the per-group loop allocation-free.
+	idsBuf := make([]int, 0, n)
 	for g := range c.Groups {
-		ids, err := c.hasher.PlaceGroup(c, uint64(g), n, c.BlockBytes)
+		ids, err := c.hasher.PlaceGroupInto(c, uint64(g), n, c.BlockBytes, idsBuf)
 		if err != nil {
 			return nil, fmt.Errorf("%w: group %d: %v", ErrBuild, g, err)
 		}
 		grp := &c.Groups[g]
-		grp.Disks = make([]int32, n)
+		grp.Disks = c.groupDisks[g*n : (g+1)*n : (g+1)*n]
 		grp.Available = int32(n)
 		for rep, id := range ids {
 			grp.Disks[rep] = int32(id)
@@ -145,20 +169,27 @@ func (c *Cluster) NumDisks() int { return len(c.Disks) }
 // not suspected of imminent failure, and with space.
 func (c *Cluster) Eligible(id int, size int64) bool {
 	d := c.Disks[id]
-	return d.State == disk.Alive && !c.suspect[id] && d.FreeBytes() >= size
+	return d.State == disk.Alive && !c.isSuspect(id) && d.FreeBytes() >= size
+}
+
+// isSuspect tests the suspect bit without bounds surprises.
+func (c *Cluster) isSuspect(id int) bool {
+	w := id >> 6
+	return w < len(c.suspect) && c.suspect[w]&(1<<(uint(id)&63)) != 0
 }
 
 // MarkSuspect flags a drive as expected to fail (a S.M.A.R.T. warning):
 // no new data — placed, recovered, or migrated — will be directed to it.
 func (c *Cluster) MarkSuspect(id int) {
-	if c.suspect == nil {
-		c.suspect = make(map[int]bool)
+	w := id >> 6
+	for w >= len(c.suspect) {
+		c.suspect = append(c.suspect, 0)
 	}
-	c.suspect[id] = true
+	c.suspect[w] |= 1 << (uint(id) & 63)
 }
 
 // IsSuspect reports whether a drive carries a health warning.
-func (c *Cluster) IsSuspect(id int) bool { return c.suspect[id] }
+func (c *Cluster) IsSuspect(id int) bool { return c.isSuspect(id) }
 
 // UsedBytes returns bytes stored on disk id.
 func (c *Cluster) UsedBytes(id int) int64 { return c.Disks[id].UsedBytes }
@@ -258,18 +289,22 @@ func (c *Cluster) SourceFor(group int, exclude int) int {
 	return -1
 }
 
-// BuddyDisks returns the set of disks holding intact blocks of group —
-// the exclusion set for recovery-target choice (rule (b): a target must
-// not already hold a block of the group).
-func (c *Cluster) BuddyDisks(group int) map[int]bool {
+// BuddyExcludes returns the cluster's reusable exclusion scratch reset
+// and filled with the disks holding intact blocks of group — the
+// exclusion set for recovery-target choice (rule (b): a target must not
+// already hold a block of the group). The returned set is owned by the
+// cluster and valid until the next BuddyExcludes call; callers may Add
+// further exclusions (e.g. in-flight rebuild targets) before use. The
+// call performs no allocation in steady state.
+func (c *Cluster) BuddyExcludes(group int) *placement.ExcludeSet {
+	c.excl.Reset(len(c.Disks))
 	grp := &c.Groups[group]
-	out := make(map[int]bool, len(grp.Disks))
 	for _, d := range grp.Disks {
 		if d >= 0 {
-			out[int(d)] = true
+			c.excl.Add(int(d))
 		}
 	}
-	return out
+	return &c.excl
 }
 
 // AddDisks appends fresh drives entering service at bornAt (a replacement

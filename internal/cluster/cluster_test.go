@@ -191,15 +191,15 @@ func TestRecoveryCycle(t *testing.T) {
 		if src < 0 {
 			t.Fatalf("no source for group %d after single failure", g)
 		}
-		buddies := c.BuddyDisks(g)
-		if buddies[2] {
+		buddies := c.BuddyExcludes(g)
+		if buddies.Excluded(2) {
 			t.Fatal("failed disk still in buddy set")
 		}
 		target, _, err := c.Hasher().RecoveryTarget(c, uint64(g), int(ref.Rep), c.BlockBytes, buddies, 0)
 		if err != nil {
 			t.Fatalf("no recovery target: %v", err)
 		}
-		if buddies[target] || target == 2 {
+		if buddies.Excluded(target) || target == 2 {
 			t.Fatalf("target %d violates rules", target)
 		}
 		if !c.ReserveTarget(target) {

@@ -100,7 +100,7 @@ func TestUtilizationConservation(t *testing.T) {
 	// Fail a disk, manually restore every block, re-check.
 	lost, _ := c.FailDisk(0, 1)
 	for _, ref := range lost {
-		buddies := c.BuddyDisks(int(ref.Group))
+		buddies := c.BuddyExcludes(int(ref.Group))
 		target, _, err := c.Hasher().RecoveryTarget(c, uint64(ref.Group), int(ref.Rep), c.BlockBytes, buddies, 0)
 		if err != nil {
 			t.Fatal(err)

@@ -394,7 +394,7 @@ func (st *runState) drainStep(now sim.Time, id int) {
 	}
 	ref := blocks[0]
 	group := int(ref.Group)
-	exclude := st.cl.BuddyDisks(group)
+	exclude := st.cl.BuddyExcludes(group)
 	target, _, err := st.cl.Hasher().RecoveryTarget(
 		st.cl, uint64(group), int(ref.Rep), st.cl.BlockBytes, exclude, 0)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/disk"
@@ -228,6 +229,39 @@ func TestMonteCarloDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if a.PLoss != b.PLoss || a.DiskFailures.Mean() != b.DiskFailures.Mean() {
 		t.Fatal("results depend on worker count")
+	}
+}
+
+// TestMonteCarloByteIdenticalAcrossWorkers is the reproducibility gate
+// for the streaming aggregation: the *entire* Result — every Welford
+// accumulator bit included — must be identical for a fixed
+// (cfg, BaseSeed, Runs) no matter how many workers computed it. The
+// ordered fold guarantees this; a per-worker partial merge would not
+// (Welford updates are not associative in floating point).
+func TestMonteCarloByteIdenticalAcrossWorkers(t *testing.T) {
+	cfg := smallConfig()
+	const runs = 16
+	ref, err := MonteCarlo(cfg, MonteCarloOptions{Runs: runs, BaseSeed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := MonteCarlo(cfg, MonteCarloOptions{Runs: runs, BaseSeed: 42, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("Result differs between Workers=1 and Workers=%d:\n%+v\nvs\n%+v",
+				workers, ref, got)
+		}
+	}
+	// And the whole thing is reproducible run-to-run.
+	again, err := MonteCarlo(cfg, MonteCarloOptions{Runs: runs, BaseSeed: 42, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, again) {
+		t.Fatal("repeated campaign not reproducible")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 )
@@ -52,7 +53,7 @@ type MonteCarloOptions struct {
 	// BaseSeed derives per-run seeds; run i uses BaseSeed + i.
 	BaseSeed uint64
 	// Progress, when non-nil, receives the completed-run count as runs
-	// finish (monotone but unordered arrival).
+	// are folded into the aggregate (monotone, in run order).
 	Progress func(done, total int)
 }
 
@@ -60,9 +61,27 @@ type MonteCarloOptions struct {
 var ErrNoRuns = errors.New("core: MonteCarlo needs at least one run")
 
 // MonteCarlo executes opts.Runs independent trajectories of cfg in
-// parallel and aggregates them. Each run gets its own seeded RNG stream;
-// results are deterministic for a fixed (cfg, BaseSeed, Runs) regardless
-// of worker count.
+// parallel and aggregates them streamingly. Each run gets its own seeded
+// RNG stream.
+//
+// Work distribution is an atomic claim index: workers grab the next run
+// number with a single fetch-add, so there is no dispatch channel and no
+// O(Runs) result buffer. Aggregation is a streaming fold with a bounded
+// reorder window: finished runs are deposited into a ring of
+// O(workers) slots and folded into the single Result accumulator in
+// strict run-index order. Folding in index order makes the floating-point
+// reduction identical to a sequential loop — Welford updates are not
+// associative, so any scheme that merges per-worker partials in worker
+// order would drift with the (nondeterministic) run→worker assignment.
+// Here the output is byte-identical for a fixed (cfg, BaseSeed, Runs)
+// regardless of worker count, using O(workers) memory instead of the
+// former O(Runs) result array.
+//
+// Backpressure: a worker whose finished run is more than a window ahead
+// of the fold frontier waits; the run at the frontier is always either
+// being computed or being deposited by some worker (indices are claimed
+// in increasing order, one at a time per worker), so the fold always
+// advances and no deadlock is possible.
 func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 	if opts.Runs <= 0 {
 		return Result{}, ErrNoRuns
@@ -78,47 +97,80 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 		workers = opts.Runs
 	}
 
-	type item struct {
-		res RunResult
-		err error
+	type slot struct {
+		res   RunResult
+		err   error
+		ready bool
 	}
-	results := make([]item, opts.Runs)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	var doneMu sync.Mutex
-	done := 0
+	window := 4 * workers
+	if window < 8 {
+		window = 8
+	}
+	ring := make([]slot, window)
 
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				runCfg := cfg
-				runCfg.Seed = opts.BaseSeed + uint64(i)
-				res, err := runOnce(runCfg)
-				results[i] = item{res: res, err: err}
+	var (
+		next    atomic.Int64 // next run index to claim
+		mu      sync.Mutex   // guards ring, reduced, out, firstErr
+		reduced int          // fold frontier: runs folded so far
+		out     Result
+		runErr  error
+		wg      sync.WaitGroup
+	)
+	cond := sync.NewCond(&mu)
+
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= opts.Runs {
+				return
+			}
+			runCfg := cfg
+			runCfg.Seed = opts.BaseSeed + uint64(i)
+			res, err := runOnce(runCfg)
+
+			mu.Lock()
+			for runErr == nil && i-reduced >= window {
+				cond.Wait()
+			}
+			if runErr != nil {
+				mu.Unlock()
+				return
+			}
+			s := &ring[i%window]
+			s.res, s.err, s.ready = res, err, true
+			// Fold the ready prefix in run-index order.
+			for {
+				cur := &ring[reduced%window]
+				if !cur.ready {
+					break
+				}
+				if cur.err != nil {
+					runErr = cur.err
+					// Fast-forward the claim index so idle workers exit.
+					next.Store(int64(opts.Runs))
+					break
+				}
+				out.add(&cur.res)
+				cur.ready = false
+				cur.res = RunResult{}
+				reduced++
 				if opts.Progress != nil {
-					doneMu.Lock()
-					done++
-					d := done
-					doneMu.Unlock()
-					opts.Progress(d, opts.Runs)
+					opts.Progress(reduced, opts.Runs)
 				}
 			}
-		}()
-	}
-	for i := 0; i < opts.Runs; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	var out Result
-	for i := range results {
-		if results[i].err != nil {
-			return Result{}, results[i].err
+			cond.Broadcast()
+			mu.Unlock()
 		}
-		out.add(&results[i].res)
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return Result{}, runErr
 	}
 	out.finish()
 	return out, nil

@@ -46,17 +46,15 @@ func (rs *ReedSolomon) Name() string { return fmt.Sprintf("%d/%d", rs.m, rs.n) }
 
 // Encode fills the k check shards from the m data shards.
 func (rs *ReedSolomon) Encode(shards [][]byte) error {
-	size, err := shardSize(shards, rs.n, rs.n)
-	if err != nil {
+	if _, err := shardSize(shards, rs.n, rs.n); err != nil {
 		return err
 	}
 	for c := rs.m; c < rs.n; c++ {
 		row := rs.gen.Row(c)
 		out := shards[c]
-		for i := 0; i < size; i++ {
-			out[i] = 0
-		}
-		for d := 0; d < rs.m; d++ {
+		// Row 0 assigns (no zeroing pass over out), the rest accumulate.
+		gf256.MulSliceAssign(row[0], shards[0], out)
+		for d := 1; d < rs.m; d++ {
 			gf256.MulSlice(row[d], shards[d], out)
 		}
 	}
@@ -100,8 +98,9 @@ func (rs *ReedSolomon) Reconstruct(shards [][]byte) error {
 		}
 		row := inv.Row(d)
 		out := make([]byte, size)
-		for j, idx := range present {
-			gf256.MulSlice(row[j], shards[idx], out)
+		gf256.MulSliceAssign(row[0], shards[present[0]], out)
+		for j := 1; j < len(present); j++ {
+			gf256.MulSlice(row[j], shards[present[j]], out)
 		}
 		data[d] = out
 		shards[d] = out
@@ -113,7 +112,8 @@ func (rs *ReedSolomon) Reconstruct(shards [][]byte) error {
 		}
 		row := rs.gen.Row(c)
 		out := make([]byte, size)
-		for d := 0; d < rs.m; d++ {
+		gf256.MulSliceAssign(row[0], data[0], out)
+		for d := 1; d < rs.m; d++ {
 			gf256.MulSlice(row[d], data[d], out)
 		}
 		shards[c] = out
@@ -130,10 +130,8 @@ func (rs *ReedSolomon) Verify(shards [][]byte) (bool, error) {
 	buf := make([]byte, size)
 	for c := rs.m; c < rs.n; c++ {
 		row := rs.gen.Row(c)
-		for i := range buf {
-			buf[i] = 0
-		}
-		for d := 0; d < rs.m; d++ {
+		gf256.MulSliceAssign(row[0], shards[0], buf)
+		for d := 1; d < rs.m; d++ {
 			gf256.MulSlice(row[d], shards[d], buf)
 		}
 		for i, b := range shards[c] {

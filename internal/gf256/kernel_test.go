@@ -1,0 +1,117 @@
+package gf256
+
+import "testing"
+
+// mulRef is the definitional product via log/exp tables, the oracle for
+// the word-wide kernel.
+func mulRef(c, s byte) byte { return Mul(c, s) }
+
+// TestMulSliceAllCoefficientsAndTails drives the word-wide kernel across
+// every coefficient and a range of lengths that exercise both the 8-byte
+// main loop and the scalar tail, including misaligned (non-multiple-of-8)
+// sizes.
+func TestMulSliceAllCoefficientsAndTails(t *testing.T) {
+	lengths := []int{0, 1, 7, 8, 9, 15, 16, 33, 64, 100}
+	for c := 0; c < 256; c++ {
+		for _, n := range lengths {
+			src := make([]byte, n)
+			dst := make([]byte, n)
+			want := make([]byte, n)
+			for i := range src {
+				src[i] = byte(i*37 + c)
+				dst[i] = byte(i * 11)
+				want[i] = dst[i] ^ mulRef(byte(c), src[i])
+			}
+			MulSlice(byte(c), src, dst)
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Fatalf("c=%d n=%d: dst[%d] = %d, want %d", c, n, i, dst[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNibbleTableComposition pins the table construction: the flat
+// product rows must equal the XOR of the two 16-entry nibble planes, and
+// both must agree with the definitional multiply.
+func TestNibbleTableComposition(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		for s := 0; s < 256; s++ {
+			want := mulRef(byte(c), byte(s))
+			if got := mulNibLow[c][s&15] ^ mulNibHigh[c][s>>4]; got != want {
+				t.Fatalf("nibble tables: %d*%d = %d, want %d", c, s, got, want)
+			}
+			if got := mulTable[c][s]; got != want {
+				t.Fatalf("product row: %d*%d = %d, want %d", c, s, got, want)
+			}
+		}
+	}
+}
+
+func TestXorSlice(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 31, 64, 129} {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		want := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i * 13)
+			dst[i] = byte(i * 7)
+			want[i] = src[i] ^ dst[i]
+		}
+		XorSlice(src, dst)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: dst[%d] = %d, want %d", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestXorSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	XorSlice([]byte{1, 2}, []byte{1})
+}
+
+// TestMulSliceZeroAlloc is the allocation-regression gate for the erasure
+// inner loop: the kernel must not touch the heap.
+func TestMulSliceZeroAlloc(t *testing.T) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		MulSlice(0x8e, src, dst)
+		MulSlice(1, src, dst)
+	}); n != 0 {
+		t.Fatalf("MulSlice allocates %v times per run, want 0", n)
+	}
+}
+
+func BenchmarkMulSlice64K(b *testing.B) {
+	src := make([]byte, 64<<10)
+	dst := make([]byte, 64<<10)
+	for i := range src {
+		src[i] = byte(i * 2654435761)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulSlice(0x8e, src, dst)
+	}
+}
+
+func BenchmarkXorSlice64K(b *testing.B) {
+	src := make([]byte, 64<<10)
+	dst := make([]byte, 64<<10)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		XorSlice(src, dst)
+	}
+}

@@ -113,6 +113,14 @@ func (p *Proportion) Add(success bool) {
 	}
 }
 
+// Merge folds another accumulator into this one (parallel reduction).
+// Integer counts make the merge exact and order-independent, unlike
+// Welford.Merge.
+func (p *Proportion) Merge(o *Proportion) {
+	p.Successes += o.Successes
+	p.Trials += o.Trials
+}
+
 // Estimate returns the point estimate successes/trials (0 for no trials).
 func (p *Proportion) Estimate() float64 {
 	if p.Trials == 0 {

@@ -250,3 +250,27 @@ func TestQuickMergeEquivalence(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestProportionMerge(t *testing.T) {
+	var a, b, whole Proportion
+	outcomes := []bool{true, false, false, true, true, false, false, false, true, false}
+	for i, o := range outcomes {
+		whole.Add(o)
+		if i < 4 {
+			a.Add(o)
+		} else {
+			b.Add(o)
+		}
+	}
+	a.Merge(&b)
+	if a != whole {
+		t.Fatalf("merged proportion %+v, want %+v", a, whole)
+	}
+	// Merging an empty accumulator is a no-op.
+	var empty Proportion
+	before := a
+	a.Merge(&empty)
+	if a != before {
+		t.Fatal("merge with empty changed the accumulator")
+	}
+}

@@ -1,6 +1,10 @@
 package objstore
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/placement"
+)
 
 // FailDisk takes a virtual disk out of service, dropping its shards. It
 // returns the number of shards lost. Reads continue in degraded mode as
@@ -78,7 +82,7 @@ func (s *Store) Recover() RecoverStats {
 		}
 		for _, rep := range missing {
 			target, _, err := s.hasher.RecoveryTarget(
-				storeView{s}, uint64(col.id), rep, int64(s.shardBytes), exclude, 0)
+				storeView{s}, uint64(col.id), rep, int64(s.shardBytes), placement.MapExcluder(exclude), 0)
 			if err != nil {
 				stats.Unrecoverable++
 				continue

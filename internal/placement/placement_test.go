@@ -169,7 +169,7 @@ func TestPlaceGroupFailsWhenImpossible(t *testing.T) {
 func TestRecoveryTargetRules(t *testing.T) {
 	h := NewHasher(23)
 	v := newFakeView(50, 100)
-	exclude := map[int]bool{}
+	exclude := MapExcluder{}
 	id, trial, err := h.RecoveryTarget(v, 9, 1, 10, exclude, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +188,7 @@ func TestRecoveryTargetRules(t *testing.T) {
 	}
 	// Redirection: resuming past the first trial never returns to it
 	// unless it reappears later in the stream.
-	id3, _, err := h.RecoveryTarget(v, 9, 1, 10, map[int]bool{}, trial+1)
+	id3, _, err := h.RecoveryTarget(v, 9, 1, 10, MapExcluder{}, trial+1)
 	if err != nil {
 		t.Fatal(err)
 	}

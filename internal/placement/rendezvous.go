@@ -10,7 +10,10 @@
 // pick the disk within the sub-cluster by uniform hashing.
 package placement
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // SubCluster is one batch of disks added to the system together,
 // weighted by its capacity share (the paper's §3.6: "the reorganization
@@ -93,12 +96,20 @@ func (r *Rendezvous) Locate(key uint64, trial int) int {
 	return c.FirstDisk + int(h%uint64(c.Disks))
 }
 
-// SubClusterOf reports which batch holds a disk ID, or -1.
+// SubClusterOf reports which batch holds a disk ID, or -1. Sub-clusters
+// are contiguous and sorted by FirstDisk by construction (Add appends
+// monotonically), so a binary search over FirstDisk finds the batch in
+// O(log batches) instead of the former linear scan.
 func (r *Rendezvous) SubClusterOf(disk int) int {
-	for i, c := range r.clusters {
-		if disk >= c.FirstDisk && disk < c.FirstDisk+c.Disks {
-			return i
-		}
+	if disk < 0 || disk >= r.NumDisks() {
+		return -1
 	}
-	return -1
+	// First batch whose FirstDisk exceeds disk; the one before holds it.
+	i := sort.Search(len(r.clusters), func(i int) bool {
+		return r.clusters[i].FirstDisk > disk
+	}) - 1
+	if i < 0 {
+		return -1
+	}
+	return i
 }

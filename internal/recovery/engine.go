@@ -76,10 +76,18 @@ type base struct {
 	bySource map[int][]*rebuild
 	byTarget map[int][]*rebuild
 	// perGroupTargets tracks in-flight rebuild targets per group so two
-	// rebuilds of one group never pick the same disk.
-	perGroupTargets map[int]map[int]bool
+	// rebuilds of one group never pick the same disk. Values are tiny
+	// (at most the group's missing-block count), so a slice with
+	// swap-remove beats a nested map; emptied slices keep their backing
+	// array for reuse, so steady-state tracking allocates nothing.
+	perGroupTargets map[int][]int
 	// observer, when set, sees rebuilt/dropped block events.
 	observer func(now sim.Time, kind string, group, rep, diskID int)
+	// scratchSrc/scratchTgt are reusable buffers for rebuildsTouching:
+	// handlers mutate the underlying indexes while iterating, so the
+	// lists are copied — into these, not fresh slices.
+	scratchSrc []*rebuild
+	scratchTgt []*rebuild
 }
 
 func newBase(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload.BandwidthModel) base {
@@ -90,7 +98,7 @@ func newBase(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload
 		bw:              bw,
 		bySource:        make(map[int][]*rebuild),
 		byTarget:        make(map[int][]*rebuild),
-		perGroupTargets: make(map[int]map[int]bool),
+		perGroupTargets: make(map[int][]int),
 	}
 }
 
@@ -118,22 +126,21 @@ func (b *base) blockDuration() sim.Time {
 func (b *base) track(r *rebuild) {
 	b.bySource[r.task.Source] = append(b.bySource[r.task.Source], r)
 	b.byTarget[r.task.Target] = append(b.byTarget[r.task.Target], r)
-	tg := b.perGroupTargets[r.task.Group]
-	if tg == nil {
-		tg = make(map[int]bool, 2)
-		b.perGroupTargets[r.task.Group] = tg
-	}
-	tg[r.task.Target] = true
+	b.perGroupTargets[r.task.Group] = append(b.perGroupTargets[r.task.Group], r.task.Target)
 }
 
 // untrack removes a rebuild from the disk indexes.
 func (b *base) untrack(r *rebuild) {
 	b.bySource[r.task.Source] = removeRebuild(b.bySource[r.task.Source], r)
 	b.byTarget[r.task.Target] = removeRebuild(b.byTarget[r.task.Target], r)
-	if tg := b.perGroupTargets[r.task.Group]; tg != nil {
-		delete(tg, r.task.Target)
-		if len(tg) == 0 {
-			delete(b.perGroupTargets, r.task.Group)
+	tg := b.perGroupTargets[r.task.Group]
+	for i, t := range tg {
+		if t == r.task.Target {
+			tg[i] = tg[len(tg)-1]
+			// Keep the emptied slice in the map: its backing array is
+			// reused by the next rebuild of this group.
+			b.perGroupTargets[r.task.Group] = tg[:len(tg)-1]
+			break
 		}
 	}
 }
@@ -204,9 +211,12 @@ func (b *base) resource(r *rebuild) {
 }
 
 // rebuildsTouching returns copies of the rebuild lists for a disk, since
-// handlers mutate the underlying indexes.
+// handlers mutate the underlying indexes. The copies live in reusable
+// scratch buffers owned by the engine (valid until the next call); the
+// simulation loop is single-threaded and handlers do not re-enter, so
+// one pair of buffers suffices and steady state allocates nothing.
 func (b *base) rebuildsTouching(diskID int) (asSource, asTarget []*rebuild) {
-	asSource = append([]*rebuild(nil), b.bySource[diskID]...)
-	asTarget = append([]*rebuild(nil), b.byTarget[diskID]...)
-	return
+	b.scratchSrc = append(b.scratchSrc[:0], b.bySource[diskID]...)
+	b.scratchTgt = append(b.scratchTgt[:0], b.byTarget[diskID]...)
+	return b.scratchSrc, b.scratchTgt
 }

@@ -74,11 +74,13 @@ func (f *FARM) startRebuild(failedAt sim.Time, group, rep int) {
 
 // pickTarget applies the paper's rules via the placement candidate stream,
 // additionally excluding targets already claimed by in-flight rebuilds of
-// the same group. It reserves space on the chosen disk.
+// the same group. It reserves space on the chosen disk. The exclusion set
+// is the cluster's reusable epoch-stamped scratch, so the steady-state
+// path performs no allocation.
 func (f *FARM) pickTarget(group, rep, startTrial int) (target, trial int, ok bool) {
-	exclude := f.cl.BuddyDisks(group)
-	for t := range f.perGroupTargets[group] {
-		exclude[t] = true
+	exclude := f.cl.BuddyExcludes(group)
+	for _, t := range f.perGroupTargets[group] {
+		exclude.Add(t)
 	}
 	target, trial, err := f.cl.Hasher().RecoveryTarget(
 		f.cl, uint64(group), rep, f.cl.BlockBytes, exclude, startTrial)

@@ -1,0 +1,55 @@
+#!/bin/sh
+# bench.sh — run the hot-path benchmarks and record the results as JSON.
+#
+# Runs the six named benchmarks that gate the simulator's performance
+# trajectory, each with -benchmem -count=5, and writes BENCH_1.json at
+# the repository root mapping benchmark name -> {ns/op, B/op, allocs/op}.
+# For each metric the minimum over the five repetitions is kept: minima
+# are the standard noise-robust summary for wall-clock benchmarks, and
+# B/op / allocs/op are deterministic anyway.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_1.json}"
+
+pattern='^(BenchmarkTable2BaseSystemBuild|BenchmarkSingleRunFARM|BenchmarkFailDiskAndIndex|BenchmarkPlacementCandidate|BenchmarkErasureEncodeRS8of10|BenchmarkEventQueue)$'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running hot-path benchmarks (count=5)..." >&2
+go test -run '^$' -bench "$pattern" -benchmem -count=5 . | tee "$raw" >&2
+
+# Parse `go test -bench` output lines, e.g.
+#   BenchmarkSingleRunFARM-8  422  2504567 ns/op  0.0 ploss_pct  913456 B/op  8886 allocs/op
+# Token-scan for the value preceding each unit so custom metrics
+# (ploss_pct) and varying GOMAXPROCS suffixes do not break parsing.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bp = $(i-1)
+        if ($i == "allocs/op") ap = $(i-1)
+    }
+    if (!(name in seen) || ns + 0 < min_ns[name] + 0) min_ns[name] = ns
+    if (!(name in seen) || bp + 0 < min_bp[name] + 0) min_bp[name] = bp
+    if (!(name in seen) || ap + 0 < min_ap[name] + 0) min_ap[name] = ap
+    if (!(name in seen)) order[++n] = name
+    seen[name] = 1
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns/op\": %s, \"B/op\": %s, \"allocs/op\": %s}%s\n", \
+            name, min_ns[name], min_bp[name], min_ap[name], (i < n ? "," : "")
+    }
+    printf "}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out" >&2
+cat "$out"
