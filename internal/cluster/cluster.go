@@ -235,6 +235,38 @@ func (c *Cluster) FailDisk(id int, now float64) (lost []BlockRef, newlyDead int)
 	return lost, newlyDead
 }
 
+// CorruptBlock unlinks a single damaged replica — a discovered latent
+// sector error: the resident disk loses the block (and its bytes), group
+// availability drops, and the group latches Lost if it fell below m.
+// Returns the disk that held the block (-1 if the block was already
+// missing, a no-op) and whether the group newly crossed into data loss.
+func (c *Cluster) CorruptBlock(ref BlockRef) (onDisk int, newlyDead bool) {
+	grp := &c.Groups[ref.Group]
+	d := grp.Disks[ref.Rep]
+	if d < 0 {
+		return -1, false
+	}
+	list := c.byDisk[d]
+	for i, r := range list {
+		if r == ref {
+			list[i] = list[len(list)-1]
+			c.byDisk[d] = list[:len(list)-1]
+			break
+		}
+	}
+	if c.Disks[d].State == disk.Alive {
+		c.Disks[d].Release(c.BlockBytes)
+	}
+	grp.Disks[ref.Rep] = -1
+	grp.Available--
+	if !grp.Lost && c.Cfg.Scheme.Lost(int(grp.Available)) {
+		grp.Lost = true
+		c.LostGroups++
+		return int(d), true
+	}
+	return int(d), false
+}
+
 // RetireDisk removes a drive from service without data loss accounting
 // (used by replacement policies after its data has been migrated).
 func (c *Cluster) RetireDisk(id int) {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/disk"
+	"repro/internal/faults"
 	"repro/internal/recovery"
 	"repro/internal/redundancy"
 	"repro/internal/replace"
@@ -82,6 +83,13 @@ type Config struct {
 	// prediction.
 	SmartAccuracy  float64
 	SmartLeadHours float64
+	// Faults configures deterministic fault injection: latent sector
+	// errors with optional scrubbing, correlated failure bursts,
+	// transient rebuild-read faults, and a finite spare pool. The zero
+	// value disables injection entirely and leaves every existing
+	// experiment byte-identical for the same seed (the injector draws
+	// from its own stream split off the run seed).
+	Faults faults.Config
 	// Seed drives all randomness of the run.
 	Seed uint64
 	// CollectUtilization records per-disk used bytes at build time and
@@ -145,7 +153,7 @@ func (c Config) Validate() error {
 	case c.SmartLeadHours < 0:
 		return errors.New("core: negative smart lead")
 	}
-	return nil
+	return c.Faults.Validate()
 }
 
 // NumGroups returns the redundancy-group count the config implies.
@@ -204,6 +212,27 @@ type RunResult struct {
 	// drives before they died.
 	PredictedFailures int
 	DrainedBlocks     int
+	// Fault-injection accounting (zero unless cfg.Faults is enabled).
+	// LSEInjected counts latent sector errors that arrived; LSEDetected
+	// counts those discovered by rebuild reads; ScrubFound counts those
+	// discovered (and queued for repair) by the scrubber. Undiscovered
+	// errors either die with their disk or silently ride to the horizon.
+	LSEInjected int
+	LSEDetected int
+	ScrubFound  int
+	// RebuildRetries counts backed-off re-attempts after transient
+	// source-read faults; TransientFaults counts the faults themselves;
+	// Resourcings counts rebuilds that switched source.
+	RebuildRetries  int
+	TransientFaults int
+	Resourcings     int
+	// Bursts counts correlated-failure bursts; BurstKills counts the
+	// drive deaths they injected (some may coincide with natural deaths).
+	Bursts     int
+	BurstKills int
+	// QueuedSpareJobs counts recovery jobs that waited for an exhausted
+	// spare pool (traditional engine with a finite pool).
+	QueuedSpareJobs int
 	// InitialUsedBytes and FinalUsedBytes are per-disk-slot utilization
 	// snapshots, present only when CollectUtilization is set. Final
 	// covers all slots ever provisioned (0 for dead drives).
@@ -275,6 +304,7 @@ func runOnce(cfg Config) (RunResult, error) {
 		ids := cl.AddDisks(1, float64(now))
 		sched.Grow(cl.NumDisks())
 		st.scheduleFailure(ids[0])
+		st.armLSE(ids[0])
 		return ids[0]
 	}
 	var bw workload.BandwidthModel = workload.Fixed{MBps: cfg.RecoveryMBps}
@@ -308,6 +338,31 @@ func runOnce(cfg Config) (RunResult, error) {
 		st.scheduleFailure(id)
 	}
 
+	// Fault injection rides on its own stream split off the run seed, so
+	// the zero config leaves the base simulation untouched.
+	if cfg.Faults.Enabled() {
+		inj, ierr := faults.NewInjector(cfg.Faults, cfg.Seed^0xbad5ec70bad5ec70)
+		if ierr != nil {
+			return RunResult{}, ierr
+		}
+		st.inj = inj
+		inj.SetDiscoveryHandler(st.onLatentDiscovered)
+		st.engine.SetFaultModel(inj)
+		if sp, ok := st.engine.(*recovery.SpareDisk); ok && cfg.Faults.SparePoolSize > 0 {
+			eff := inj.Config()
+			sp.ConfigureSparePool(eff.SparePoolSize, eff.SpareReplenishHours)
+		}
+		if cfg.Faults.LSERatePerDiskHour > 0 {
+			for id := 0; id < cl.NumDisks(); id++ {
+				st.scheduleLSE(id)
+			}
+			if cfg.Faults.ScrubIntervalHours > 0 {
+				st.scheduleScrub()
+			}
+		}
+		st.scheduleBurst()
+	}
+
 	eng.RunUntil(sim.Time(cfg.SimHours))
 
 	es := st.engine.Stats()
@@ -319,6 +374,10 @@ func runOnce(cfg Config) (RunResult, error) {
 	res.MaxWindowHours = es.Window.Max()
 	res.SparesUsed = es.SparesUsed
 	res.RecoveryDiskHours = sched.BusyHours
+	res.RebuildRetries = es.Retries
+	res.TransientFaults = es.TransientFaults
+	res.Resourcings = es.Resourcings
+	res.QueuedSpareJobs = es.SpareWaits
 	if cfg.CollectUtilization {
 		res.FinalUsedBytes = cl.UsedBytesAll()
 	}
@@ -338,6 +397,9 @@ type runState struct {
 	originalDisks    int
 	failedSinceBatch int
 	monitor          smart.Monitor
+	// inj, when non-nil, is the fault injector of the run (cfg.Faults
+	// enabled). Its randomness lives on a separate stream.
+	inj *faults.Injector
 }
 
 // emit forwards a trace event to the configured hook, if any.
@@ -422,6 +484,11 @@ func (st *runState) onDiskFailure(now sim.Time, id int) {
 	}
 	lost, newlyDead := st.cl.FailDisk(id, float64(now))
 	st.res.DiskFailures++
+	if st.inj != nil {
+		// Undiscovered latent errors on the dead drive are moot: the
+		// whole-disk loss supersedes them.
+		st.inj.DropDisk(id)
+	}
 	st.emit(trace.Event{Time: float64(now), Kind: trace.KindDiskFail, Disk: id,
 		Detail: fmt.Sprintf("blocks=%d", len(lost))})
 	if newlyDead > 0 {
@@ -436,6 +503,126 @@ func (st *runState) onDiskFailure(now sim.Time, id int) {
 		st.engine.HandleDetection(dnow, id, failedAt, blocks)
 	})
 	st.maybeReplace(now)
+}
+
+// armLSE starts the latent-error arrival process on a (new) drive when
+// injection is configured; a no-op otherwise.
+func (st *runState) armLSE(id int) {
+	if st.inj != nil && st.cfg.Faults.LSERatePerDiskHour > 0 {
+		st.scheduleLSE(id)
+	}
+}
+
+// scheduleLSE samples the drive's next latent-sector-error arrival and
+// queues it; on firing, one resident block (chosen uniformly) silently
+// becomes unreadable, and the process re-arms while the drive lives.
+func (st *runState) scheduleLSE(id int) {
+	at := st.eng.Now() + sim.Time(st.inj.NextLSEGap())
+	if float64(at) > st.cfg.SimHours {
+		return
+	}
+	st.eng.Schedule(at, "lse", func(now sim.Time) {
+		if st.cl.Disks[id].State != disk.Alive {
+			return // died (or was retired) first; the arrival is moot
+		}
+		blocks := st.cl.BlocksOn(id)
+		if len(blocks) > 0 {
+			ref := blocks[st.inj.PickIndex(len(blocks))]
+			if st.inj.MarkLatent(id, int(ref.Group), int(ref.Rep)) {
+				st.res.LSEInjected++
+				st.emit(trace.Event{Time: float64(now), Kind: trace.KindLSE,
+					Disk: id, Group: int(ref.Group), Rep: int(ref.Rep)})
+			}
+		}
+		st.scheduleLSE(id)
+	})
+}
+
+// onLatentDiscovered fires when a rebuild read hits a latent error on
+// (diskID, group, rep): the damaged replica is unlinked (an erasure) and
+// its repair is queued through the recovery engine.
+func (st *runState) onLatentDiscovered(now sim.Time, diskID, group, rep int) {
+	if st.cl.Groups[group].Disks[rep] != int32(diskID) {
+		return // the block moved (drain/rebalance) since the error arrived
+	}
+	_, newlyDead := st.cl.CorruptBlock(cluster.BlockRef{Group: int32(group), Rep: int32(rep)})
+	st.res.LSEDetected++
+	st.emit(trace.Event{Time: float64(now), Kind: trace.KindLSEDetect,
+		Disk: diskID, Group: group, Rep: rep})
+	if newlyDead {
+		st.emit(trace.Event{Time: float64(now), Kind: trace.KindDataLoss, Disk: diskID,
+			Detail: "groups=1"})
+		return // beyond repair; in-flight rebuilds of the group will drain
+	}
+	st.engine.HandleBlockLoss(now, now, diskID, group, rep)
+}
+
+// scheduleScrub runs the periodic scrubber: every interval it discovers
+// all accumulated latent errors and queues each damaged replica for
+// proactive repair.
+func (st *runState) scheduleScrub() {
+	at := st.eng.Now() + sim.Time(st.cfg.Faults.ScrubIntervalHours)
+	if float64(at) > st.cfg.SimHours {
+		return
+	}
+	st.eng.Schedule(at, "scrub", func(now sim.Time) {
+		found := 0
+		for _, e := range st.inj.TakeLatent() {
+			if st.cl.Groups[e.Group].Disks[e.Rep] != int32(e.Disk) {
+				continue // block moved since the error arrived; stale
+			}
+			found++
+			st.res.ScrubFound++
+			_, newlyDead := st.cl.CorruptBlock(cluster.BlockRef{Group: int32(e.Group), Rep: int32(e.Rep)})
+			st.emit(trace.Event{Time: float64(now), Kind: trace.KindScrubRepair,
+				Disk: e.Disk, Group: e.Group, Rep: e.Rep})
+			if newlyDead {
+				st.emit(trace.Event{Time: float64(now), Kind: trace.KindDataLoss, Disk: e.Disk,
+					Detail: "groups=1"})
+				continue
+			}
+			st.engine.HandleBlockLoss(now, now, e.Disk, e.Group, e.Rep)
+		}
+		st.emit(trace.Event{Time: float64(now), Kind: trace.KindScrub,
+			Detail: fmt.Sprintf("found=%d", found)})
+		st.scheduleScrub()
+	})
+}
+
+// scheduleBurst samples the next correlated-failure burst and queues it;
+// on firing, the drawn victims die spread across the burst window, and
+// the process re-arms. Victims that die naturally first are no-ops
+// (onDiskFailure is defensive).
+func (st *runState) scheduleBurst() {
+	at := st.eng.Now() + sim.Time(st.inj.NextBurstGap())
+	if float64(at) > st.cfg.SimHours {
+		return // also covers the disabled (+Inf) case
+	}
+	st.eng.Schedule(at, "burst", func(now sim.Time) {
+		k := st.inj.BurstSize()
+		alive := make([]int, 0, st.cl.AliveDisks())
+		for id := range st.cl.Disks {
+			if st.cl.Disks[id].State == disk.Alive {
+				alive = append(alive, id)
+			}
+		}
+		if k > len(alive) {
+			k = len(alive)
+		}
+		kills := 0
+		for _, idx := range st.inj.SampleVictims(len(alive), k) {
+			victim := alive[idx]
+			st.eng.Schedule(now+sim.Time(st.inj.BurstDelay()), "burst-kill", func(bnow sim.Time) {
+				st.onDiskFailure(bnow, victim)
+			})
+			kills++
+		}
+		st.res.Bursts++
+		st.res.BurstKills += kills
+		st.emit(trace.Event{Time: float64(now), Kind: trace.KindBurst,
+			Detail: fmt.Sprintf("kills=%d", kills)})
+		st.scheduleBurst()
+	})
 }
 
 // maybeReplace applies the Figure 7 batch-replacement policy: once the
@@ -459,6 +646,7 @@ func (st *runState) maybeReplace(now sim.Time) {
 	st.sched.Grow(st.cl.NumDisks())
 	for _, nid := range ids {
 		st.scheduleFailure(nid)
+		st.armLSE(nid)
 	}
 	st.res.BatchesAdded++
 	st.res.DisksAdded += count

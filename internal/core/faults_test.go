@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/trace"
+)
+
+// stormConfig layers every fault process on the laptop-sized system:
+// LSEs frequent enough to land hundreds of errors, a monthly scrubber,
+// quarterly bursts, a high transient-fault rate, and (for the spare
+// engine) a small finite pool. The rates are far beyond any realistic
+// fleet on purpose — the acceptance criterion is graceful degradation.
+func stormConfig() Config {
+	cfg := smallConfig()
+	cfg.Faults = faults.Config{
+		LSERatePerDiskHour: 1e-4,
+		ScrubIntervalHours: 720,
+		BurstsPerYear:      4,
+		BurstMeanSize:      3,
+		TransientReadProb:  0.2,
+		SparePoolSize:      2,
+	}
+	return cfg
+}
+
+// TestFaultStormDeterministicAndBounded is the headline acceptance test:
+// a run under the combined storm (LSEs + scrubbing + bursts + transient
+// rebuild faults) must terminate, keep every fault-path counter
+// consistent, reproduce exactly under the same seed, and emit a causally
+// ordered trace.
+func TestFaultStormDeterministicAndBounded(t *testing.T) {
+	for _, farm := range []bool{true, false} {
+		farm := farm
+		name := "spare"
+		if farm {
+			name = "FARM"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := stormConfig()
+			cfg.UseFARM = farm
+			var events []trace.Event
+			cfg.Hook = func(e trace.Event) { events = append(events, e) }
+			cfg.Seed = 7
+			res, err := runOnce(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every injected process must have fired at these rates.
+			if res.LSEInjected == 0 {
+				t.Error("no latent errors injected")
+			}
+			if res.ScrubFound == 0 {
+				t.Error("scrubber found nothing across a 6-year horizon")
+			}
+			if res.Bursts == 0 || res.BurstKills < res.Bursts {
+				t.Errorf("bursts=%d kills=%d", res.Bursts, res.BurstKills)
+			}
+			if res.TransientFaults == 0 || res.RebuildRetries == 0 {
+				t.Errorf("transient faults=%d retries=%d", res.TransientFaults, res.RebuildRetries)
+			}
+			// Retries are capped: each transient fault triggers at most one
+			// retry, and re-sourcings only happen after retry exhaustion or a
+			// latent hit, so the counters bound each other.
+			if res.RebuildRetries > res.TransientFaults {
+				t.Errorf("retries %d exceed transient faults %d", res.RebuildRetries, res.TransientFaults)
+			}
+			if res.LSEDetected+res.ScrubFound > res.LSEInjected {
+				t.Errorf("discovered %d+%d latent errors, only %d injected",
+					res.LSEDetected, res.ScrubFound, res.LSEInjected)
+			}
+			if !farm && res.QueuedSpareJobs == 0 {
+				t.Error("2-spare pool never queued under the storm")
+			}
+			if err := trace.CheckCausality(events); err != nil {
+				t.Fatal(err)
+			}
+			// Determinism: an identical run (fresh hook) reproduces exactly.
+			cfg2 := stormConfig()
+			cfg2.UseFARM = farm
+			cfg2.Seed = 7
+			res2, err := runOnce(cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprintf("%+v", res) != fmt.Sprintf("%+v", res2) {
+				t.Fatalf("same seed diverged under fault storm:\n%+v\n%+v", res, res2)
+			}
+		})
+	}
+}
+
+// TestFaultStormTraceKinds: the storm's trace must contain the
+// fault-specific event kinds so downstream tooling (farmtrace) can see
+// the fault paths.
+func TestFaultStormTraceKinds(t *testing.T) {
+	cfg := stormConfig()
+	cfg.Seed = 11
+	var events []trace.Event
+	cfg.Hook = func(e trace.Event) { events = append(events, e) }
+	if _, err := runOnce(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sum := trace.Summarize(events)
+	for _, k := range []trace.Kind{trace.KindLSE, trace.KindScrub, trace.KindBurst, trace.KindRetry} {
+		if sum.Counts[k] == 0 {
+			t.Errorf("no %q events in the storm trace", k)
+		}
+	}
+}
+
+// TestFaultsValidationPropagates: a bad faults sub-config must fail the
+// top-level Config.Validate, not surface later inside a run.
+func TestFaultsValidationPropagates(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Faults.TransientReadProb = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("invalid faults config accepted")
+	}
+	if _, err := NewSimulator(cfg); err == nil {
+		t.Fatal("NewSimulator accepted invalid faults config")
+	}
+}
+
+// TestReplaceTriggerNeverReached: a trigger fraction above the six-year
+// cumulative failure fraction (~10%, §3.6) must inject no replacement
+// batches — the policy arms but never fires. Transient faults ride along
+// to confirm the fault paths don't tickle the replacement counters;
+// bursts stay off because they really can kill 95% of a small fleet.
+func TestReplaceTriggerNeverReached(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Faults = faults.Config{TransientReadProb: 0.2}
+	cfg.ReplaceTrigger = 0.95
+	cfg.Seed = 3
+	res, err := runOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchesAdded != 0 || res.DisksAdded != 0 {
+		t.Fatalf("batches=%d disks=%d with a 95%% trigger", res.BatchesAdded, res.DisksAdded)
+	}
+}
+
+// TestMonteCarloFoldsFaultAggregates: the campaign-level Result must
+// carry the fault counters through the streaming fold.
+func TestMonteCarloFoldsFaultAggregates(t *testing.T) {
+	cfg := stormConfig()
+	res, err := MonteCarlo(cfg, MonteCarloOptions{Runs: 4, BaseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LSEInjected.Mean() == 0 {
+		t.Error("campaign mean LSEs is zero under the storm")
+	}
+	if res.RebuildRetries.Mean() == 0 {
+		t.Error("campaign mean retries is zero under the storm")
+	}
+	if res.Bursts.Mean() == 0 {
+		t.Error("campaign mean bursts is zero under the storm")
+	}
+}

@@ -39,6 +39,14 @@ type Result struct {
 	Predicted metrics.Welford
 	// DrainedBlocks aggregates proactively drained blocks per run.
 	DrainedBlocks metrics.Welford
+	// Fault-injection aggregates (all zero when cfg.Faults is disabled).
+	LSEInjected     metrics.Welford
+	LSEDetected     metrics.Welford
+	ScrubFound      metrics.Welford
+	RebuildRetries  metrics.Welford
+	Resourcings     metrics.Welford
+	Bursts          metrics.Welford
+	QueuedSpareJobs metrics.Welford
 	// Disks is the initial drive population (identical across runs).
 	Disks int
 }
@@ -193,6 +201,13 @@ func (r *Result) add(run *RunResult) {
 	r.BatchesAdded.Add(float64(run.BatchesAdded))
 	r.Predicted.Add(float64(run.PredictedFailures))
 	r.DrainedBlocks.Add(float64(run.DrainedBlocks))
+	r.LSEInjected.Add(float64(run.LSEInjected))
+	r.LSEDetected.Add(float64(run.LSEDetected))
+	r.ScrubFound.Add(float64(run.ScrubFound))
+	r.RebuildRetries.Add(float64(run.RebuildRetries))
+	r.Resourcings.Add(float64(run.Resourcings))
+	r.Bursts.Add(float64(run.Bursts))
+	r.QueuedSpareJobs.Add(float64(run.QueuedSpareJobs))
 	r.Disks = run.Disks
 }
 

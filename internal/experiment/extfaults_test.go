@@ -1,0 +1,33 @@
+package experiment
+
+import "testing"
+
+// TestExtFaultsTiny runs the fault-injection extension at toy scale:
+// both tables must materialize with the expected shape, and the fault
+// counters must be live (non-degenerate) in the rows that enable them.
+func TestExtFaultsTiny(t *testing.T) {
+	e, ok := Lookup("ext-faults")
+	if !ok {
+		t.Fatal("ext-faults not registered")
+	}
+	tabs, err := e.Run(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("ext-faults emitted %d tables, want 2", len(tabs))
+	}
+	// Table 1: 1 paper baseline row + 2 rates × 3 scrub settings.
+	if got := len(tabs[0].Rows); got != 7 {
+		t.Fatalf("LSE×scrub table has %d rows, want 7", got)
+	}
+	// Table 2: FARM vs spare under the storm.
+	if got := len(tabs[1].Rows); got != 2 {
+		t.Fatalf("storm table has %d rows, want 2", got)
+	}
+	for _, row := range tabs[1].Rows {
+		if len(row) != 6 {
+			t.Fatalf("storm row has %d columns, want 6", len(row))
+		}
+	}
+}

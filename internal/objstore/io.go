@@ -2,9 +2,53 @@ package objstore
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"repro/internal/gf256"
 )
+
+// castagnoli is the CRC32C polynomial table used for shard-region sums
+// (hardware-accelerated on the platforms that matter).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// newVdisk returns a fresh, alive virtual disk.
+func newVdisk(id int) *vdisk {
+	return &vdisk{
+		id:     id,
+		alive:  true,
+		shards: make(map[shardKey][]byte),
+		sums:   make(map[shardKey][]uint32),
+	}
+}
+
+// storeShard installs a whole shard on a disk, computing all region sums.
+func (s *Store) storeShard(d int, key shardKey, data []byte) {
+	dk := s.disks[d]
+	dk.shards[key] = data
+	sums := make([]uint32, s.slotsPerRow)
+	for i := range sums {
+		lo := i * s.cfg.BlockBytes
+		sums[i] = crc32.Checksum(data[lo:lo+s.cfg.BlockBytes], castagnoli)
+	}
+	dk.sums[key] = sums
+}
+
+// setRegionSum refreshes one region's checksum after a legitimate write.
+func (s *Store) setRegionSum(col *collection, rep, offset int, region []byte) {
+	d := col.disks[rep]
+	s.disks[d].sums[shardKey{col.id, rep}][offset/s.cfg.BlockBytes] =
+		crc32.Checksum(region, castagnoli)
+}
+
+// regionOK verifies one region of a resident shard against its sum.
+func (s *Store) regionOK(col *collection, rep, offset int, region []byte) bool {
+	d := col.disks[rep]
+	sums, ok := s.disks[d].sums[shardKey{col.id, rep}]
+	if !ok {
+		return false
+	}
+	return crc32.Checksum(region, castagnoli) == sums[offset/s.cfg.BlockBytes]
+}
 
 // Put stores a file under name. The data is split into BlockBytes blocks
 // (the last block zero-padded on disk, exact length kept in metadata);
@@ -66,6 +110,14 @@ func (s *Store) writeSlot(col *collection, slot int, chunk []byte) error {
 		return err
 	}
 	region := data[offset : offset+s.cfg.BlockBytes]
+	if !s.regionOK(col, rep, offset, region) {
+		// The old bytes are corrupt; the delta rule needs the true old
+		// region, so repair it first (readRegion reconstructs and rewrites
+		// in place when the disk is alive — it is, shard() just succeeded).
+		if _, rerr := s.readRegion(col, rep, offset); rerr != nil {
+			return rerr
+		}
+	}
 
 	// Compute the delta before overwriting.
 	delta := make([]byte, s.cfg.BlockBytes)
@@ -85,6 +137,7 @@ func (s *Store) writeSlot(col *collection, slot int, chunk []byte) error {
 			region[i] = 0
 		}
 	}
+	s.setRegionSum(col, rep, offset, region)
 	return s.propagateDelta(col, rep, offset, delta, region)
 }
 
@@ -93,23 +146,46 @@ func (s *Store) propagateDelta(col *collection, dataRep, offset int, delta, newR
 	m, n := s.cfg.Scheme.M, s.cfg.Scheme.N
 	if m == 1 {
 		// Mirroring: replicas hold the same bytes; copy the new region.
+		// The full-region overwrite incidentally heals any silent
+		// corruption of the replica region.
 		for rep := 1; rep < n; rep++ {
 			shard, err := s.shard(col, rep)
 			if err != nil {
 				return err
 			}
 			copy(shard[offset:offset+s.cfg.BlockBytes], newRegion)
+			s.setRegionSum(col, rep, offset, shard[offset:offset+s.cfg.BlockBytes])
 		}
 		return nil
 	}
-	coefs := checkCoefficients(s.codec, m, n)
 	for rep := m; rep < n; rep++ {
 		shard, err := s.shard(col, rep)
 		if err != nil {
 			return err
 		}
 		region := shard[offset : offset+s.cfg.BlockBytes]
-		gf256.MulSlice(coefs[rep-m][dataRep], delta, region)
+		if !s.regionOK(col, rep, offset, region) {
+			// The old check bytes are corrupt: folding a delta into garbage
+			// yields garbage. Rebuild the region from the (verified) data
+			// regions instead — the data rep was just overwritten, so the
+			// recomputation lands on the new contents directly.
+			s.stats.CorruptionsDetected++
+			for i := range region {
+				region[i] = 0
+			}
+			for d := 0; d < m; d++ {
+				dreg, derr := s.readRegion(col, d, offset)
+				if derr != nil {
+					return derr
+				}
+				gf256.MulSlice(s.coefs[rep-m][d], dreg, region)
+			}
+			s.stats.CorruptionsRepaired++
+			s.setRegionSum(col, rep, offset, region)
+			continue
+		}
+		gf256.MulSlice(s.coefs[rep-m][dataRep], delta, region)
+		s.setRegionSum(col, rep, offset, region)
 	}
 	return nil
 }
@@ -117,12 +193,13 @@ func (s *Store) propagateDelta(col *collection, dataRep, offset int, delta, newR
 // checkCoefficients returns the generator coefficients of each check
 // shard over the data shards: XOR parity uses all-ones; Reed–Solomon
 // uses its Cauchy rows, recovered by probing the codec with unit
-// vectors once per store (cached).
+// vectors once per store (cached in Store.coefs by New). A codec that
+// rejects the probe surfaces as a constructor error, not a panic.
 func checkCoefficients(codec interface {
 	DataShards() int
 	TotalShards() int
 	Encode([][]byte) error
-}, m, n int) [][]byte {
+}, m, n int) ([][]byte, error) {
 	k := n - m
 	out := make([][]byte, k)
 	shards := make([][]byte, n)
@@ -138,13 +215,13 @@ func checkCoefficients(codec interface {
 		}
 		shards[d][0] = 1
 		if err := codec.Encode(shards); err != nil {
-			panic(fmt.Sprintf("objstore: probing codec: %v", err))
+			return nil, fmt.Errorf("objstore: probing codec: %w", err)
 		}
 		for c := 0; c < k; c++ {
 			out[c][d] = shards[m+c][0]
 		}
 	}
-	return out
+	return out, nil
 }
 
 // shard fetches a live shard's bytes, failing if its disk is down.
@@ -183,22 +260,41 @@ func (s *Store) Get(name string) ([]byte, error) {
 	return out, nil
 }
 
-// readRegion returns a data shard region, via degraded reconstruction if
-// needed.
+// readRegion returns a data shard region. A shard on a failed disk or a
+// region whose checksum does not verify is treated as an erasure: the
+// region is reconstructed from the survivors' verified regions, and
+// corrupt regions on live disks are repaired in place with the
+// reconstructed bytes.
 func (s *Store) readRegion(col *collection, rep, offset int) ([]byte, error) {
 	if data, err := s.shard(col, rep); err == nil {
-		return data[offset : offset+s.cfg.BlockBytes], nil
+		region := data[offset : offset+s.cfg.BlockBytes]
+		if s.regionOK(col, rep, offset, region) {
+			return region, nil
+		}
+		s.stats.CorruptionsDetected++
 	}
-	// Degraded read: assemble the surviving shards and reconstruct.
+	// Degraded read: assemble the surviving verified regions and
+	// reconstruct the missing/corrupt ones. Reconstruction is per region
+	// (the codecs are bytewise), so only BlockBytes per shard move.
+	s.stats.DegradedReads++
 	shards := make([][]byte, s.cfg.Scheme.N)
+	var corrupt []int
 	present := 0
 	for r := range shards {
 		data, err := s.shard(col, r)
 		if err != nil {
 			continue
 		}
+		region := data[offset : offset+s.cfg.BlockBytes]
+		if !s.regionOK(col, r, offset, region) {
+			if r != rep { // rep's corruption was already counted above
+				s.stats.CorruptionsDetected++
+			}
+			corrupt = append(corrupt, r)
+			continue
+		}
 		// Reconstruct on copies: a degraded read must not mutate state.
-		shards[r] = append([]byte(nil), data...)
+		shards[r] = append([]byte(nil), region...)
 		present++
 	}
 	if present < s.cfg.Scheme.M {
@@ -208,7 +304,18 @@ func (s *Store) readRegion(col *collection, rep, offset int) ([]byte, error) {
 	if err := s.codec.Reconstruct(shards); err != nil {
 		return nil, err
 	}
-	return shards[rep][offset : offset+s.cfg.BlockBytes], nil
+	// Repair corrupt regions in place on their live disks so the next
+	// read is clean (scrub-on-read).
+	for _, r := range corrupt {
+		data, err := s.shard(col, r)
+		if err != nil {
+			continue
+		}
+		copy(data[offset:offset+s.cfg.BlockBytes], shards[r])
+		s.setRegionSum(col, r, offset, data[offset:offset+s.cfg.BlockBytes])
+		s.stats.CorruptionsRepaired++
+	}
+	return shards[rep], nil
 }
 
 // WriteAt overwrites part of an existing file in place, starting at

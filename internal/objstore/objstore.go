@@ -83,11 +83,15 @@ type shardKey struct {
 	rep        int
 }
 
-// vdisk is one virtual storage device: a shard map plus liveness.
+// vdisk is one virtual storage device: a shard map plus liveness. sums
+// holds one CRC32C per block-sized shard region, written alongside the
+// data; a region whose stored bytes no longer match its sum is silent
+// corruption, detected on the next read or integrity check.
 type vdisk struct {
 	id     int
 	alive  bool
 	shards map[shardKey][]byte
+	sums   map[shardKey][]uint32
 }
 
 // collection is one redundancy group of the store.
@@ -124,7 +128,26 @@ type Store struct {
 	files       map[string]*fileMeta
 	shardBytes  int
 	slotsPerRow int // block slots per data shard = BlocksPerCollection / M
+	// coefs caches the check-shard generator coefficients (nil for
+	// mirroring), probed from the codec once at construction.
+	coefs [][]byte
+	stats StoreStats
 }
+
+// StoreStats counts fault-path activity over the store's lifetime.
+type StoreStats struct {
+	// DegradedReads counts region reads served through codec
+	// reconstruction (shard disk down or shard region corrupt).
+	DegradedReads int
+	// CorruptionsDetected counts shard regions whose checksum failed on a
+	// read or integrity pass; CorruptionsRepaired counts those rewritten
+	// in place from reconstructed bytes.
+	CorruptionsDetected int
+	CorruptionsRepaired int
+}
+
+// Stats returns the store's fault-path counters.
+func (s *Store) Stats() StoreStats { return s.stats }
 
 // Errors returned by Store operations.
 var (
@@ -153,8 +176,15 @@ func New(cfg Config) (*Store, error) {
 		slotsPerRow: cfg.BlocksPerCollection / cfg.Scheme.M,
 	}
 	s.shardBytes = s.slotsPerRow * cfg.BlockBytes
+	if cfg.Scheme.M > 1 {
+		coefs, cerr := checkCoefficients(codec, cfg.Scheme.M, cfg.Scheme.N)
+		if cerr != nil {
+			return nil, cerr
+		}
+		s.coefs = coefs
+	}
 	for i := 0; i < cfg.NumDisks; i++ {
-		s.disks = append(s.disks, &vdisk{id: i, alive: true, shards: make(map[shardKey][]byte)})
+		s.disks = append(s.disks, newVdisk(i))
 	}
 	for cID := 0; cID < cfg.NumCollections; cID++ {
 		ids, err := s.hasher.PlaceGroup(storeView{s}, uint64(cID), cfg.Scheme.N, int64(s.shardBytes))
@@ -167,7 +197,7 @@ func New(cfg Config) (*Store, error) {
 			slots: make([]bool, cfg.BlocksPerCollection),
 		}
 		for rep, d := range ids {
-			s.disks[d].shards[shardKey{cID, rep}] = make([]byte, s.shardBytes)
+			s.storeShard(d, shardKey{cID, rep}, make([]byte, s.shardBytes))
 		}
 		s.collections = append(s.collections, col)
 	}

@@ -3,6 +3,7 @@ package recovery
 import (
 	"repro/internal/cluster"
 	"repro/internal/disk"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -15,16 +16,40 @@ type Stats struct {
 	// Redirections counts recovery-target failures that forced the
 	// rebuild to an alternative target (§2.3 "recovery redirection").
 	Redirections int
-	// Resourcings counts rebuilds whose read source failed and was
+	// Resourcings counts rebuilds whose read source failed (disk death,
+	// latent sector error, or exhausted transient retries) and was
 	// replaced by an alternative buddy.
 	Resourcings int
-	// DroppedLost counts rebuilds abandoned because the group lost data.
+	// DroppedLost counts rebuilds abandoned because the group lost data
+	// or exhausted every source.
 	DroppedLost int
 	// Window accumulates per-block windows of vulnerability: failure
 	// (not detection) to rebuild completion, in hours.
 	Window metrics.Welford
 	// SparesUsed counts replacement drives activated (SpareDisk engine).
 	SparesUsed int
+	// TransientFaults counts rebuild transfers whose source read failed
+	// transiently (injected fault); Retries counts the backed-off
+	// re-attempts those faults caused.
+	TransientFaults int
+	Retries         int
+	// SpareWaits counts recovery jobs that found the spare pool empty
+	// and had to queue (SpareDisk engine with a finite pool).
+	SpareWaits int
+}
+
+// FaultModel is the injection surface the engines consult when a rebuild
+// transfer completes; implemented by *faults.Injector. A nil model (the
+// default) means no injected faults and no extra work on the hot path.
+type FaultModel interface {
+	// ProbeRead classifies the source read of a just-finished transfer.
+	ProbeRead(now sim.Time, src, group int) faults.Outcome
+	// RetryBackoff returns the delay before retry attempt n (1-based).
+	RetryBackoff(attempt int) sim.Time
+	// MaxRetries caps transient retries per source.
+	MaxRetries() int
+	// MaxResourcings caps source switches per rebuild.
+	MaxResourcings() int
 }
 
 // Engine is a recovery strategy. The core simulator calls HandleFailure at
@@ -39,13 +64,20 @@ type Engine interface {
 	// failedAt is the underlying failure time (now - failedAt is the
 	// detection latency contribution to the vulnerability window).
 	HandleDetection(now sim.Time, diskID int, failedAt sim.Time, lost []cluster.BlockRef)
+	// HandleBlockLoss starts recovery for a single damaged replica —
+	// a latent sector error discovered by a scrub or a rebuild read on
+	// disk diskID. The block has already been unlinked from the cluster.
+	HandleBlockLoss(now sim.Time, failedAt sim.Time, diskID, group, rep int)
+	// SetFaultModel installs the fault-injection surface consulted when
+	// transfers complete; nil (the default) disables probing.
+	SetFaultModel(fm FaultModel)
 	// Stats returns the engine's counters.
 	Stats() *Stats
 	// Name identifies the engine ("farm" or "spare").
 	Name() string
 	// SetObserver installs an optional callback fired when a block
-	// rebuild completes ("rebuilt") or is abandoned ("dropped"), for
-	// tracing.
+	// rebuild completes ("rebuilt"), is abandoned ("dropped"), or is
+	// retried after a transient fault ("retry"), for tracing.
 	SetObserver(fn func(now sim.Time, kind string, group, rep, diskID int))
 }
 
@@ -60,6 +92,14 @@ type rebuild struct {
 	// trial is the candidate-stream position of the current target, so
 	// redirection resumes the stream past it (FARM only).
 	trial int
+	// retries counts transient-fault retries against the current source;
+	// resourcings counts source switches over the rebuild's lifetime.
+	retries     int
+	resourcings int
+	// retryEv is the pending backed-off resubmission, if any; untrack
+	// cancels it so redirection/re-sourcing/abandonment during a backoff
+	// cannot leave a stale resubmission behind.
+	retryEv *sim.Event
 }
 
 // base holds the machinery common to both engines.
@@ -81,8 +121,10 @@ type base struct {
 	// swap-remove beats a nested map; emptied slices keep their backing
 	// array for reuse, so steady-state tracking allocates nothing.
 	perGroupTargets map[int][]int
-	// observer, when set, sees rebuilt/dropped block events.
+	// observer, when set, sees rebuilt/dropped/retry block events.
 	observer func(now sim.Time, kind string, group, rep, diskID int)
+	// fm, when set, injects read faults into completing transfers.
+	fm FaultModel
 	// scratchSrc/scratchTgt are reusable buffers for rebuildsTouching:
 	// handlers mutate the underlying indexes while iterating, so the
 	// lists are copied — into these, not fresh slices.
@@ -109,6 +151,9 @@ func (b *base) SetObserver(fn func(now sim.Time, kind string, group, rep, diskID
 	b.observer = fn
 }
 
+// SetFaultModel implements Engine.
+func (b *base) SetFaultModel(fm FaultModel) { b.fm = fm }
+
 // observe fires the observer if installed.
 func (b *base) observe(now sim.Time, kind string, group, rep, diskID int) {
 	if b.observer != nil {
@@ -129,8 +174,14 @@ func (b *base) track(r *rebuild) {
 	b.perGroupTargets[r.task.Group] = append(b.perGroupTargets[r.task.Group], r.task.Target)
 }
 
-// untrack removes a rebuild from the disk indexes.
+// untrack removes a rebuild from the disk indexes. It also cancels any
+// pending backed-off resubmission: every path that untracks (success,
+// abandonment, redirection, re-sourcing) supersedes a waiting retry.
 func (b *base) untrack(r *rebuild) {
+	if r.retryEv != nil {
+		b.eng.Cancel(r.retryEv)
+		r.retryEv = nil
+	}
 	b.bySource[r.task.Source] = removeRebuild(b.bySource[r.task.Source], r)
 	b.byTarget[r.task.Target] = removeRebuild(b.byTarget[r.task.Target], r)
 	tg := b.perGroupTargets[r.task.Group]
@@ -155,8 +206,25 @@ func removeRebuild(list []*rebuild, r *rebuild) []*rebuild {
 	return list
 }
 
-// complete finishes a rebuild: install the block and record the window.
+// complete finishes a rebuild: probe the source read for injected
+// faults, then install the block and record the window.
 func (b *base) complete(now sim.Time, r *rebuild) {
+	if b.fm != nil {
+		switch b.fm.ProbeRead(now, r.task.Source, r.task.Group) {
+		case faults.ReadTransient:
+			b.stats.TransientFaults++
+			b.retryOrResource(now, r)
+			return
+		case faults.ReadLatent:
+			// The damaged source replica has already been unlinked and
+			// queued for repair by the injector's discovery handler
+			// (which may have latched the group lost); this rebuild
+			// switches to another buddy or drains through DroppedLost.
+			r.retries = 0
+			b.resourceChecked(now, r)
+			return
+		}
+	}
 	b.untrack(r)
 	if b.cl.Groups[r.task.Group].Lost {
 		// The group lost data while this block was in flight; the
@@ -208,6 +276,84 @@ func (b *base) resource(r *rebuild) {
 	b.track(r)
 	b.stats.Resourcings++
 	b.sched.Submit(nt, func(now sim.Time, _ *Task) { b.complete(now, r) })
+}
+
+// resourceChecked re-sources a rebuild whose current source is unusable
+// (latent error or exhausted retries), abandoning it through the
+// DroppedLost path once the fault model's re-sourcing cap is exceeded —
+// graceful degradation instead of an unbounded source-hopping loop.
+func (b *base) resourceChecked(now sim.Time, r *rebuild) {
+	r.resourcings++
+	if b.fm != nil && r.resourcings > b.fm.MaxResourcings() {
+		b.observe(now, "dropped", r.task.Group, r.task.Rep, r.task.Target)
+		b.abandon(r)
+		return
+	}
+	b.resource(r)
+}
+
+// retryOrResource reacts to a transient source-read fault: re-attempt
+// the same transfer after capped exponential backoff, up to the fault
+// model's retry cap, then escalate to re-sourcing. The rebuild stays
+// tracked (its target reservation stands) during the backoff, so disk
+// deaths in the window still find and fix it up.
+func (b *base) retryOrResource(now sim.Time, r *rebuild) {
+	if r.retries >= b.fm.MaxRetries() {
+		r.retries = 0
+		b.resourceChecked(now, r)
+		return
+	}
+	r.retries++
+	b.stats.Retries++
+	// A fresh Task with identical endpoints: the finished task is spent
+	// (scheduler state done), but the disk indexes key by endpoint, so
+	// swapping the task pointer keeps tracking consistent.
+	nt := &Task{
+		Group:    r.task.Group,
+		Rep:      r.task.Rep,
+		Source:   r.task.Source,
+		Target:   r.task.Target,
+		Duration: r.task.Duration,
+	}
+	r.task = nt
+	b.observe(now, "retry", nt.Group, nt.Rep, nt.Source)
+	r.retryEv = b.eng.After(b.fm.RetryBackoff(r.retries), "rebuild-retry", func(at sim.Time) {
+		r.retryEv = nil
+		if b.cl.Groups[nt.Group].Lost {
+			b.observe(at, "dropped", nt.Group, nt.Rep, nt.Target)
+			b.abandon(r)
+			return
+		}
+		b.sched.Submit(nt, func(done sim.Time, _ *Task) { b.complete(done, r) })
+	})
+}
+
+// pickTarget applies the paper's target rules via the placement candidate
+// stream, additionally excluding targets already claimed by in-flight
+// rebuilds of the same group. It reserves space on the chosen disk. The
+// exclusion set is the cluster's reusable epoch-stamped scratch, so the
+// steady-state path performs no allocation.
+func (b *base) pickTarget(group, rep, startTrial int) (target, trial int, ok bool) {
+	exclude := b.cl.BuddyExcludes(group)
+	for _, t := range b.perGroupTargets[group] {
+		exclude.Add(t)
+	}
+	target, trial, err := b.cl.Hasher().RecoveryTarget(
+		b.cl, uint64(group), rep, b.cl.BlockBytes, exclude, startTrial)
+	if err != nil {
+		return -1, 0, false
+	}
+	if !b.cl.ReserveTarget(target) {
+		// Raced with another reservation landing between Eligible and
+		// Reserve; walk further down the stream.
+		t2, tr2, err2 := b.cl.Hasher().RecoveryTarget(
+			b.cl, uint64(group), rep, b.cl.BlockBytes, exclude, trial+1)
+		if err2 != nil || !b.cl.ReserveTarget(t2) {
+			return -1, 0, false
+		}
+		return t2, tr2, true
+	}
+	return target, trial, true
 }
 
 // rebuildsTouching returns copies of the rebuild lists for a disk, since

@@ -72,32 +72,11 @@ func (f *FARM) startRebuild(failedAt sim.Time, group, rep int) {
 	f.sched.Submit(r.task, func(now sim.Time, _ *Task) { f.complete(now, r) })
 }
 
-// pickTarget applies the paper's rules via the placement candidate stream,
-// additionally excluding targets already claimed by in-flight rebuilds of
-// the same group. It reserves space on the chosen disk. The exclusion set
-// is the cluster's reusable epoch-stamped scratch, so the steady-state
-// path performs no allocation.
-func (f *FARM) pickTarget(group, rep, startTrial int) (target, trial int, ok bool) {
-	exclude := f.cl.BuddyExcludes(group)
-	for _, t := range f.perGroupTargets[group] {
-		exclude.Add(t)
-	}
-	target, trial, err := f.cl.Hasher().RecoveryTarget(
-		f.cl, uint64(group), rep, f.cl.BlockBytes, exclude, startTrial)
-	if err != nil {
-		return -1, 0, false
-	}
-	if !f.cl.ReserveTarget(target) {
-		// Raced with another reservation landing between Eligible and
-		// Reserve; walk further down the stream.
-		t2, tr2, err2 := f.cl.Hasher().RecoveryTarget(
-			f.cl, uint64(group), rep, f.cl.BlockBytes, exclude, trial+1)
-		if err2 != nil || !f.cl.ReserveTarget(t2) {
-			return -1, 0, false
-		}
-		return t2, tr2, true
-	}
-	return target, trial, true
+// HandleBlockLoss recovers a single damaged replica (a discovered latent
+// sector error): under FARM it is just another declustered block rebuild,
+// targeted anywhere in the cluster.
+func (f *FARM) HandleBlockLoss(now sim.Time, failedAt sim.Time, diskID, group, rep int) {
+	f.startRebuild(failedAt, group, rep)
 }
 
 // HandleFailure redirects rebuilds writing to the dead disk and re-sources

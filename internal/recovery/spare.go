@@ -2,6 +2,7 @@ package recovery
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/disk"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -12,6 +13,11 @@ import (
 // single recovery slot serializes the transfers, so the window of
 // vulnerability covers the whole disk rebuild ("reconstruction requests
 // queue up at the single recovery target", §3.2).
+//
+// The paper assumes an inexhaustible supply of spares. With a finite
+// pool configured (ConfigureSparePool), activations beyond the pool do
+// not fail: the work queues FIFO until a replenishment drive arrives,
+// degrading gracefully at the cost of longer windows of vulnerability.
 type SpareDisk struct {
 	base
 	spawn DiskSpawner
@@ -20,6 +26,25 @@ type SpareDisk struct {
 	// can re-drive the remaining work onto a new spare.
 	spareFor  map[int]int
 	spareRole map[int]int
+	// pool is the number of spare drives available for immediate
+	// activation; -1 (the default) models the paper's unlimited supply.
+	pool int
+	// replenish is the lead time for a consumed spare's replacement.
+	replenish sim.Time
+	// waiting queues recovery work that found the pool empty.
+	waiting []spareWork
+}
+
+// pendingBlock is one block rebuild awaiting a spare.
+type pendingBlock struct {
+	group, rep int
+	failedAt   sim.Time
+}
+
+// spareWork is the queued recovery work of one failed disk.
+type spareWork struct {
+	failed int
+	blocks []pendingBlock
 }
 
 // NewSpareDisk returns the traditional engine. spawn provisions fresh
@@ -32,17 +57,82 @@ func NewSpareDisk(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw wor
 		spawn:     spawn,
 		spareFor:  make(map[int]int),
 		spareRole: make(map[int]int),
+		pool:      -1,
 	}
 }
 
 // Name implements Engine.
 func (s *SpareDisk) Name() string { return "spare" }
 
+// ConfigureSparePool bounds the dedicated-spare supply: size drives are
+// on the shelf, and each consumed spare is reordered with the given
+// lead time. size <= 0 restores the unlimited model.
+func (s *SpareDisk) ConfigureSparePool(size int, replenishHours float64) {
+	if size <= 0 {
+		s.pool = -1
+		return
+	}
+	s.pool = size
+	s.replenish = sim.Time(replenishHours)
+}
+
+// SparePoolFree returns the spares available for immediate activation
+// (-1 when unlimited) and the queued work items (test hook).
+func (s *SpareDisk) SparePoolFree() (free, queued int) {
+	return s.pool, len(s.waiting)
+}
+
+// takeSpare consumes one spare from the pool, scheduling its
+// replenishment. Returns false when the pool is empty.
+func (s *SpareDisk) takeSpare() bool {
+	if s.pool < 0 {
+		return true
+	}
+	if s.pool == 0 {
+		return false
+	}
+	s.pool--
+	s.eng.After(s.replenish, "spare-replenish", func(at sim.Time) {
+		s.pool++
+		s.drainSpareQueue(at)
+	})
+	return true
+}
+
+// queueSpareWork parks recovery work until a spare arrives.
+func (s *SpareDisk) queueSpareWork(now sim.Time, failed int, blocks []pendingBlock) {
+	s.stats.SpareWaits++
+	s.waiting = append(s.waiting, spareWork{failed: failed, blocks: blocks})
+	s.observe(now, "spare-queued", -1, -1, failed)
+}
+
+// drainSpareQueue activates spares for queued work, FIFO, as the pool
+// allows.
+func (s *SpareDisk) drainSpareQueue(now sim.Time) {
+	for len(s.waiting) > 0 && s.takeSpare() {
+		w := s.waiting[0]
+		s.waiting = s.waiting[1:]
+		spare := s.activateSpare(now, w.failed)
+		for _, pb := range w.blocks {
+			// startRebuild drops blocks whose group died while waiting.
+			s.startRebuild(pb.failedAt, pb.group, pb.rep, spare)
+		}
+	}
+}
+
 // HandleDetection activates a spare for the failed disk and queues every
-// lost block onto it.
+// lost block onto it; with an exhausted pool the work waits instead.
 func (s *SpareDisk) HandleDetection(now sim.Time, diskID int, failedAt sim.Time, lost []cluster.BlockRef) {
 	if len(lost) == 0 {
 		return // nothing resided on the drive; no spare needed
+	}
+	if !s.takeSpare() {
+		blocks := make([]pendingBlock, len(lost))
+		for i, ref := range lost {
+			blocks[i] = pendingBlock{group: int(ref.Group), rep: int(ref.Rep), failedAt: failedAt}
+		}
+		s.queueSpareWork(now, diskID, blocks)
+		return
 	}
 	spare := s.activateSpare(now, diskID)
 	for _, ref := range lost {
@@ -51,6 +141,7 @@ func (s *SpareDisk) HandleDetection(now sim.Time, diskID int, failedAt sim.Time,
 }
 
 // activateSpare provisions the dedicated replacement drive for failed.
+// The caller must have consumed a pool slot via takeSpare.
 func (s *SpareDisk) activateSpare(now sim.Time, failed int) int {
 	spare := s.spawn(now)
 	s.sched.Grow(s.cl.NumDisks())
@@ -90,25 +181,83 @@ func (s *SpareDisk) startRebuild(failedAt sim.Time, group, rep, spare int) {
 	s.sched.Submit(r.task, func(now sim.Time, _ *Task) { s.complete(now, r) })
 }
 
+// HandleBlockLoss repairs a single damaged replica (a discovered latent
+// sector error): traditional systems remap the bad sector and rewrite
+// the block in place, so the repair targets the same drive when it is
+// alive with space, falling back to any eligible drive otherwise.
+func (s *SpareDisk) HandleBlockLoss(now sim.Time, failedAt sim.Time, diskID, group, rep int) {
+	grp := &s.cl.Groups[group]
+	if grp.Lost {
+		s.stats.DroppedLost++
+		return
+	}
+	target := -1
+	if s.cl.Disks[diskID].State == disk.Alive && s.cl.ReserveTarget(diskID) {
+		target = diskID
+	} else {
+		t, _, ok := s.pickTarget(group, rep, 0)
+		if !ok {
+			s.stats.DroppedLost++
+			return
+		}
+		target = t
+	}
+	src := s.cl.SourceFor(group, target)
+	if src < 0 {
+		s.cl.ReleaseTarget(target)
+		s.stats.DroppedLost++
+		return
+	}
+	r := &rebuild{failedAt: failedAt}
+	r.task = &Task{
+		Group:    group,
+		Rep:      rep,
+		Source:   src,
+		Target:   target,
+		Duration: s.blockDuration(),
+	}
+	s.track(r)
+	s.sched.Submit(r.task, func(at sim.Time, _ *Task) { s.complete(at, r) })
+}
+
 // HandleFailure reacts to any disk death: if it was an active spare, the
-// outstanding work restarts on a new spare; rebuilds sourced from the dead
-// disk are re-sourced.
+// outstanding work restarts on a new spare (or queues for one); rebuilds
+// sourced from the dead disk are re-sourced.
 func (s *SpareDisk) HandleFailure(now sim.Time, diskID int) {
 	if failed, ok := s.spareRole[diskID]; ok {
 		delete(s.spareRole, diskID)
 		delete(s.spareFor, failed)
 		asSource, asTarget := s.rebuildsTouching(diskID)
 		if len(asTarget) > 0 {
-			replacement := s.activateSpare(now, failed)
-			for _, r := range asTarget {
-				s.sched.Cancel(r.task)
-				s.untrack(r)
-				if s.cl.Groups[r.task.Group].Lost {
-					s.stats.DroppedLost++
-					continue
+			if s.takeSpare() {
+				replacement := s.activateSpare(now, failed)
+				for _, r := range asTarget {
+					s.sched.Cancel(r.task)
+					s.untrack(r)
+					if s.cl.Groups[r.task.Group].Lost {
+						s.stats.DroppedLost++
+						continue
+					}
+					s.stats.Redirections++
+					s.startRebuild(r.failedAt, r.task.Group, r.task.Rep, replacement)
 				}
-				s.stats.Redirections++
-				s.startRebuild(r.failedAt, r.task.Group, r.task.Rep, replacement)
+			} else {
+				// Pool exhausted mid-recovery: park the remaining work.
+				blocks := make([]pendingBlock, 0, len(asTarget))
+				for _, r := range asTarget {
+					s.sched.Cancel(r.task)
+					s.untrack(r)
+					if s.cl.Groups[r.task.Group].Lost {
+						s.stats.DroppedLost++
+						continue
+					}
+					s.stats.Redirections++
+					blocks = append(blocks, pendingBlock{
+						group: r.task.Group, rep: r.task.Rep, failedAt: r.failedAt})
+				}
+				if len(blocks) > 0 {
+					s.queueSpareWork(now, failed, blocks)
+				}
 			}
 		}
 		for _, r := range asSource {
@@ -119,12 +268,18 @@ func (s *SpareDisk) HandleFailure(now sim.Time, diskID int) {
 		return
 	}
 	asSource, asTarget := s.rebuildsTouching(diskID)
-	// A regular data disk died. Rebuilds targeting it do not exist under
-	// this engine (targets are always spares) unless bookkeeping broke.
+	// A regular data disk died. Rebuilds targeting it exist only for
+	// latent-error repairs (in place or redirected); restart each on a
+	// surviving drive so the replica is not silently forgotten.
 	for _, r := range asTarget {
 		s.sched.Cancel(r.task)
 		s.untrack(r)
-		s.stats.DroppedLost++
+		if s.cl.Groups[r.task.Group].Lost {
+			s.stats.DroppedLost++
+			continue
+		}
+		s.stats.Redirections++
+		s.HandleBlockLoss(now, r.failedAt, diskID, r.task.Group, r.task.Rep)
 	}
 	for _, r := range asSource {
 		if r.task.Source == diskID {

@@ -25,6 +25,15 @@ const (
 	KindSmartWarn  Kind = "smart-warn"  // a health monitor flagged a drive
 	KindDrained    Kind = "drained"     // a suspect drive was fully drained
 	KindBatchAdded Kind = "batch-added" // a replacement batch arrived
+
+	// Fault-injection kinds (internal/faults).
+	KindLSE         Kind = "lse"          // a latent sector error arrived (undiscovered)
+	KindLSEDetect   Kind = "lse-detect"   // a rebuild read discovered a latent error
+	KindScrub       Kind = "scrub"        // a scrub pass ran (Detail: found=N)
+	KindScrubRepair Kind = "scrub-repair" // the scrubber queued a damaged replica for repair
+	KindBurst       Kind = "burst"        // a correlated failure burst fired (Detail: kills=N)
+	KindRetry       Kind = "retry"        // a rebuild read faulted transiently and was retried
+	KindSpareQueued Kind = "spare-queued" // recovery work queued for an exhausted spare pool
 )
 
 // Event is one timestamped simulator occurrence. Times are simulation
