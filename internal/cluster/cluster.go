@@ -321,6 +321,21 @@ func (c *Cluster) SourceFor(group int, exclude int) int {
 	return -1
 }
 
+// SourceForExcluding returns a disk holding an intact block of group
+// other than ex1 and ex2 — the alternate-buddy pick used by hedged
+// transfers and re-sourced rebuilds, which want a source *different*
+// from the one that just proved slow or faulty. Returns -1 when no such
+// disk exists; callers fall back to SourceFor.
+func (c *Cluster) SourceForExcluding(group, ex1, ex2 int) int {
+	grp := &c.Groups[group]
+	for _, d := range grp.Disks {
+		if d >= 0 && int(d) != ex1 && int(d) != ex2 && c.Disks[d].State == disk.Alive {
+			return int(d)
+		}
+	}
+	return -1
+}
+
 // BuddyExcludes returns the cluster's reusable exclusion scratch reset
 // and filled with the disks holding intact blocks of group — the
 // exclusion set for recovery-target choice (rule (b): a target must not

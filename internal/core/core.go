@@ -90,6 +90,12 @@ type Config struct {
 	// experiment byte-identical for the same seed (the injector draws
 	// from its own stream split off the run seed).
 	Faults faults.Config
+	// Straggler configures the recovery engines' straggler-mitigation
+	// layer: the peer-comparison slow-disk detector, hedged duplicate
+	// transfers, hard rebuild timeouts, and eviction of persistent
+	// stragglers through the suspect/drain path. The zero value disables
+	// the layer entirely and leaves every code path untouched.
+	Straggler recovery.StragglerPolicy
 	// Seed drives all randomness of the run.
 	Seed uint64
 	// CollectUtilization records per-disk used bytes at build time and
@@ -119,8 +125,28 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Every float field rejects NaN and
+// ±Inf with a message naming the field before the range checks run, so a
+// corrupted sweep config fails loudly instead of poisoning a simulation.
 func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"DiskBandwidthMBps", c.DiskBandwidthMBps},
+		{"RecoveryMBps", c.RecoveryMBps},
+		{"DetectionLatencyHours", c.DetectionLatencyHours},
+		{"InitialUtilization", c.InitialUtilization},
+		{"SimHours", c.SimHours},
+		{"VintageScale", c.VintageScale},
+		{"ReplaceTrigger", c.ReplaceTrigger},
+		{"SmartAccuracy", c.SmartAccuracy},
+		{"SmartLeadHours", c.SmartLeadHours},
+	} {
+		if err := faults.CheckFinite("core: "+f.name, f.v); err != nil {
+			return err
+		}
+	}
 	switch {
 	case c.TotalDataBytes <= 0:
 		return errors.New("core: non-positive total data")
@@ -152,6 +178,9 @@ func (c Config) Validate() error {
 		return errors.New("core: smart accuracy out of [0,1]")
 	case c.SmartLeadHours < 0:
 		return errors.New("core: negative smart lead")
+	}
+	if err := c.Straggler.Validate(); err != nil {
+		return err
 	}
 	return c.Faults.Validate()
 }
@@ -233,6 +262,27 @@ type RunResult struct {
 	// QueuedSpareJobs counts recovery jobs that waited for an exhausted
 	// spare pool (traditional engine with a finite pool).
 	QueuedSpareJobs int
+	// Fail-slow and straggler-mitigation accounting (zero unless
+	// cfg.Faults.FailSlow / cfg.Straggler are enabled). FailSlowOnsets
+	// counts drives that degraded; FailSlowRecoveries counts spontaneous
+	// recoveries; SlowBursts counts correlated slow-bursts.
+	FailSlowOnsets     int
+	FailSlowRecoveries int
+	SlowBursts         int
+	// SlowFlagged counts detector flag transitions; SlowEvicted counts
+	// drives the detector condemned; Hedges/HedgeWins count duplicate
+	// transfers launched and won; RebuildTimeouts counts hard-aborted
+	// attempts.
+	SlowFlagged     int
+	SlowEvicted     int
+	Hedges          int
+	HedgeWins       int
+	RebuildTimeouts int
+	// WindowP50Hours/WindowP99Hours are streaming-quantile estimates of
+	// the per-block vulnerability window (the rebuild-time tail the
+	// fail-slow experiment reports). Zero when no block was rebuilt.
+	WindowP50Hours float64
+	WindowP99Hours float64
 	// InitialUsedBytes and FinalUsedBytes are per-disk-slot utilization
 	// snapshots, present only when CollectUtilization is set. Final
 	// covers all slots ever provisioned (0 for dead drives).
@@ -305,6 +355,7 @@ func runOnce(cfg Config) (RunResult, error) {
 		sched.Grow(cl.NumDisks())
 		st.scheduleFailure(ids[0])
 		st.armLSE(ids[0])
+		st.armFailSlow(ids[0])
 		return ids[0]
 	}
 	var bw workload.BandwidthModel = workload.Fixed{MBps: cfg.RecoveryMBps}
@@ -315,10 +366,25 @@ func runOnce(cfg Config) (RunResult, error) {
 		}
 		bw = d
 	}
+	if cfg.Faults.FailSlow.Enabled() {
+		// Per-disk degradation view over the expectation model. Only
+		// installed when gray failures can actually occur, so a zero
+		// fail-slow config keeps the engines' healthy fast path (and the
+		// golden transcript) byte-identical.
+		bw = workload.Degraded{Base: bw, Slowdown: func(id int) float64 {
+			if id < len(cl.Disks) {
+				return cl.Disks[id].SlowFactor()
+			}
+			return 1
+		}}
+	}
 	if cfg.UseFARM {
 		st.engine = recovery.NewFARM(cl, eng, sched, bw)
 	} else {
 		st.engine = recovery.NewSpareDisk(cl, eng, sched, bw, spawn)
+	}
+	if cfg.Straggler.Enabled {
+		st.engine.SetStraggler(cfg.Straggler, st.onSlowEvicted)
 	}
 	if cfg.Hook != nil {
 		st.engine.SetObserver(func(now sim.Time, kind string, group, rep, diskID int) {
@@ -361,6 +427,14 @@ func runOnce(cfg Config) (RunResult, error) {
 			}
 		}
 		st.scheduleBurst()
+		if cfg.Faults.FailSlow.Enabled() {
+			if cfg.Faults.FailSlow.OnsetRatePerDiskHour > 0 {
+				for id := 0; id < cl.NumDisks(); id++ {
+					st.scheduleSlowOnset(id)
+				}
+			}
+			st.scheduleSlowBurst()
+		}
 	}
 
 	eng.RunUntil(sim.Time(cfg.SimHours))
@@ -378,6 +452,13 @@ func runOnce(cfg Config) (RunResult, error) {
 	res.TransientFaults = es.TransientFaults
 	res.Resourcings = es.Resourcings
 	res.QueuedSpareJobs = es.SpareWaits
+	res.SlowFlagged = es.SlowFlagged
+	res.SlowEvicted = es.Evictions
+	res.Hedges = es.Hedges
+	res.HedgeWins = es.HedgeWins
+	res.RebuildTimeouts = es.Timeouts
+	res.WindowP50Hours = es.WindowP50.Value()
+	res.WindowP99Hours = es.WindowP99.Value()
 	if cfg.CollectUtilization {
 		res.FinalUsedBytes = cl.UsedBytesAll()
 	}
@@ -511,6 +592,104 @@ func (st *runState) armLSE(id int) {
 	if st.inj != nil && st.cfg.Faults.LSERatePerDiskHour > 0 {
 		st.scheduleLSE(id)
 	}
+}
+
+// armFailSlow starts the fail-slow onset process on a (new) drive when
+// gray-failure injection is configured; a no-op otherwise.
+func (st *runState) armFailSlow(id int) {
+	if st.inj != nil && st.cfg.Faults.FailSlow.OnsetRatePerDiskHour > 0 {
+		st.scheduleSlowOnset(id)
+	}
+}
+
+// scheduleSlowOnset samples the drive's next fail-slow onset and queues
+// it; on firing, the drive degrades and the process re-arms while the
+// drive lives (a degraded drive can degrade again after recovering).
+func (st *runState) scheduleSlowOnset(id int) {
+	at := st.eng.Now() + sim.Time(st.inj.NextSlowOnsetGap())
+	if float64(at) > st.cfg.SimHours {
+		return
+	}
+	st.eng.Schedule(at, "failslow-onset", func(now sim.Time) {
+		st.applySlowOnset(now, id)
+		st.scheduleSlowOnset(id)
+	})
+}
+
+// applySlowOnset degrades one drive: healthy → ×k (slow) or ×k²
+// (crawling), with an optional spontaneous recovery scheduled from the
+// injector's recovery draw. Dead, retired, or already-degraded drives are
+// no-ops — an episode must end before the next one can start.
+func (st *runState) applySlowOnset(now sim.Time, id int) {
+	d := st.cl.Disks[id]
+	if d.State != disk.Alive || d.Slowdown > 1 {
+		return
+	}
+	f := st.inj.DrawSlowSeverity()
+	d.Slowdown = f
+	st.res.FailSlowOnsets++
+	st.emit(trace.Event{Time: float64(now), Kind: trace.KindFailSlowOnset, Disk: id,
+		Detail: fmt.Sprintf("factor=%g", f)})
+	if hours, ok := st.inj.DrawSlowRecovery(); ok {
+		st.eng.Schedule(now+sim.Time(hours), "failslow-recover", func(rnow sim.Time) {
+			if d.State != disk.Alive || d.Slowdown != f {
+				return // died first, or this episode was already cleared
+			}
+			d.Slowdown = 0
+			st.res.FailSlowRecoveries++
+			st.emit(trace.Event{Time: float64(rnow), Kind: trace.KindFailSlowRecover, Disk: id})
+		})
+	}
+}
+
+// scheduleSlowBurst samples the next correlated slow-burst (a batch
+// gray-failure event: firmware rollout, thermal excursion, a bad rack)
+// and queues it; on firing, the drawn victims degrade spread across the
+// burst window, and the process re-arms.
+func (st *runState) scheduleSlowBurst() {
+	at := st.eng.Now() + sim.Time(st.inj.NextSlowBurstGap())
+	if float64(at) > st.cfg.SimHours {
+		return // also covers the disabled (+Inf) case
+	}
+	st.eng.Schedule(at, "slow-burst", func(now sim.Time) {
+		k := st.inj.SlowBurstSize()
+		alive := make([]int, 0, st.cl.AliveDisks())
+		for id := range st.cl.Disks {
+			if st.cl.Disks[id].State == disk.Alive {
+				alive = append(alive, id)
+			}
+		}
+		if k > len(alive) {
+			k = len(alive)
+		}
+		hits := 0
+		for _, idx := range st.inj.SampleSlowVictims(len(alive), k) {
+			victim := alive[idx]
+			st.eng.Schedule(now+sim.Time(st.inj.SlowBurstDelay()), "slow-burst-hit", func(bnow sim.Time) {
+				st.applySlowOnset(bnow, victim)
+			})
+			hits++
+		}
+		st.res.SlowBursts++
+		st.emit(trace.Event{Time: float64(now), Kind: trace.KindSlowBurst,
+			Detail: fmt.Sprintf("hits=%d", hits)})
+		st.scheduleSlowBurst()
+	})
+}
+
+// onSlowEvicted fires when the straggler detector condemns a drive: the
+// drive is marked suspect (excluded from placement and recovery-target
+// choice) and its blocks drain to healthy peers — the same controlled
+// exit a S.M.A.R.T. warning takes, so a condemned straggler leaves
+// service without a rebuild storm.
+func (st *runState) onSlowEvicted(now sim.Time, id int) {
+	if st.cl.Disks[id].State != disk.Alive || st.cl.IsSuspect(id) {
+		return
+	}
+	// The engine's observer already traced the "evict-slow" event; this
+	// handler only performs the suspect/drain exit.
+	st.cl.MarkSuspect(id)
+	st.drainStep(now, id)
 }
 
 // scheduleLSE samples the drive's next latent-sector-error arrival and
@@ -647,6 +826,7 @@ func (st *runState) maybeReplace(now sim.Time) {
 	for _, nid := range ids {
 		st.scheduleFailure(nid)
 		st.armLSE(nid)
+		st.armFailSlow(nid)
 	}
 	st.res.BatchesAdded++
 	st.res.DisksAdded += count

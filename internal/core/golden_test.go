@@ -43,6 +43,15 @@ func goldenConfigs() []struct {
 	erasure := base()
 	erasure.Scheme = redundancy.Scheme{M: 4, N: 6}
 	erasure.VintageScale = 2
+	// Fault injection enabled with the fail-slow sub-config left at its
+	// zero value and the straggler policy disabled: pins that the gray-
+	// failure subsystem, dormant, cannot perturb the PR-2 fault paths.
+	zeroSlow := base()
+	zeroSlow.VintageScale = 2
+	zeroSlow.Faults.LSERatePerDiskHour = 1e-5
+	zeroSlow.Faults.ScrubIntervalHours = 720
+	zeroSlow.Faults.BurstsPerYear = 1
+	zeroSlow.Faults.TransientReadProb = 0.05
 	return []struct {
 		name string
 		cfg  Config
@@ -53,6 +62,7 @@ func goldenConfigs() []struct {
 		{"farm-smart", smartCfg},
 		{"farm-adaptive", adaptive},
 		{"farm-erasure-x2", erasure},
+		{"farm-faults-zeroslow", zeroSlow},
 	}
 }
 

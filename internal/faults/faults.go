@@ -109,16 +109,159 @@ type Config struct {
 	// 24 h). Zero keeps the paper's unlimited spares.
 	SparePoolSize       int
 	SpareReplenishHours float64
+	// FailSlow configures gray-failure injection: drives that stay alive
+	// but deliver a fraction of their recovery bandwidth. The zero value
+	// disables it.
+	FailSlow FailSlowConfig
+}
+
+// FailSlowConfig describes the fail-slow (gray failure) processes:
+// per-disk degradation onsets, optional spontaneous recovery, and
+// correlated slow-bursts. All randomness is drawn from a dedicated
+// stream split off the injector seed, so any combination of the *other*
+// fault processes produces byte-identical runs whether or not this
+// struct is zero — and vice versa.
+type FailSlowConfig struct {
+	// OnsetRatePerDiskHour is the hazard of a healthy drive entering a
+	// degraded state (exponential). Field studies (Gunawi et al., FAST'18)
+	// put fail-slow incidence at roughly 1–2% of drives per year
+	// (~1e-6–2e-6 per disk-hour). Zero disables per-disk onsets.
+	OnsetRatePerDiskHour float64
+	// SlowFactor is k in the healthy → slow ×k → crawling ×k² ladder: a
+	// slow drive delivers 1/k of its recovery allotment, a crawling
+	// drive 1/k². Defaults to 4 when fail-slow is enabled.
+	SlowFactor float64
+	// CrawlProb is the probability that an onset lands directly in the
+	// crawling state (×k²) rather than merely slow (×k). Default 0.2.
+	CrawlProb float64
+	// RecoveryMeanHours, when positive, gives degraded drives an
+	// exponential dwell time after which they spontaneously return to
+	// full speed (transient gray failures: firmware GC storms, thermal
+	// throttling). Zero makes degradation permanent until the drive dies
+	// or is evicted.
+	RecoveryMeanHours float64
+	// SlowBurstsPerYear is the cluster-level Poisson rate of correlated
+	// slow-bursts — many drives degrading together (shared backplane,
+	// switch congestion, bad firmware push). Zero disables bursts.
+	SlowBurstsPerYear float64
+	// SlowBurstMeanSize is the mean number of drives degraded per burst
+	// (at least 1; the excess is Poisson). Default 8.
+	SlowBurstMeanSize float64
+	// SlowBurstSpanHours spreads a burst's onsets uniformly over this
+	// window. Default 1 h.
+	SlowBurstSpanHours float64
+}
+
+// Enabled reports whether any fail-slow process is configured.
+func (c FailSlowConfig) Enabled() bool {
+	return c.OnsetRatePerDiskHour > 0 || c.SlowBurstsPerYear > 0
+}
+
+// Validate checks the fail-slow configuration, rejecting NaN/±Inf with
+// field-distinct messages before sign checks (a NaN bandwidth factor
+// sails through `< 0` comparisons and poisons every duration downstream).
+func (c FailSlowConfig) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"OnsetRatePerDiskHour", c.OnsetRatePerDiskHour},
+		{"SlowFactor", c.SlowFactor},
+		{"CrawlProb", c.CrawlProb},
+		{"RecoveryMeanHours", c.RecoveryMeanHours},
+		{"SlowBurstsPerYear", c.SlowBurstsPerYear},
+		{"SlowBurstMeanSize", c.SlowBurstMeanSize},
+		{"SlowBurstSpanHours", c.SlowBurstSpanHours},
+	} {
+		if err := CheckFinite("faults: FailSlow."+f.name, f.v); err != nil {
+			return err
+		}
+	}
+	switch {
+	case c.OnsetRatePerDiskHour < 0:
+		return errors.New("faults: negative fail-slow onset rate")
+	case c.SlowFactor < 0 || (c.SlowFactor > 0 && c.SlowFactor <= 1):
+		return errors.New("faults: fail-slow factor must exceed 1")
+	case c.CrawlProb < 0 || c.CrawlProb > 1:
+		return errors.New("faults: crawl probability out of [0,1]")
+	case c.RecoveryMeanHours < 0:
+		return errors.New("faults: negative fail-slow recovery mean")
+	case c.SlowBurstsPerYear < 0:
+		return errors.New("faults: negative slow-burst rate")
+	case c.SlowBurstMeanSize < 0:
+		return errors.New("faults: negative slow-burst size")
+	case c.SlowBurstSpanHours < 0:
+		return errors.New("faults: negative slow-burst span")
+	}
+	return nil
+}
+
+// withDefaults fills the zero fail-slow policy fields.
+func (c FailSlowConfig) withDefaults() FailSlowConfig {
+	if !c.Enabled() {
+		return c
+	}
+	if c.SlowFactor == 0 {
+		c.SlowFactor = 4
+	}
+	if c.CrawlProb == 0 {
+		c.CrawlProb = 0.2
+	}
+	if c.SlowBurstsPerYear > 0 {
+		if c.SlowBurstMeanSize == 0 {
+			c.SlowBurstMeanSize = 8
+		}
+		if c.SlowBurstSpanHours == 0 {
+			c.SlowBurstSpanHours = 1
+		}
+	}
+	return c
+}
+
+// CheckFinite rejects NaN and ±Inf float configuration values with a
+// message naming the offending field; shared by the fault and core
+// config validators.
+func CheckFinite(field string, v float64) error {
+	if math.IsNaN(v) {
+		return fmt.Errorf("%s is NaN", field)
+	}
+	if math.IsInf(v, 0) {
+		return fmt.Errorf("%s is infinite (%v)", field, v)
+	}
+	return nil
 }
 
 // Enabled reports whether any fault process is configured.
 func (c Config) Enabled() bool {
 	return c.LSERatePerDiskHour > 0 || c.BurstsPerYear > 0 ||
-		c.TransientReadProb > 0 || c.SparePoolSize > 0
+		c.TransientReadProb > 0 || c.SparePoolSize > 0 || c.FailSlow.Enabled()
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Non-finite floats (NaN, ±Inf) are
+// rejected first with field-distinct messages: a NaN rate passes every
+// `< 0` guard and then poisons exponential gaps and durations downstream.
 func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"LSERatePerDiskHour", c.LSERatePerDiskHour},
+		{"ScrubIntervalHours", c.ScrubIntervalHours},
+		{"BurstsPerYear", c.BurstsPerYear},
+		{"BurstMeanSize", c.BurstMeanSize},
+		{"BurstSpanHours", c.BurstSpanHours},
+		{"TransientReadProb", c.TransientReadProb},
+		{"BackoffBaseHours", c.BackoffBaseHours},
+		{"BackoffCapHours", c.BackoffCapHours},
+		{"SpareReplenishHours", c.SpareReplenishHours},
+	} {
+		if err := CheckFinite("faults: "+f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if err := c.FailSlow.Validate(); err != nil {
+		return err
+	}
 	switch {
 	case c.LSERatePerDiskHour < 0:
 		return errors.New("faults: negative LSE rate")
@@ -171,6 +314,7 @@ func (c Config) withDefaults() Config {
 	if c.SparePoolSize > 0 && c.SpareReplenishHours == 0 {
 		c.SpareReplenishHours = 24
 	}
+	c.FailSlow = c.FailSlow.withDefaults()
 	return c
 }
 
@@ -196,6 +340,11 @@ type Entry struct {
 type Injector struct {
 	cfg Config
 	rng *rng.Source
+	// slow is the dedicated fail-slow stream: every gray-failure draw
+	// (onset gaps, severities, recovery dwell times, slow-bursts) comes
+	// from here, so enabling/disabling fail-slow never perturbs the LSE,
+	// burst, or transient-read draws and vice versa.
+	slow *rng.Source
 	// latent maps (disk, group) to the damaged replica index; order
 	// preserves deterministic scrub iteration.
 	latent map[lseKey]int32
@@ -207,7 +356,7 @@ type Injector struct {
 }
 
 // NewInjector validates cfg, applies policy defaults, and seeds the
-// injector's private random stream.
+// injector's private random streams.
 func NewInjector(cfg Config, seed uint64) (*Injector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -215,6 +364,7 @@ func NewInjector(cfg Config, seed uint64) (*Injector, error) {
 	return &Injector{
 		cfg:    cfg.withDefaults(),
 		rng:    rng.New(seed),
+		slow:   rng.New(seed ^ 0x51c0_f1a5_10fd_d15c),
 		latent: make(map[lseKey]int32),
 	}, nil
 }
@@ -363,7 +513,7 @@ func (in *Injector) BurstSize() int {
 	if mean <= 1 {
 		return 1
 	}
-	return 1 + in.poisson(mean-1)
+	return 1 + poisson(in.rng, mean-1)
 }
 
 // BurstDelay draws a death's offset within the burst window.
@@ -376,17 +526,80 @@ func (in *Injector) SampleVictims(n, k int) []int {
 	return in.rng.SampleK(n, k)
 }
 
-// poisson draws Poisson(lambda) by Knuth's product method (lambda is
-// small here — burst sizes — so the loop is short).
-func (in *Injector) poisson(lambda float64) int {
+// poisson draws Poisson(lambda) from src by Knuth's product method
+// (lambda is small here — burst sizes — so the loop is short).
+func poisson(src *rng.Source, lambda float64) int {
 	l := math.Exp(-lambda)
 	k := 0
 	p := 1.0
 	for {
-		p *= in.rng.Float64()
+		p *= src.Float64()
 		if p <= l {
 			return k
 		}
 		k++
 	}
+}
+
+// --- Fail-slow (gray failure) injection ---
+//
+// All draws below come from the injector's dedicated slow stream.
+
+// NextSlowOnsetGap draws the time to a drive's next fail-slow onset
+// (exponential with the per-disk hazard). Returns +Inf when disabled.
+func (in *Injector) NextSlowOnsetGap() float64 {
+	if in.cfg.FailSlow.OnsetRatePerDiskHour <= 0 {
+		return math.Inf(1)
+	}
+	return in.slow.Exp(in.cfg.FailSlow.OnsetRatePerDiskHour)
+}
+
+// DrawSlowSeverity draws the degradation factor of one onset: ×k (slow)
+// or ×k² (crawling) with the configured crawl probability.
+func (in *Injector) DrawSlowSeverity() float64 {
+	k := in.cfg.FailSlow.SlowFactor
+	if in.cfg.FailSlow.CrawlProb > 0 && in.slow.Float64() < in.cfg.FailSlow.CrawlProb {
+		return k * k
+	}
+	return k
+}
+
+// DrawSlowRecovery draws the dwell time until a degraded drive
+// spontaneously recovers. ok is false when degradation is permanent.
+func (in *Injector) DrawSlowRecovery() (hours float64, ok bool) {
+	m := in.cfg.FailSlow.RecoveryMeanHours
+	if m <= 0 {
+		return 0, false
+	}
+	return in.slow.Exp(1 / m), true
+}
+
+// NextSlowBurstGap draws the time to the next correlated slow-burst.
+// Returns +Inf when disabled.
+func (in *Injector) NextSlowBurstGap() float64 {
+	if in.cfg.FailSlow.SlowBurstsPerYear <= 0 {
+		return math.Inf(1)
+	}
+	return in.slow.Exp(in.cfg.FailSlow.SlowBurstsPerYear / 8760)
+}
+
+// SlowBurstSize draws how many drives one slow-burst degrades:
+// 1 + Poisson(mean-1).
+func (in *Injector) SlowBurstSize() int {
+	mean := in.cfg.FailSlow.SlowBurstMeanSize
+	if mean <= 1 {
+		return 1
+	}
+	return 1 + poisson(in.slow, mean-1)
+}
+
+// SlowBurstDelay draws an onset's offset within the slow-burst window.
+func (in *Injector) SlowBurstDelay() float64 {
+	return in.slow.Float64() * in.cfg.FailSlow.SlowBurstSpanHours
+}
+
+// SampleSlowVictims draws k distinct indices in [0, n) from the
+// fail-slow stream.
+func (in *Injector) SampleSlowVictims(n, k int) []int {
+	return in.slow.SampleK(n, k)
 }

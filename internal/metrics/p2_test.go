@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator for test streams (not a stats
+// RNG; just stable noise).
+type lcg uint64
+
+func (l *lcg) next() float64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return float64(uint64(*l)>>11) / float64(1<<53)
+}
+
+// TestP2SmallSampleExact: with fewer than five observations the
+// estimator must match the exact interpolated quantile bit for bit.
+func TestP2SmallSampleExact(t *testing.T) {
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		p := NewP2(q)
+		xs := []float64{7, 3, 11, 5}
+		for i, x := range xs {
+			p.Add(x)
+			want := Quantile(xs[:i+1], q)
+			if got := p.Value(); got != want {
+				t.Fatalf("q=%v n=%d: got %v, want exact %v", q, i+1, got, want)
+			}
+		}
+	}
+}
+
+// TestP2TracksMedianAndTail: on a smooth unimodal stream the P² median
+// and P99 stay within a few percent of the exact order statistics —
+// far tighter than the 2–4x discrimination thresholds the straggler
+// detector feeds.
+func TestP2TracksMedianAndTail(t *testing.T) {
+	var r lcg = 42
+	p50, p99 := NewP2(0.5), NewP2(0.99)
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Sum of three uniforms: smooth, bell-ish on [0, 48).
+		x := 16 * (r.next() + r.next() + r.next())
+		xs = append(xs, x)
+		p50.Add(x)
+		p99.Add(x)
+	}
+	for _, tc := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", p50.Value(), Quantile(xs, 0.5)},
+		{"p99", p99.Value(), Quantile(xs, 0.99)},
+	} {
+		if rel := math.Abs(tc.got-tc.want) / tc.want; rel > 0.05 {
+			t.Errorf("%s: got %v, want ~%v (rel err %.3f)", tc.name, tc.got, tc.want, rel)
+		}
+	}
+	if p50.N() != 20000 || p50.Q() != 0.5 {
+		t.Fatalf("N=%d Q=%v", p50.N(), p50.Q())
+	}
+}
+
+// TestP2ZeroValueActsAsMedian: the zero value self-initialises on first
+// Add (defensive: detector fields embedded in larger zero structs).
+func TestP2ZeroValueActsAsMedian(t *testing.T) {
+	var p P2Quantile
+	for _, x := range []float64{1, 2, 3, 4, 5, 6, 7} {
+		p.Add(x)
+	}
+	if got := p.Value(); math.Abs(got-4) > 1 {
+		t.Fatalf("zero-value median = %v, want ~4", got)
+	}
+	if p.Q() != 0.5 {
+		t.Fatalf("zero-value q = %v, want 0.5", p.Q())
+	}
+}
+
+// TestP2Clamps: out-of-range targets clamp instead of panicking.
+func TestP2Clamps(t *testing.T) {
+	for _, q := range []float64{-1, 0, 2, math.NaN()} {
+		p := NewP2(q)
+		for i := 0; i < 10; i++ {
+			p.Add(float64(i))
+		}
+		if v := p.Value(); math.IsNaN(v) {
+			t.Fatalf("q=%v produced NaN estimate", q)
+		}
+	}
+}
+
+// TestP2Monotone: the estimate lies within the observed range.
+func TestP2Monotone(t *testing.T) {
+	var r lcg = 7
+	p := NewP2(0.99)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 5000; i++ {
+		x := r.next() * 100
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+		p.Add(x)
+		if v := p.Value(); v < lo || v > hi {
+			t.Fatalf("estimate %v escaped observed range [%v, %v] at n=%d", v, lo, hi, i+1)
+		}
+	}
+}

@@ -36,6 +36,24 @@ type Stats struct {
 	// SpareWaits counts recovery jobs that found the spare pool empty
 	// and had to queue (SpareDisk engine with a finite pool).
 	SpareWaits int
+	// Hedges counts duplicate transfers launched for rebuilds stuck past
+	// the hedge deadline; HedgeWins counts hedges that finished before
+	// their primaries (straggler mitigation).
+	Hedges    int
+	HedgeWins int
+	// Timeouts counts rebuilds hard-aborted past the timeout multiple and
+	// pushed through the retry/re-source/abandon ladder.
+	Timeouts int
+	// SlowFlagged counts disks newly flagged slow by the peer-comparison
+	// detector; Evictions counts disks it evicted (terminal, once each).
+	SlowFlagged int
+	Evictions   int
+	// WindowP50/WindowP99 are streaming quantiles of the same per-block
+	// vulnerability windows Window accumulates — the rebuild-time tail the
+	// fail-slow experiment reports. P² estimators: O(1) memory, no
+	// allocation after newBase.
+	WindowP50 metrics.P2Quantile
+	WindowP99 metrics.P2Quantile
 }
 
 // FaultModel is the injection surface the engines consult when a rebuild
@@ -71,6 +89,11 @@ type Engine interface {
 	// SetFaultModel installs the fault-injection surface consulted when
 	// transfers complete; nil (the default) disables probing.
 	SetFaultModel(fm FaultModel)
+	// SetStraggler installs the straggler-mitigation policy (defaults
+	// filled) and the eviction callback fired when the peer-comparison
+	// detector condemns a persistently slow disk. A disabled policy (the
+	// zero value) leaves every code path untouched.
+	SetStraggler(p StragglerPolicy, evict func(now sim.Time, diskID int))
 	// Stats returns the engine's counters.
 	Stats() *Stats
 	// Name identifies the engine ("farm" or "spare").
@@ -100,6 +123,19 @@ type rebuild struct {
 	// cancels it so redirection/re-sourcing/abandonment during a backoff
 	// cannot leave a stale resubmission behind.
 	retryEv *sim.Event
+	// baseDur is the healthy-model transfer duration fixed when the
+	// rebuild was first created. It is the deadline reference for hedging
+	// and timeouts and the base every (re)submission scales by the
+	// endpoints' fail-slow factors; with no per-disk degradation every
+	// submission uses it bit-for-bit unchanged.
+	baseDur sim.Time
+	// hedgeEv/timeoutEv are the pending straggler timers; hedgeTask is
+	// the in-flight duplicate transfer (nil when none); hedges counts
+	// duplicates launched over the rebuild's lifetime (capped).
+	hedgeEv   *sim.Event
+	timeoutEv *sim.Event
+	hedgeTask *Task
+	hedges    int
 }
 
 // base holds the machinery common to both engines.
@@ -130,18 +166,37 @@ type base struct {
 	// lists are copied — into these, not fresh slices.
 	scratchSrc []*rebuild
 	scratchTgt []*rebuild
+	// pd is bw's per-disk view when the bandwidth model carries fail-slow
+	// state (nil otherwise); cached so the hot path does not repeat the
+	// interface assertion.
+	pd workload.PerDiskModel
+	// policy/det/evict are the straggler-mitigation layer; det is nil
+	// (and every related code path dormant) until SetStraggler enables
+	// the policy.
+	policy StragglerPolicy
+	det    *stragglerDetector
+	evict  func(now sim.Time, diskID int)
+	// hedgeByDisk indexes in-flight hedge transfers by both endpoints so
+	// disk deaths can drop them.
+	hedgeByDisk map[int][]*rebuild
 }
 
 func newBase(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload.BandwidthModel) base {
-	return base{
+	pd, _ := bw.(workload.PerDiskModel)
+	b := base{
 		cl:              cl,
 		eng:             eng,
 		sched:           sched,
 		bw:              bw,
+		pd:              pd,
 		bySource:        make(map[int][]*rebuild),
 		byTarget:        make(map[int][]*rebuild),
 		perGroupTargets: make(map[int][]int),
+		hedgeByDisk:     make(map[int][]*rebuild),
 	}
+	b.stats.WindowP50 = metrics.NewP2(0.5)
+	b.stats.WindowP99 = metrics.NewP2(0.99)
+	return b
 }
 
 func (b *base) Stats() *Stats { return &b.stats }
@@ -154,6 +209,21 @@ func (b *base) SetObserver(fn func(now sim.Time, kind string, group, rep, diskID
 // SetFaultModel implements Engine.
 func (b *base) SetFaultModel(fm FaultModel) { b.fm = fm }
 
+// SetStraggler implements Engine: it fills the policy defaults and, when
+// enabled, builds the peer-comparison detector. evict (optional) is
+// fired at most once per condemned disk; the core simulator binds it to
+// the S.M.A.R.T. suspect/drain path.
+func (b *base) SetStraggler(p StragglerPolicy, evict func(now sim.Time, diskID int)) {
+	p = p.withDefaults()
+	b.policy = p
+	b.evict = evict
+	if p.Enabled {
+		b.det = newStragglerDetector(p, b.cl.NumDisks())
+	} else {
+		b.det = nil
+	}
+}
+
 // observe fires the observer if installed.
 func (b *base) observe(now sim.Time, kind string, group, rep, diskID int) {
 	if b.observer != nil {
@@ -161,10 +231,29 @@ func (b *base) observe(now sim.Time, kind string, group, rep, diskID int) {
 	}
 }
 
-// blockDuration is the transfer time of one block rebuild requested now.
+// blockDuration is the healthy-model transfer time of one block rebuild
+// requested now — the expectation deadlines are measured against.
 func (b *base) blockDuration() sim.Time {
 	mbps := b.bw.RecoveryMBps(float64(b.eng.Now()))
 	return sim.Time(disk.RebuildHours(b.cl.BlockBytes, mbps))
+}
+
+// effDuration scales a healthy-model duration by the worse of the two
+// endpoints' fail-slow factors. With no per-disk model, or with both
+// endpoints healthy, it returns baseDur bit-for-bit unchanged (no float
+// operation), so a disabled fail-slow layer cannot perturb schedules.
+func (b *base) effDuration(baseDur sim.Time, src, tgt int) sim.Time {
+	if b.pd == nil {
+		return baseDur
+	}
+	f := b.pd.SlowdownFactor(src)
+	if g := b.pd.SlowdownFactor(tgt); g > f {
+		f = g
+	}
+	if f <= 1 {
+		return baseDur
+	}
+	return sim.Time(float64(baseDur) * f)
 }
 
 // track registers a rebuild in the disk indexes.
@@ -175,12 +264,24 @@ func (b *base) track(r *rebuild) {
 }
 
 // untrack removes a rebuild from the disk indexes. It also cancels any
-// pending backed-off resubmission: every path that untracks (success,
-// abandonment, redirection, re-sourcing) supersedes a waiting retry.
+// pending backed-off resubmission and any straggler timer or in-flight
+// hedge: every path that untracks (success, abandonment, redirection,
+// re-sourcing, hedge win) supersedes them.
 func (b *base) untrack(r *rebuild) {
 	if r.retryEv != nil {
 		b.eng.Cancel(r.retryEv)
 		r.retryEv = nil
+	}
+	if r.hedgeEv != nil {
+		b.eng.Cancel(r.hedgeEv)
+		r.hedgeEv = nil
+	}
+	if r.timeoutEv != nil {
+		b.eng.Cancel(r.timeoutEv)
+		r.timeoutEv = nil
+	}
+	if r.hedgeTask != nil {
+		b.cancelHedge(r)
 	}
 	b.bySource[r.task.Source] = removeRebuild(b.bySource[r.task.Source], r)
 	b.byTarget[r.task.Target] = removeRebuild(b.byTarget[r.task.Target], r)
@@ -236,7 +337,10 @@ func (b *base) complete(now sim.Time, r *rebuild) {
 	}
 	b.cl.PlaceRecovered(r.task.Group, r.task.Rep, r.task.Target)
 	b.stats.BlocksRebuilt++
-	b.stats.Window.Add(float64(now - r.failedAt))
+	w := float64(now - r.failedAt)
+	b.stats.Window.Add(w)
+	b.recordWindow(w)
+	b.noteTransfer(now, r.task)
 	b.observe(now, "rebuilt", r.task.Group, r.task.Rep, r.task.Target)
 }
 
@@ -256,7 +360,15 @@ func (b *base) resource(r *rebuild) {
 		b.abandon(r)
 		return
 	}
-	src := b.cl.SourceFor(r.task.Group, r.task.Target)
+	// Prefer a buddy different from the source that just proved dead,
+	// damaged, faulty, or slow; when it was the *only* intact buddy left
+	// (alive after exhausted transient retries, say), fall back to it
+	// rather than abandoning. Dead/unlinked sources are never candidates,
+	// so the fallback changes nothing on those paths.
+	src := b.cl.SourceForExcluding(r.task.Group, r.task.Source, r.task.Target)
+	if src < 0 {
+		src = b.cl.SourceFor(r.task.Group, r.task.Target)
+	}
 	if src < 0 {
 		// No intact block remains; with Available < m the group is
 		// already latched lost, so this is unreachable unless m == 0.
@@ -270,12 +382,12 @@ func (b *base) resource(r *rebuild) {
 		Rep:      r.task.Rep,
 		Source:   src,
 		Target:   r.task.Target,
-		Duration: r.task.Duration,
+		Duration: b.effDuration(r.baseDur, src, r.task.Target),
 	}
 	r.task = nt
 	b.track(r)
 	b.stats.Resourcings++
-	b.sched.Submit(nt, func(now sim.Time, _ *Task) { b.complete(now, r) })
+	b.submitTracked(r)
 }
 
 // resourceChecked re-sources a rebuild whose current source is unusable
@@ -284,7 +396,7 @@ func (b *base) resource(r *rebuild) {
 // graceful degradation instead of an unbounded source-hopping loop.
 func (b *base) resourceChecked(now sim.Time, r *rebuild) {
 	r.resourcings++
-	if b.fm != nil && r.resourcings > b.fm.MaxResourcings() {
+	if r.resourcings > b.maxResourcings() {
 		b.observe(now, "dropped", r.task.Group, r.task.Rep, r.task.Target)
 		b.abandon(r)
 		return
@@ -313,7 +425,7 @@ func (b *base) retryOrResource(now sim.Time, r *rebuild) {
 		Rep:      r.task.Rep,
 		Source:   r.task.Source,
 		Target:   r.task.Target,
-		Duration: r.task.Duration,
+		Duration: b.effDuration(r.baseDur, r.task.Source, r.task.Target),
 	}
 	r.task = nt
 	b.observe(now, "retry", nt.Group, nt.Rep, nt.Source)
@@ -324,7 +436,7 @@ func (b *base) retryOrResource(now sim.Time, r *rebuild) {
 			b.abandon(r)
 			return
 		}
-		b.sched.Submit(nt, func(done sim.Time, _ *Task) { b.complete(done, r) })
+		b.submitTracked(r)
 	})
 }
 

@@ -52,7 +52,7 @@ func (f *FARM) startRebuild(failedAt sim.Time, group, rep int) {
 		f.stats.DroppedLost++
 		return
 	}
-	r := &rebuild{failedAt: failedAt}
+	r := &rebuild{failedAt: failedAt, baseDur: f.blockDuration()}
 	target, trial, ok := f.pickTarget(group, rep, 0)
 	if !ok {
 		// Nowhere to put the block (cluster effectively full/dead);
@@ -66,10 +66,10 @@ func (f *FARM) startRebuild(failedAt sim.Time, group, rep int) {
 		Rep:      rep,
 		Source:   src,
 		Target:   target,
-		Duration: f.blockDuration(),
+		Duration: f.effDuration(r.baseDur, src, target),
 	}
 	f.track(r)
-	f.sched.Submit(r.task, func(now sim.Time, _ *Task) { f.complete(now, r) })
+	f.submitTracked(r)
 }
 
 // HandleBlockLoss recovers a single damaged replica (a discovered latent
@@ -82,6 +82,7 @@ func (f *FARM) HandleBlockLoss(now sim.Time, failedAt sim.Time, diskID, group, r
 // HandleFailure redirects rebuilds writing to the dead disk and re-sources
 // rebuilds reading from it.
 func (f *FARM) HandleFailure(now sim.Time, diskID int) {
+	f.dropHedgesOn(diskID)
 	asSource, asTarget := f.rebuildsTouching(diskID)
 	for _, r := range asTarget {
 		f.redirect(now, r)
@@ -125,11 +126,11 @@ func (f *FARM) redirect(now sim.Time, r *rebuild) {
 		Rep:      r.task.Rep,
 		Source:   src,
 		Target:   target,
-		Duration: r.task.Duration,
+		Duration: f.effDuration(r.baseDur, src, target),
 	}
 	r.task = nt
 	r.trial = trial
 	f.track(r)
 	f.stats.Redirections++
-	f.sched.Submit(nt, func(now sim.Time, _ *Task) { f.complete(now, r) })
+	f.submitTracked(r)
 }

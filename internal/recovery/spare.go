@@ -169,16 +169,16 @@ func (s *SpareDisk) startRebuild(failedAt sim.Time, group, rep, spare int) {
 		s.stats.DroppedLost++
 		return
 	}
-	r := &rebuild{failedAt: failedAt}
+	r := &rebuild{failedAt: failedAt, baseDur: s.blockDuration()}
 	r.task = &Task{
 		Group:    group,
 		Rep:      rep,
 		Source:   src,
 		Target:   spare,
-		Duration: s.blockDuration(),
+		Duration: s.effDuration(r.baseDur, src, spare),
 	}
 	s.track(r)
-	s.sched.Submit(r.task, func(now sim.Time, _ *Task) { s.complete(now, r) })
+	s.submitTracked(r)
 }
 
 // HandleBlockLoss repairs a single damaged replica (a discovered latent
@@ -208,22 +208,23 @@ func (s *SpareDisk) HandleBlockLoss(now sim.Time, failedAt sim.Time, diskID, gro
 		s.stats.DroppedLost++
 		return
 	}
-	r := &rebuild{failedAt: failedAt}
+	r := &rebuild{failedAt: failedAt, baseDur: s.blockDuration()}
 	r.task = &Task{
 		Group:    group,
 		Rep:      rep,
 		Source:   src,
 		Target:   target,
-		Duration: s.blockDuration(),
+		Duration: s.effDuration(r.baseDur, src, target),
 	}
 	s.track(r)
-	s.sched.Submit(r.task, func(at sim.Time, _ *Task) { s.complete(at, r) })
+	s.submitTracked(r)
 }
 
 // HandleFailure reacts to any disk death: if it was an active spare, the
 // outstanding work restarts on a new spare (or queues for one); rebuilds
 // sourced from the dead disk are re-sourced.
 func (s *SpareDisk) HandleFailure(now sim.Time, diskID int) {
+	s.dropHedgesOn(diskID)
 	if failed, ok := s.spareRole[diskID]; ok {
 		delete(s.spareRole, diskID)
 		delete(s.spareFor, failed)

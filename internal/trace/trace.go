@@ -34,6 +34,17 @@ const (
 	KindBurst       Kind = "burst"        // a correlated failure burst fired (Detail: kills=N)
 	KindRetry       Kind = "retry"        // a rebuild read faulted transiently and was retried
 	KindSpareQueued Kind = "spare-queued" // recovery work queued for an exhausted spare pool
+
+	// Fail-slow / straggler-mitigation kinds (gray failures and the
+	// hedging layer in internal/recovery).
+	KindFailSlowOnset   Kind = "failslow-onset"   // a drive degraded (Detail: factor)
+	KindFailSlowRecover Kind = "failslow-recover" // a degraded drive recovered
+	KindFailSlowDetect  Kind = "failslow-detect"  // the peer-comparison detector flagged a drive
+	KindHedge           Kind = "hedge"            // a duplicate transfer was launched
+	KindHedgeWin        Kind = "hedge-win"        // the duplicate finished before the primary
+	KindEvictSlow       Kind = "evict-slow"       // the detector condemned a persistent straggler
+	KindRebuildTimeout  Kind = "rebuild-timeout"  // a rebuild overstayed its timeout multiple
+	KindSlowBurst       Kind = "slow-burst"       // a correlated slow-burst fired (Detail: hits=N)
 )
 
 // Event is one timestamped simulator occurrence. Times are simulation

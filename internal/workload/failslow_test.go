@@ -1,0 +1,86 @@
+package workload
+
+import "testing"
+
+// TestDegradedHealthyIsExact: a Degraded wrapper over healthy disks
+// returns the base bandwidth bit for bit (no division on the healthy
+// path), and the expectation view never sees per-disk state.
+func TestDegradedHealthyIsExact(t *testing.T) {
+	slow := map[int]float64{3: 4, 5: 0.5}
+	d := Degraded{Base: Fixed{MBps: 16}, Slowdown: func(id int) float64 { return slow[id] }}
+	if got := d.RecoveryMBps(100); got != 16 {
+		t.Fatalf("expectation view = %v, want 16", got)
+	}
+	if got := d.DiskRecoveryMBps(100, 0); got != 16 {
+		t.Fatalf("healthy disk = %v, want exactly 16", got)
+	}
+	// Sub-unity factors read as healthy (never speed a disk up).
+	if got := d.DiskRecoveryMBps(100, 5); got != 16 {
+		t.Fatalf("sub-unity factor sped disk up: %v", got)
+	}
+	if got := d.DiskRecoveryMBps(100, 3); got != 4 {
+		t.Fatalf("slow disk = %v, want 16/4", got)
+	}
+	if f := d.SlowdownFactor(3); f != 4 {
+		t.Fatalf("factor = %v, want 4", f)
+	}
+	if d.Name() != "fixed+failslow" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}
+
+// TestDegradedNilLookup: a Degraded with no lookup behaves as its base.
+func TestDegradedNilLookup(t *testing.T) {
+	d := Degraded{Base: Fixed{MBps: 16}}
+	if d.SlowdownFactor(9) != 1 || d.DiskRecoveryMBps(0, 9) != 16 {
+		t.Fatal("nil lookup must read healthy")
+	}
+}
+
+// TestEndpointFactor: a transfer runs at the slower endpoint's rate, so
+// the factor is the max of the two endpoints; plain models yield 1.
+func TestEndpointFactor(t *testing.T) {
+	slow := map[int]float64{1: 4, 2: 16}
+	d := Degraded{Base: Fixed{MBps: 16}, Slowdown: func(id int) float64 { return slow[id] }}
+	cases := []struct {
+		src, tgt int
+		want     float64
+	}{
+		{0, 3, 1},  // both healthy
+		{1, 0, 4},  // slow source
+		{0, 2, 16}, // crawling target
+		{1, 2, 16}, // worse endpoint wins
+	}
+	for _, tc := range cases {
+		if got := EndpointFactor(d, tc.src, tc.tgt); got != tc.want {
+			t.Errorf("EndpointFactor(%d,%d) = %v, want %v", tc.src, tc.tgt, got, tc.want)
+		}
+	}
+	if got := EndpointFactor(Fixed{MBps: 16}, 1, 2); got != 1 {
+		t.Fatalf("plain model factor = %v, want 1", got)
+	}
+}
+
+// TestDegradedOverDiurnal: the per-disk division composes with the
+// diurnal expectation model.
+func TestDegradedOverDiurnal(t *testing.T) {
+	base, err := NewDiurnal(80, 16, 0.8, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Degraded{Base: base, Slowdown: func(id int) float64 {
+		if id == 7 {
+			return 4
+		}
+		return 1
+	}}
+	for _, hour := range []float64{0, 6, 14, 23} {
+		want := base.RecoveryMBps(hour)
+		if got := d.RecoveryMBps(hour); got != want {
+			t.Fatalf("expectation view diverged at h=%v: %v != %v", hour, got, want)
+		}
+		if got := d.DiskRecoveryMBps(hour, 7); got != want/4 {
+			t.Fatalf("slow disk at h=%v: %v, want %v", hour, got, want/4)
+		}
+	}
+}

@@ -112,6 +112,79 @@ func (d Diurnal) RecoveryMBps(nowHours float64) float64 {
 // Name implements BandwidthModel.
 func (d Diurnal) Name() string { return "diurnal" }
 
+// PerDiskModel extends BandwidthModel with the *effective* bandwidth of
+// one specific disk — the fail-slow view. The window-of-vulnerability
+// math consumes this instead of the global constant when gray failures
+// are modelled: a transfer runs at the slower of its two endpoints'
+// effective rates, so a crawling source stretches a rebuild far past
+// the paper's 16 MB/s prediction.
+type PerDiskModel interface {
+	BandwidthModel
+	// DiskRecoveryMBps returns the bandwidth disk id actually delivers
+	// to a recovery transfer starting at nowHours.
+	DiskRecoveryMBps(nowHours float64, id int) float64
+	// SlowdownFactor returns the disk's degradation multiplier (>= 1;
+	// exactly 1 for a healthy disk). DiskRecoveryMBps equals
+	// RecoveryMBps / SlowdownFactor.
+	SlowdownFactor(id int) float64
+}
+
+// Degraded wraps a base BandwidthModel with a per-disk fail-slow lookup.
+// RecoveryMBps (the healthy expectation) delegates to the base model
+// untouched — detectors and deadline math use it as the "what should
+// this take" reference — while DiskRecoveryMBps divides by the disk's
+// current degradation factor.
+type Degraded struct {
+	Base BandwidthModel
+	// Slowdown returns the degradation multiplier of a disk; values <= 1
+	// read as healthy. Typically bound to the cluster's drive states.
+	Slowdown func(id int) float64
+}
+
+// RecoveryMBps implements BandwidthModel (the healthy expectation).
+func (d Degraded) RecoveryMBps(nowHours float64) float64 {
+	return d.Base.RecoveryMBps(nowHours)
+}
+
+// SlowdownFactor implements PerDiskModel.
+func (d Degraded) SlowdownFactor(id int) float64 {
+	if d.Slowdown == nil {
+		return 1
+	}
+	if f := d.Slowdown(id); f > 1 {
+		return f
+	}
+	return 1
+}
+
+// DiskRecoveryMBps implements PerDiskModel.
+func (d Degraded) DiskRecoveryMBps(nowHours float64, id int) float64 {
+	mbps := d.Base.RecoveryMBps(nowHours)
+	if f := d.SlowdownFactor(id); f > 1 {
+		return mbps / f
+	}
+	return mbps
+}
+
+// Name implements BandwidthModel.
+func (d Degraded) Name() string { return d.Base.Name() + "+failslow" }
+
+// EndpointFactor returns the degradation multiplier governing a transfer
+// between src and tgt under m: the worse of the two endpoints when m is
+// per-disk-aware, 1 otherwise. A transfer runs at the slower endpoint's
+// rate, so its duration is the healthy duration times this factor.
+func EndpointFactor(m BandwidthModel, src, tgt int) float64 {
+	pd, ok := m.(PerDiskModel)
+	if !ok {
+		return 1
+	}
+	f := pd.SlowdownFactor(src)
+	if g := pd.SlowdownFactor(tgt); g > f {
+		f = g
+	}
+	return f
+}
+
 // MeanRecoveryMBps integrates the model over one day (trapezoid rule),
 // for reporting.
 func MeanRecoveryMBps(m BandwidthModel) float64 {
