@@ -1,0 +1,74 @@
+// Command farmlint runs the repo's determinism/hot-path/validation
+// analyzer suite (internal/lint). It speaks two protocols:
+//
+//	farmlint ./...                      standalone: load, analyze, report
+//	go vet -vettool=$(pwd)/bin/farmlint ./...   unit-checker protocol
+//
+// Standalone mode exits 1 when findings exist; vettool mode follows the
+// vet convention (exit 2). Both print findings as file:line:col lines.
+//
+// The suite enforces (see DESIGN.md §10):
+//
+//	nodeterm    no wall clocks, global randomness, or order-dependent
+//	            map walks in simulator packages
+//	hotpath     //farm:hotpath functions stay structurally alloc-free
+//	floatvalid  every float config field is covered by Validate
+//	tracekind   trace.Kind is a closed vocabulary of unique constants
+//	seqtie      heap comparators tie-break on a sequence number
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	var patterns []string
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "-V":
+			lint.PrintVersion(os.Stdout)
+			return 0
+		case arg == "-flags":
+			lint.PrintFlags(os.Stdout)
+			return 0
+		case lint.IsVetConfig(arg):
+			// go vet unit-checker protocol: one package unit per
+			// invocation, config written by the go command.
+			return lint.RunVetUnit(arg, os.Stderr)
+		case strings.HasPrefix(arg, "-"):
+			// Ignore analyzer enable/disable flags the go command may
+			// forward; the suite always runs in full.
+		default:
+			patterns = append(patterns, arg)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "farmlint: %v\n", err)
+		return 1
+	}
+	diags, err := lint.Run(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "farmlint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "farmlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

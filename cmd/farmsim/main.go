@@ -113,6 +113,7 @@ func runExperiments(args []string) error {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (try 'farmsim list')", id)
 		}
+		//farm:wallclock verbose-mode elapsed-time reporting only; never feeds the simulation
 		start := time.Now()
 		tables, err := e.Run(opts)
 		if err != nil {
@@ -131,6 +132,7 @@ func runExperiments(args []string) error {
 			fmt.Println()
 		}
 		if *verbose {
+			//farm:wallclock verbose-mode elapsed-time reporting only; never feeds the simulation
 			fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}

@@ -207,6 +207,8 @@ func (c *Cluster) BlocksOn(id int) []BlockRef { return c.byDisk[id] }
 // FailDisk transitions a drive to Failed at time now and unlinks every
 // resident block. It returns the list of blocks that were lost and the
 // number of groups that crossed into data loss as a result.
+//
+//farm:hotpath per-failure bookkeeping, gated by TestFailDiskZeroAlloc
 func (c *Cluster) FailDisk(id int, now float64) (lost []BlockRef, newlyDead int) {
 	d := c.Disks[id]
 	if d.State != disk.Alive {
@@ -343,6 +345,8 @@ func (c *Cluster) SourceForExcluding(group, ex1, ex2 int) int {
 // cluster and valid until the next BuddyExcludes call; callers may Add
 // further exclusions (e.g. in-flight rebuild targets) before use. The
 // call performs no allocation in steady state.
+//
+//farm:hotpath exclusion scratch fill, gated by TestRecoveryTargetSelectionZeroAlloc
 func (c *Cluster) BuddyExcludes(group int) *placement.ExcludeSet {
 	c.excl.Reset(len(c.Disks))
 	grp := &c.Groups[group]

@@ -387,9 +387,9 @@ func runOnce(cfg Config) (RunResult, error) {
 		st.engine.SetStraggler(cfg.Straggler, st.onSlowEvicted)
 	}
 	if cfg.Hook != nil {
-		st.engine.SetObserver(func(now sim.Time, kind string, group, rep, diskID int) {
+		st.engine.SetObserver(func(now sim.Time, kind trace.Kind, group, rep, diskID int) {
 			cfg.Hook(trace.Event{
-				Time: float64(now), Kind: trace.Kind(kind),
+				Time: float64(now), Kind: kind,
 				Group: group, Rep: rep, Disk: diskID,
 			})
 		})

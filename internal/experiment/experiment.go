@@ -119,13 +119,24 @@ func Lookup(id string) (Experiment, bool) {
 	return e, ok
 }
 
-// All returns every experiment in paper order.
+// All returns every experiment in paper order; extensions sharing a
+// paper-order slot (all ext-*) follow in lexical ID order. Iterating the
+// registry map directly and sorting with sort.Slice was subtly
+// nondeterministic: every ext-* experiment compares equal under
+// paperOrder, so their relative order in `farmsim list` leaked the
+// randomized map iteration order. Sorted key collection plus a stable
+// sort pins the output byte-for-byte.
 func All() []Experiment {
-	out := make([]Experiment, 0, len(registry))
-	for _, e := range registry {
-		out = append(out, e)
+	ids := make([]string, 0, len(registry))
+	for id := range registry { //farm:orderinvariant keys are sorted before use
+		ids = append(ids, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return paperOrder(out[i].ID) < paperOrder(out[j].ID) })
+	sort.Strings(ids)
+	out := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, registry[id])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return paperOrder(out[i].ID) < paperOrder(out[j].ID) })
 	return out
 }
 

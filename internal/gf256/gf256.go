@@ -116,6 +116,8 @@ func Exp(n int) byte {
 // regardless of the data — the old log/exp kernel branched on every zero
 // source byte and did two dependent table walks per byte. Measured ~2×
 // on random data. Allocation-free.
+//
+//farm:hotpath erasure inner loop, gated by TestMulSliceZeroAlloc
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: MulSlice length mismatch")
@@ -150,6 +152,8 @@ func MulSlice(c byte, src, dst []byte) {
 // accumulating): the first row of an encode/reconstruct inner product.
 // Using it for row 0 saves the explicit zeroing pass over dst plus one
 // full read of dst that MulSlice would do. Same word-wide kernel.
+//
+//farm:hotpath erasure inner loop (overwrite form), gated by TestMulSliceZeroAlloc
 func MulSliceAssign(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: MulSliceAssign length mismatch")
@@ -185,6 +189,8 @@ func MulSliceAssign(c byte, src, dst []byte) {
 
 // XorSlice sets dst[i] ^= src[i], 8 bytes per iteration — the c == 1 path
 // of MulSlice and the inner loop of XOR-parity codes.
+//
+//farm:hotpath mirror/parity inner loop
 func XorSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: XorSlice length mismatch")

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Annotation directives. A directive is a line comment of the form
+// //farm:<name> <justification>, attached either to the statement it
+// permits (same line or the line directly above) or, for hotpath, to the
+// function declaration's doc comment. The justification text is free-form
+// but required: an annotation without a reason is itself a finding.
+const (
+	// dirHotPath marks a function bound by the hot-path contract.
+	dirHotPath = "farm:hotpath"
+	// dirOrderInvariant justifies a map iteration whose effects are
+	// order-invariant (e.g. results are sorted before use).
+	dirOrderInvariant = "farm:orderinvariant"
+	// dirWallClock justifies a wall-clock read (reporting-only timing
+	// outside the simulation's virtual clock).
+	dirWallClock = "farm:wallclock"
+)
+
+// annotations indexes every //farm:* directive of one package by file and
+// line.
+type annotations struct {
+	// byLine maps filename -> line -> directive text (without "//").
+	byLine map[string]map[int]string
+}
+
+// annotationsOf builds (once) and returns the package's annotation index.
+func (p *Pass) annotationsOf() *annotations {
+	if p.ann != nil {
+		return p.ann
+	}
+	a := &annotations{byLine: make(map[string]map[int]string)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "farm:") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := a.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]string)
+					a.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = text
+			}
+		}
+	}
+	p.ann = a
+	return a
+}
+
+// directiveAt reports the //farm:<name> directive governing the node
+// starting at pos: on the same line or the line immediately above.
+// It returns the justification text and whether the directive was found.
+func (p *Pass) directiveAt(pos int, filename, name string) (string, bool) {
+	a := p.annotationsOf()
+	lines := a.byLine[filename]
+	if lines == nil {
+		return "", false
+	}
+	for _, l := range [2]int{pos, pos - 1} {
+		if text, ok := lines[l]; ok {
+			if rest, ok := cutDirective(text, name); ok {
+				return rest, true
+			}
+		}
+	}
+	return "", false
+}
+
+// cutDirective splits "farm:name justification" into its justification if
+// the directive name matches.
+func cutDirective(text, name string) (string, bool) {
+	if !strings.HasPrefix(text, name) {
+		return "", false
+	}
+	rest := text[len(name):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. farm:hotpathological
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// funcHasDirective reports whether the function declaration's doc comment
+// carries the named directive.
+func funcHasDirective(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if _, ok := cutDirective(text, name); ok {
+			return true
+		}
+	}
+	return false
+}

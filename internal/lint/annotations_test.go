@@ -1,0 +1,58 @@
+package lint
+
+import "testing"
+
+func TestCutDirective(t *testing.T) {
+	cases := []struct {
+		text, name string
+		wantRest   string
+		wantOK     bool
+	}{
+		{"farm:hotpath exercised by the alloc gate", dirHotPath, "exercised by the alloc gate", true},
+		{"farm:hotpath", dirHotPath, "", true},
+		{"farm:hotpath\tper-step kernel", dirHotPath, "per-step kernel", true},
+		{"farm:hotpathological", dirHotPath, "", false},
+		{"farm:orderinvariant keys sorted", dirHotPath, "", false},
+		{"farm:orderinvariant keys sorted", dirOrderInvariant, "keys sorted", true},
+		{"farm:wallclock reporting only", dirWallClock, "reporting only", true},
+		{"unrelated comment", dirWallClock, "", false},
+	}
+	for _, c := range cases {
+		rest, ok := cutDirective(c.text, c.name)
+		if rest != c.wantRest || ok != c.wantOK {
+			t.Errorf("cutDirective(%q, %q) = (%q, %v), want (%q, %v)",
+				c.text, c.name, rest, ok, c.wantRest, c.wantOK)
+		}
+	}
+}
+
+func TestPkgPathBase(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"repro/internal/trace", "trace"},
+		{"repro/internal/core [repro/internal/core.test]", "core"},
+		{"core", "core"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := pkgPathBase(c.in); got != c.want {
+			t.Errorf("pkgPathBase(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestContainsSegment(t *testing.T) {
+	cases := []struct {
+		path, seg string
+		want      bool
+	}{
+		{"repro/internal/lint/testdata", "lint/", true},
+		{"repro/internal/lint", "lint/", false},
+		{"repro/examples/demo", "examples/", true},
+		{"repro/internal/flint/x", "lint/", false},
+	}
+	for _, c := range cases {
+		if got := containsSegment(c.path, c.seg); got != c.want {
+			t.Errorf("containsSegment(%q, %q) = %v, want %v", c.path, c.seg, got, c.want)
+		}
+	}
+}

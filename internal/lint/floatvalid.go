@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FloatValid enforces the validation contract on configuration structs: a
+// NaN or ±Inf smuggled into a sweep config sails through `< 0`
+// comparisons and silently poisons six simulated years of arithmetic (the
+// class of bug PR 3 fixed by hand). In the core, faults, and recovery
+// packages, every exported float64 or time.Duration field of an exported
+// Config/Policy struct must be referenced by that package's
+// Validate/validate function — the mechanical proxy for "someone range-
+// and finiteness-checks this number before a run starts".
+var FloatValid = &Analyzer{
+	Name: "floatvalid",
+	Doc:  "every exported float field on a Config/Policy struct must be referenced by Validate",
+	Run:  runFloatValid,
+}
+
+// floatValidPkgs are the package-path base names carrying validated
+// config structs.
+var floatValidPkgs = map[string]bool{"core": true, "faults": true, "recovery": true}
+
+func runFloatValid(pass *Pass) error {
+	if !floatValidPkgs[pkgPathBase(pass.Pkg.Path())] {
+		return nil
+	}
+
+	// Pass 1: every struct field referenced inside a Validate/validate
+	// function or method anywhere in the package.
+	validated := make(map[*types.Var]bool)
+	sawValidate := false
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if name := fd.Name.Name; name != "Validate" && name != "validate" {
+				continue
+			}
+			sawValidate = true
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+					if v, ok := s.Obj().(*types.Var); ok {
+						validated[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: audit the config structs.
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !isConfigStructName(ts.Name.Name) {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				pass.auditConfigStruct(ts.Name.Name, st, validated, sawValidate)
+			}
+		}
+	}
+	return nil
+}
+
+// isConfigStructName matches the exported configuration types the
+// contract covers.
+func isConfigStructName(name string) bool {
+	if !ast.IsExported(name) {
+		return false
+	}
+	return name == "Config" || strings.HasSuffix(name, "Config") || strings.HasSuffix(name, "Policy")
+}
+
+func (p *Pass) auditConfigStruct(typeName string, st *ast.StructType, validated map[*types.Var]bool, sawValidate bool) {
+	for _, field := range st.Fields.List {
+		if !p.isValidatableFieldType(field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if !ast.IsExported(name.Name) {
+				continue
+			}
+			obj, ok := p.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if !sawValidate {
+				p.Reportf(name.Pos(), "%s.%s is a float field but package %s has no Validate function to check it", typeName, name.Name, p.Pkg.Name())
+				continue
+			}
+			if !validated[obj] {
+				p.Reportf(name.Pos(), "%s.%s (%s) is never referenced by Validate: NaN/Inf or out-of-range values will reach the simulation", typeName, name.Name, types.ExprString(field.Type))
+			}
+		}
+	}
+}
+
+// isValidatableFieldType matches float64 (or a named alias of it) and
+// time.Duration.
+func (p *Pass) isValidatableFieldType(e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration" {
+			return true
+		}
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Kind() == types.Float64 || b.Kind() == types.Float32
+	}
+	return false
+}

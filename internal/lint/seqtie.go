@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeqTie enforces deterministic heap ordering. The simulator's event
+// queue is a binary heap; when two events carry the same timestamp, the
+// pop order of a heap compared on time alone is an artifact of insertion
+// and sift history — legal for container/heap, fatal for reproducibility.
+// Every type that implements container/heap.Interface must therefore
+//
+//   - carry a sequence-number field (name matching seq*/Seq*) on its
+//     element type, and
+//   - reference that field in its Less method (the explicit tie-break:
+//     equal times fall back to scheduling order).
+var SeqTie = &Analyzer{
+	Name: "seqtie",
+	Doc:  "heap comparators must tie-break on an explicit sequence number",
+	Run:  runSeqTie,
+}
+
+func runSeqTie(pass *Pass) error {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || !implementsHeapInterface(named) {
+			continue
+		}
+		less := findMethod(named, "Less")
+		if less == nil {
+			continue // interface embedding etc.; nothing to inspect
+		}
+		fd := pass.funcDeclOf(less)
+		if fd == nil || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+			continue
+		}
+		elem := heapElemStruct(named)
+		if elem == nil {
+			// Cannot see through to a struct element (e.g. heap of ints);
+			// a bare ordinal heap cannot tie-break, which is exactly the
+			// hazard this analyzer exists to surface.
+			pass.Reportf(fd.Pos(), "heap %s has no struct element carrying a sequence number: simultaneous entries pop in sift order, not scheduling order", name)
+			continue
+		}
+		seq := seqFieldOf(elem)
+		if seq == nil {
+			pass.Reportf(fd.Pos(), "heap %s's element type %s has no sequence field (name starting with 'seq'): add one and tie-break on it in Less", name, elem.String())
+			continue
+		}
+		if !pass.bodyReferencesField(fd.Body, seq) {
+			pass.Reportf(fd.Pos(), "heap %s's Less does not tie-break on %s: events at equal times will pop in nondeterministic sift order", name, seq.Name())
+		}
+	}
+	return nil
+}
+
+// implementsHeapInterface reports whether T or *T provides the five
+// container/heap.Interface methods with plausible signatures.
+func implementsHeapInterface(named *types.Named) bool {
+	need := map[string]bool{"Len": false, "Less": false, "Swap": false, "Push": false, "Pop": false}
+	for mset := range need {
+		m := findMethod(named, mset)
+		if m == nil {
+			return false
+		}
+		need[mset] = true
+	}
+	// Shape checks on the two distinguishing methods so plain
+	// sort.Interface implementations (Len/Less/Swap only) and unrelated
+	// Push/Pop APIs don't match: heap.Push takes a single any parameter,
+	// heap.Pop returns a single any.
+	push := findMethod(named, "Push")
+	pop := findMethod(named, "Pop")
+	psig, ok := push.Type().(*types.Signature)
+	if !ok || psig.Params().Len() != 1 || !isEmptyInterface(psig.Params().At(0).Type()) {
+		return false
+	}
+	osig, ok := pop.Type().(*types.Signature)
+	if !ok || osig.Results().Len() != 1 || !isEmptyInterface(osig.Results().At(0).Type()) {
+		return false
+	}
+	return true
+}
+
+func isEmptyInterface(t types.Type) bool {
+	i, ok := t.Underlying().(*types.Interface)
+	return ok && i.NumMethods() == 0
+}
+
+// findMethod returns the declared method name on T or *T.
+func findMethod(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// heapElemStruct digs the struct type a heap orders: for a heap declared
+// as []E or []*E it returns E's struct type.
+func heapElemStruct(named *types.Named) *types.Struct {
+	sl, ok := named.Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	t := sl.Elem()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	return st
+}
+
+// seqFieldOf returns the element's sequence-number field, matching any
+// field whose name starts with "seq" case-insensitively and whose type is
+// an integer.
+func seqFieldOf(st *types.Struct) *types.Var {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !strings.HasPrefix(strings.ToLower(f.Name()), "seq") {
+			continue
+		}
+		if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcDeclOf finds the AST declaration of a method.
+func (p *Pass) funcDeclOf(fn *types.Func) *ast.FuncDecl {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if def, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok && def == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// bodyReferencesField reports whether the body selects the given struct
+// field.
+func (p *Pass) bodyReferencesField(body *ast.BlockStmt, field *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := p.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal && s.Obj() == field {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

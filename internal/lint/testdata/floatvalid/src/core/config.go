@@ -1,0 +1,44 @@
+// Package core is a floatvalid fixture standing in for a simulator
+// package carrying validated configuration structs (the guard matches
+// path base names core, faults, recovery).
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+var errBad = errors.New("bad config")
+
+// Config is audited: every exported float64/time.Duration field must be
+// referenced by Validate.
+type Config struct {
+	Rate     float64       // want "never referenced by Validate"
+	Timeout  time.Duration // checked below: clean
+	Checked  float64       // checked below: clean
+	Name     string        // not a float: exempt
+	Replicas int           // not a float: exempt
+	hidden   float64       // unexported: exempt
+}
+
+// Validate range-checks part of the struct.
+func (c *Config) Validate() error {
+	if c.Checked < 0 || c.Checked != c.Checked {
+		return errBad
+	}
+	if c.Timeout <= 0 {
+		return errBad
+	}
+	_ = c.hidden
+	return nil
+}
+
+// Tracker is exported but matches neither Config nor Policy: exempt.
+type Tracker struct {
+	Score float64
+}
+
+// sample is unexported: exempt.
+type sample struct {
+	X float64
+}

@@ -1,0 +1,90 @@
+// Package hp exercises the hotpath analyzer: functions annotated
+// //farm:hotpath must stay structurally allocation-free.
+package hp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errFull is the sanctioned sentinel-error idiom: allocated once at
+// package init, returned by value from hot paths.
+var errFull = errors.New("full")
+
+func release() {}
+
+// step shows the clean idioms: sentinel errors and self-append reuse.
+//
+//farm:hotpath fixture for the clean idioms
+func step(buf []int, v int) ([]int, error) {
+	if v < 0 {
+		return nil, errFull
+	}
+	buf = append(buf, v)
+	return buf, nil
+}
+
+// reslice appends into the truncated destination, which reuses the
+// backing array: clean.
+//
+//farm:hotpath fixture for the reslice idiom
+func reslice(buf []int, v int) []int {
+	buf = append(buf[:0], v)
+	return buf
+}
+
+//farm:hotpath fixture
+func formats(v int) string {
+	return fmt.Sprintf("%d", v) // want "calls fmt.Sprintf"
+}
+
+//farm:hotpath fixture
+func newErr() error {
+	return errors.New("boom") // want "calls errors.New"
+}
+
+//farm:hotpath fixture
+func captures(vs []int) func() int {
+	return func() int { return len(vs) } // want "captures a closure"
+}
+
+//farm:hotpath fixture
+func deferred() {
+	defer release() // want "defers"
+}
+
+//farm:hotpath fixture
+func spawns() {
+	go release() // want "starts a goroutine"
+}
+
+//farm:hotpath fixture
+func makesMap() map[int]int {
+	return make(map[int]int) // want "makes a map/chan"
+}
+
+//farm:hotpath fixture
+func mapLit() map[string]int {
+	return map[string]int{"a": 1} // want "builds a map/chan literal"
+}
+
+//farm:hotpath fixture
+func freshSlice(buf []int, v int) []int {
+	out := append(buf, v) // want "appends into a different slice"
+	return out
+}
+
+// guard panics on corruption; formatting inside a panic argument is a
+// crash path, not a hot path: clean.
+//
+//farm:hotpath fixture for the panic exemption
+func guard(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("bad v %d", v))
+	}
+}
+
+// cold is not annotated, so the contract does not bind it: clean.
+func cold(v int) string {
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,29 @@
+// Package core is a nodeterm fixture standing in for a simulator package
+// (the guard admits any path outside rng/, lint/, and examples/).
+package core
+
+import "time"
+
+// wallClock reads the host clock without justification.
+func wallClock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// elapsed reads the clock twice, both unjustified.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// justified carries a reasoned annotation and passes.
+func justified() time.Duration {
+	//farm:wallclock reporting-only timing for this fixture
+	start := time.Now()
+	d := time.Since(start) //farm:wallclock reporting-only timing for this fixture
+	return d
+}
+
+// bare carries an annotation with no reason, which is itself a finding.
+func bare() time.Time {
+	//farm:wallclock
+	return time.Now() // want "needs a justification"
+}

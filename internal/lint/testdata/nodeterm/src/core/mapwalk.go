@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// sumFloats folds floats in iteration order: rounding makes the result
+// order-sensitive.
+func sumFloats(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m { // want "map iteration order is randomized"
+		total += v
+	}
+	return total
+}
+
+// countInts accumulates integers, which commutes exactly: clean.
+func countInts(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// orFlags folds with a bitwise op, which commutes: clean.
+func orFlags(m map[int]uint64) uint64 {
+	var bits uint64
+	for _, v := range m {
+		bits |= v
+	}
+	return bits
+}
+
+// collectKeys appends in iteration order before sorting; without an
+// annotation the analyzer cannot see the later sort.
+func collectKeys(m map[int]bool) []int {
+	var out []int
+	for k := range m { // want "map iteration order is randomized"
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sortedWalk is the same shape with the sanctioned annotation: clean.
+func sortedWalk(m map[int]bool) []int {
+	var out []int
+	for k := range m { //farm:orderinvariant keys are sorted on the next line before use
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// unjustifiedWalk annotates without a reason, which is itself a finding.
+func unjustifiedWalk(m map[int]bool) []int {
+	var out []int
+	//farm:orderinvariant
+	for k := range m { // want "needs a justification"
+		out = append(out, k)
+	}
+	return out
+}
+
+// invert performs keyed writes, one slot per element: clean.
+func invert(m map[int]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// latch sets a boolean literal: clean.
+func latch(m map[int]bool) bool {
+	found := false
+	for _, v := range m {
+		if v {
+			found = true
+		}
+	}
+	return found
+}
+
+// pickAny returns a value chosen by iteration order.
+func pickAny(m map[int]string) string {
+	for _, v := range m { // want "map iteration order is randomized"
+		return v
+	}
+	return ""
+}
+
+// localState mutates loop-local variables only: clean.
+func localState(m map[int]float64) int {
+	n := 0
+	for _, v := range m {
+		scaled := math.Sqrt(v)
+		if scaled > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// lastWins overwrites one outer slot with loop data.
+func lastWins(m map[int]string, out map[string]string) {
+	for _, v := range m { // want "map iteration order is randomized"
+		out["last"] = v
+	}
+}

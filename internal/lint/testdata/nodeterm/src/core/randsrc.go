@@ -1,0 +1,16 @@
+package core
+
+import (
+	crand "crypto/rand" // want "import of crypto/rand breaks seeded determinism"
+	"math/rand"         // want "import of math/rand breaks seeded determinism"
+)
+
+// roll draws from the globally seeded generator.
+func roll() int {
+	return rand.Intn(6)
+}
+
+// entropy draws OS entropy.
+func entropy(buf []byte) {
+	_, _ = crand.Read(buf)
+}

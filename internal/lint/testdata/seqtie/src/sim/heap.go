@@ -1,0 +1,101 @@
+// Package sim exercises the seqtie analyzer: every container/heap
+// implementation must tie-break its comparator on an explicit sequence
+// number so simultaneous entries pop in scheduling order.
+package sim
+
+type item struct {
+	t   float64
+	seq uint64
+}
+
+// goodHeap compares on time and tie-breaks on seq: clean.
+type goodHeap []item
+
+func (h goodHeap) Len() int { return len(h) }
+func (h goodHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h goodHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *goodHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *goodHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// badHeap has a sequence field but compares on time alone.
+type badHeap []item
+
+func (h badHeap) Len() int           { return len(h) }
+func (h badHeap) Less(i, j int) bool { return h[i].t < h[j].t } // want "does not tie-break on seq"
+func (h badHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *badHeap) Push(x any)        { *h = append(*h, x.(item)) }
+func (h *badHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type noSeqItem struct {
+	t float64
+}
+
+// noSeqHeap's element type has no sequence field at all.
+type noSeqHeap []noSeqItem
+
+func (h noSeqHeap) Len() int           { return len(h) }
+func (h noSeqHeap) Less(i, j int) bool { return h[i].t < h[j].t } // want "has no sequence field"
+func (h noSeqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *noSeqHeap) Push(x any)        { *h = append(*h, x.(noSeqItem)) }
+func (h *noSeqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ordHeap is a bare ordinal heap with no struct element to carry a
+// sequence number.
+type ordHeap []int
+
+func (h ordHeap) Len() int           { return len(h) }
+func (h ordHeap) Less(i, j int) bool { return h[i] < h[j] } // want "has no struct element"
+func (h ordHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *ordHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *ordHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// byTime is a plain sort.Interface (no Push/Pop): outside the contract.
+type byTime []item
+
+func (s byTime) Len() int           { return len(s) }
+func (s byTime) Less(i, j int) bool { return s[i].t < s[j].t }
+func (s byTime) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// stacklike has Push/Pop with non-heap shapes: outside the contract.
+type stacklike []item
+
+func (s stacklike) Len() int           { return len(s) }
+func (s stacklike) Less(i, j int) bool { return s[i].t < s[j].t }
+func (s stacklike) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s *stacklike) Push(x item)       { *s = append(*s, x) }
+func (s *stacklike) Pop() item {
+	old := *s
+	n := len(old)
+	it := old[n-1]
+	*s = old[:n-1]
+	return it
+}

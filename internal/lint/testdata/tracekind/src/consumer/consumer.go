@@ -1,0 +1,33 @@
+// Package consumer is a tracekind fixture for code outside internal/trace:
+// it must emit declared constants, never inline kind strings.
+package consumer
+
+import "trace"
+
+// emitLiteral materializes a Kind by implicit conversion.
+func emitLiteral() trace.Event {
+	return trace.Event{Kind: "fail"} // want "inline trace kind"
+}
+
+// convert materializes a Kind by explicit conversion.
+func convert(s string) trace.Kind {
+	return trace.Kind(s) // want "conversion to trace.Kind"
+}
+
+// compare adopts the Kind type in a comparison.
+func compare(k trace.Kind) bool {
+	return k == "rebuild" // want "inline trace kind"
+}
+
+// localKind extends the vocabulary outside the trace package.
+const localKind trace.Kind = "local" // want "declared outside internal/trace" "inline trace kind"
+
+// emitConstant names a declared constant: clean.
+func emitConstant() trace.Event {
+	return trace.Event{Kind: trace.KindFail}
+}
+
+// plainString passes an ordinary string around: clean.
+func plainString() string {
+	return "fail"
+}

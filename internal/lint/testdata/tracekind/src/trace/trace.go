@@ -1,0 +1,18 @@
+// Package trace is a fixture stand-in for internal/trace (the analyzer
+// matches the package-path base name). Declared kinds must be unique.
+package trace
+
+// Kind labels an event.
+type Kind string
+
+// Declared vocabulary.
+const (
+	KindFail    Kind = "fail"
+	KindRebuild Kind = "rebuild"
+	KindDup     Kind = "fail" // want "collides with KindFail"
+)
+
+// Event is one simulator occurrence.
+type Event struct {
+	Kind Kind
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// TraceKind enforces the trace vocabulary contract. Downstream tooling
+// (cmd/farmtrace, golden-transcript tests, the causality checker) matches
+// on trace.Kind values, so the set of kinds must be closed and collision-
+// free:
+//
+//   - every Kind constant is declared in internal/trace, and no two
+//     declared kinds share a string value;
+//   - code outside internal/trace never materializes a Kind from an
+//     inline string — neither by implicit conversion (Kind: "lse") nor by
+//     explicit conversion (trace.Kind("lse")) — it must name a declared
+//     constant, so adding an event kind forces a declaration the
+//     transcript tests can see.
+var TraceKind = &Analyzer{
+	Name: "tracekind",
+	Doc:  "trace.Kind values are unique constants declared in internal/trace; no inline kind strings elsewhere",
+	Run:  runTraceKind,
+}
+
+// isTracePkg matches the trace package itself (and fixture stand-ins
+// named trace).
+func isTracePkg(path string) bool {
+	return pkgPathBase(path) == "trace"
+}
+
+func runTraceKind(pass *Pass) error {
+	if isTracePkg(pass.Pkg.Path()) {
+		return runTraceKindDecls(pass)
+	}
+	return runTraceKindUses(pass)
+}
+
+// runTraceKindDecls checks the declaration site: Kind constants must not
+// collide.
+func runTraceKindDecls(pass *Pass) error {
+	seen := make(map[string]string) // string value -> first constant name
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || !isKindType(obj.Type()) {
+						continue
+					}
+					if obj.Val().Kind() != constant.String {
+						continue
+					}
+					val := constant.StringVal(obj.Val())
+					if first, dup := seen[val]; dup {
+						pass.Reportf(name.Pos(), "kind %q collides with %s: declared kinds must be unique strings", val, first)
+						continue
+					}
+					seen[val] = name.Name
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runTraceKindUses checks every other package: no inline Kind strings,
+// and no Kind constants declared outside internal/trace.
+func runTraceKindUses(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if n.Kind != token.STRING {
+					return true
+				}
+				// An untyped string literal adopting the Kind type is an
+				// implicit conversion: Event{Kind: "lse"}, k == "lse", etc.
+				if tv, ok := pass.TypesInfo.Types[n]; ok && isKindType(tv.Type) {
+					pass.Reportf(n.Pos(), "inline trace kind %s: use a constant declared in internal/trace so transcript tooling sees a closed vocabulary", n.Value)
+				}
+			case *ast.CallExpr:
+				// Explicit conversion trace.Kind(x).
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() && isKindType(tv.Type) {
+					pass.Reportf(n.Pos(), "conversion to trace.Kind outside internal/trace: emit a declared constant instead")
+					return false // don't double-report a literal argument
+				}
+			case *ast.ValueSpec:
+				for _, name := range n.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Const); ok && isKindType(obj.Type()) {
+						pass.Reportf(name.Pos(), "trace.Kind constant %s declared outside internal/trace: add it to the declared vocabulary instead", name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isKindType reports whether t is the trace package's Kind type.
+func isKindType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Kind" && obj.Pkg() != nil && isTracePkg(obj.Pkg().Path())
+}

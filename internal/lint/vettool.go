@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file implements the `go vet -vettool` driver protocol (the same
+// wire protocol golang.org/x/tools/go/analysis/unitchecker speaks),
+// from scratch on the standard library, so farmlint plugs into
+// `go vet -vettool=$(bin)/farmlint ./...` without any module downloads:
+//
+//   - `farmlint -V=full` prints a version line the go command hashes
+//     into its action cache key;
+//   - `farmlint -flags` prints the JSON list of analyzer flags (none);
+//   - `farmlint <unit>.cfg` analyzes one package unit described by the
+//     JSON config the go command writes, prints findings in
+//     file:line:col form, writes the (empty — farmlint is fact-free)
+//     .vetx facts file, and exits 2 when there are findings.
+
+// vetConfig mirrors the JSON the go command hands a vet tool for each
+// package unit. Unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// IsVetConfig reports whether arg names a unit-checker config file.
+func IsVetConfig(arg string) bool { return filepath.Ext(arg) == ".cfg" }
+
+// RunVetUnit analyzes one `go vet` package unit. It returns the exit
+// code the tool should finish with: 0 (clean), 1 (tool error, message on
+// stderr), or 2 (findings printed to stderr).
+func RunVetUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "farmlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "farmlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Always write the facts file first: the go command caches it as the
+	// action's output even for fact-free tools.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "farmlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency unit: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	// Resolve each source-level import path through the unit's ImportMap
+	// (vendoring, test variants) before consulting the export data files
+	// the go command compiled for this unit's dependencies.
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for from, to := range cfg.ImportMap { //farm:orderinvariant keyed writes, one per source path
+		if f, ok := cfg.PackageFile[to]; ok {
+			exports[from] = f
+		}
+	}
+	imp := newExportImporter(fset, exports)
+
+	pkg, err := typecheckFiles(fset, imp, cfg.ImportPath, "", cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "farmlint: %v\n", err)
+		return 1
+	}
+	diags, err := RunAnalyzers(pkg, Analyzers())
+	if err != nil {
+		fmt.Fprintf(stderr, "farmlint: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s\n", d)
+	}
+	return 2
+}
+
+// PrintVersion implements the -V=full handshake: the go command hashes
+// this line into its action-cache key, so it must change when the tool's
+// behavior does.
+func PrintVersion(w io.Writer) {
+	fmt.Fprintf(w, "farmlint version %s\n", Version)
+}
+
+// Version identifies the analyzer suite for the go command's cache.
+// Bump it whenever an analyzer's behavior changes, or stale clean
+// results may be served from the vet action cache.
+const Version = "1.0.0"
+
+// PrintFlags implements the -flags handshake: the JSON list of
+// analyzer flags this tool accepts (none — the suite is not
+// configurable from the vet command line).
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}

@@ -3,6 +3,7 @@ package objstore
 import (
 	"fmt"
 	"hash/crc32"
+	"sort"
 
 	"repro/internal/gf256"
 )
@@ -413,12 +414,16 @@ func (s *Store) Delete(name string) error {
 	return nil
 }
 
-// Files lists stored file names (unordered).
+// Files lists stored file names in lexical order. (It previously
+// returned map-iteration order, which Go randomizes per run — harmless
+// for membership checks but a reproducibility leak for any caller that
+// prints or iterates the listing.)
 func (s *Store) Files() []string {
 	out := make([]string, 0, len(s.files))
-	for name := range s.files {
+	for name := range s.files { //farm:orderinvariant keys are sorted on the next line
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

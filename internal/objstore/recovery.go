@@ -13,6 +13,8 @@ import (
 // The shard and checksum maps are cleared in place, not reallocated, so
 // repeated fail/recover cycles (crash-loop tests, churn experiments)
 // reuse the maps' buckets instead of churning the allocator.
+//
+//farm:hotpath clear()-reuse failure path, gated by TestFailDiskAllocationStable
 func (s *Store) FailDisk(id int) int {
 	d := s.disks[id]
 	if !d.alive {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -101,7 +102,7 @@ type Engine interface {
 	// SetObserver installs an optional callback fired when a block
 	// rebuild completes ("rebuilt"), is abandoned ("dropped"), or is
 	// retried after a transient fault ("retry"), for tracing.
-	SetObserver(fn func(now sim.Time, kind string, group, rep, diskID int))
+	SetObserver(fn func(now sim.Time, kind trace.Kind, group, rep, diskID int))
 }
 
 // DiskSpawner lets an engine add drives to the system; the simulator hooks
@@ -158,7 +159,7 @@ type base struct {
 	// array for reuse, so steady-state tracking allocates nothing.
 	perGroupTargets map[int][]int
 	// observer, when set, sees rebuilt/dropped/retry block events.
-	observer func(now sim.Time, kind string, group, rep, diskID int)
+	observer func(now sim.Time, kind trace.Kind, group, rep, diskID int)
 	// fm, when set, injects read faults into completing transfers.
 	fm FaultModel
 	// scratchSrc/scratchTgt are reusable buffers for rebuildsTouching:
@@ -202,7 +203,7 @@ func newBase(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload
 func (b *base) Stats() *Stats { return &b.stats }
 
 // SetObserver implements Engine.
-func (b *base) SetObserver(fn func(now sim.Time, kind string, group, rep, diskID int)) {
+func (b *base) SetObserver(fn func(now sim.Time, kind trace.Kind, group, rep, diskID int)) {
 	b.observer = fn
 }
 
@@ -225,7 +226,7 @@ func (b *base) SetStraggler(p StragglerPolicy, evict func(now sim.Time, diskID i
 }
 
 // observe fires the observer if installed.
-func (b *base) observe(now sim.Time, kind string, group, rep, diskID int) {
+func (b *base) observe(now sim.Time, kind trace.Kind, group, rep, diskID int) {
 	if b.observer != nil {
 		b.observer(now, kind, group, rep, diskID)
 	}
@@ -257,6 +258,8 @@ func (b *base) effDuration(baseDur sim.Time, src, tgt int) sim.Time {
 }
 
 // track registers a rebuild in the disk indexes.
+//
+//farm:hotpath in-flight index insert, gated by TestTrackUntrackSteadyStateZeroAlloc
 func (b *base) track(r *rebuild) {
 	b.bySource[r.task.Source] = append(b.bySource[r.task.Source], r)
 	b.byTarget[r.task.Target] = append(b.byTarget[r.task.Target], r)
@@ -267,6 +270,8 @@ func (b *base) track(r *rebuild) {
 // pending backed-off resubmission and any straggler timer or in-flight
 // hedge: every path that untracks (success, abandonment, redirection,
 // re-sourcing, hedge win) supersedes them.
+//
+//farm:hotpath in-flight index removal, gated by TestTrackUntrackSteadyStateZeroAlloc
 func (b *base) untrack(r *rebuild) {
 	if r.retryEv != nil {
 		b.eng.Cancel(r.retryEv)
@@ -332,7 +337,7 @@ func (b *base) complete(now sim.Time, r *rebuild) {
 		// reservation stands as wasted space dropped with the group.
 		b.cl.ReleaseTarget(r.task.Target)
 		b.stats.DroppedLost++
-		b.observe(now, "dropped", r.task.Group, r.task.Rep, r.task.Target)
+		b.observe(now, trace.KindDropped, r.task.Group, r.task.Rep, r.task.Target)
 		return
 	}
 	b.cl.PlaceRecovered(r.task.Group, r.task.Rep, r.task.Target)
@@ -341,7 +346,7 @@ func (b *base) complete(now sim.Time, r *rebuild) {
 	b.stats.Window.Add(w)
 	b.recordWindow(w)
 	b.noteTransfer(now, r.task)
-	b.observe(now, "rebuilt", r.task.Group, r.task.Rep, r.task.Target)
+	b.observe(now, trace.KindRebuilt, r.task.Group, r.task.Rep, r.task.Target)
 }
 
 // abandon drops a rebuild whose group is beyond repair.
@@ -397,7 +402,7 @@ func (b *base) resource(r *rebuild) {
 func (b *base) resourceChecked(now sim.Time, r *rebuild) {
 	r.resourcings++
 	if r.resourcings > b.maxResourcings() {
-		b.observe(now, "dropped", r.task.Group, r.task.Rep, r.task.Target)
+		b.observe(now, trace.KindDropped, r.task.Group, r.task.Rep, r.task.Target)
 		b.abandon(r)
 		return
 	}
@@ -428,11 +433,11 @@ func (b *base) retryOrResource(now sim.Time, r *rebuild) {
 		Duration: b.effDuration(r.baseDur, r.task.Source, r.task.Target),
 	}
 	r.task = nt
-	b.observe(now, "retry", nt.Group, nt.Rep, nt.Source)
+	b.observe(now, trace.KindRetry, nt.Group, nt.Rep, nt.Source)
 	r.retryEv = b.eng.After(b.fm.RetryBackoff(r.retries), "rebuild-retry", func(at sim.Time) {
 		r.retryEv = nil
 		if b.cl.Groups[nt.Group].Lost {
-			b.observe(at, "dropped", nt.Group, nt.Rep, nt.Target)
+			b.observe(at, trace.KindDropped, nt.Group, nt.Rep, nt.Target)
 			b.abandon(r)
 			return
 		}
@@ -445,6 +450,8 @@ func (b *base) retryOrResource(now sim.Time, r *rebuild) {
 // rebuilds of the same group. It reserves space on the chosen disk. The
 // exclusion set is the cluster's reusable epoch-stamped scratch, so the
 // steady-state path performs no allocation.
+//
+//farm:hotpath FARM redirection/targeting, gated by TestFARMPickTargetZeroAlloc
 func (b *base) pickTarget(group, rep, startTrial int) (target, trial int, ok bool) {
 	exclude := b.cl.BuddyExcludes(group)
 	for _, t := range b.perGroupTargets[group] {
@@ -473,6 +480,8 @@ func (b *base) pickTarget(group, rep, startTrial int) (target, trial int, ok boo
 // scratch buffers owned by the engine (valid until the next call); the
 // simulation loop is single-threaded and handlers do not re-enter, so
 // one pair of buffers suffices and steady state allocates nothing.
+//
+//farm:hotpath failure fan-out scratch, reuses engine-owned buffers
 func (b *base) rebuildsTouching(diskID int) (asSource, asTarget []*rebuild) {
 	b.scratchSrc = append(b.scratchSrc[:0], b.bySource[diskID]...)
 	b.scratchTgt = append(b.scratchTgt[:0], b.byTarget[diskID]...)

@@ -3,6 +3,7 @@ package recovery
 import (
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // This file is the active half of the straggler-mitigation layer: the
@@ -78,7 +79,7 @@ func (b *base) timeoutFired(now sim.Time, r *rebuild) {
 		return // mitigation exhausted; let the attempt finish at its pace
 	}
 	b.stats.Timeouts++
-	b.observe(now, "rebuild-timeout", r.task.Group, r.task.Rep, r.task.Target)
+	b.observe(now, trace.KindRebuildTimeout, r.task.Group, r.task.Rep, r.task.Target)
 	r.retries = 0
 	b.resourceChecked(now, r)
 }
@@ -121,7 +122,7 @@ func (b *base) maybeHedge(now sim.Time, r *rebuild) {
 	r.hedges++
 	b.stats.Hedges++
 	b.trackHedge(r)
-	b.observe(now, "hedge", ht.Group, ht.Rep, ht.Target)
+	b.observe(now, trace.KindHedge, ht.Group, ht.Rep, ht.Target)
 	b.sched.Submit(ht, func(done sim.Time, _ *Task) { b.hedgeComplete(done, r) })
 }
 
@@ -202,7 +203,7 @@ func (b *base) hedgeComplete(now sim.Time, r *rebuild) {
 	if b.cl.Groups[ht.Group].Lost {
 		b.cl.ReleaseTarget(ht.Target)
 		b.stats.DroppedLost++
-		b.observe(now, "dropped", ht.Group, ht.Rep, ht.Target)
+		b.observe(now, trace.KindDropped, ht.Group, ht.Rep, ht.Target)
 		return
 	}
 	b.cl.PlaceRecovered(ht.Group, ht.Rep, ht.Target)
@@ -212,7 +213,7 @@ func (b *base) hedgeComplete(now sim.Time, r *rebuild) {
 	b.stats.Window.Add(w)
 	b.recordWindow(w)
 	b.noteTransfer(now, ht)
-	b.observe(now, "hedge-win", ht.Group, ht.Rep, ht.Target)
+	b.observe(now, trace.KindHedgeWin, ht.Group, ht.Rep, ht.Target)
 }
 
 // recordWindow feeds one vulnerability window into the streaming tail
@@ -243,11 +244,11 @@ func (b *base) scoreDisk(now sim.Time, id int, mbps float64) {
 	flagged, evicted := b.det.score(id, mbps)
 	if flagged {
 		b.stats.SlowFlagged++
-		b.observe(now, "failslow-detect", -1, -1, id)
+		b.observe(now, trace.KindFailSlowDetect, -1, -1, id)
 	}
 	if evicted {
 		b.stats.Evictions++
-		b.observe(now, "evict-slow", -1, -1, id)
+		b.observe(now, trace.KindEvictSlow, -1, -1, id)
 		if b.evict != nil {
 			b.evict(now, id)
 		}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/disk"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -103,7 +104,7 @@ func (s *SpareDisk) takeSpare() bool {
 func (s *SpareDisk) queueSpareWork(now sim.Time, failed int, blocks []pendingBlock) {
 	s.stats.SpareWaits++
 	s.waiting = append(s.waiting, spareWork{failed: failed, blocks: blocks})
-	s.observe(now, "spare-queued", -1, -1, failed)
+	s.observe(now, trace.KindSpareQueued, -1, -1, failed)
 }
 
 // drainSpareQueue activates spares for queued work, FIFO, as the pool

@@ -99,6 +99,8 @@ func (e *Engine) Cancel(ev *Event) bool {
 
 // Step fires the single earliest pending event and advances the clock to
 // its time. It returns false when the queue is empty.
+//
+//farm:hotpath the discrete-event engine step, fired once per simulated event
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false

@@ -132,7 +132,7 @@ func Summarize(events []Event) Summary {
 // WriteSummary prints a human-readable digest.
 func (s Summary) WriteSummary(w io.Writer) error {
 	kinds := make([]string, 0, len(s.Counts))
-	for k := range s.Counts {
+	for k := range s.Counts { //farm:orderinvariant keys are sorted on the next line before any output
 		kinds = append(kinds, string(k))
 	}
 	sort.Strings(kinds)
