@@ -19,6 +19,7 @@ import (
 	"repro/internal/erasure"
 	"repro/internal/experiment"
 	"repro/internal/objstore"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/recovery"
 	"repro/internal/redundancy"
@@ -118,6 +119,38 @@ func benchSingleRun(b *testing.B, farm bool) {
 
 func BenchmarkSingleRunFARM(b *testing.B)  { benchSingleRun(b, true) }
 func BenchmarkSingleRunSpare(b *testing.B) { benchSingleRun(b, false) }
+
+// BenchmarkSingleRunFARMObs is BenchmarkSingleRunFARM with the flight
+// recorder's metrics registry attached (DESIGN.md §11). The contract it
+// gates, against BenchmarkSingleRunFARM in BENCH_5.json: metrics-on adds
+// zero allocations per run (handles register on the first run and record
+// allocation-free thereafter) and only noise-level runtime.
+func BenchmarkSingleRunFARMObs(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.TotalDataBytes = 50 * disk.TB
+	cfg.GroupBytes = 10 * disk.GB
+	cfg.UseFARM = true
+	cfg.Obs = &obs.RunObserver{Registry: obs.NewRegistry()}
+	s, err := core.NewSimulator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	losses := 0
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DataLoss {
+			losses++
+		}
+	}
+	b.ReportMetric(100*float64(losses)/float64(b.N), "ploss_pct")
+	if cfg.Obs.Registry.Counter(obs.MetricDiskFailures).Value() == 0 {
+		b.Fatal("registry recorded nothing")
+	}
+}
 
 // --- Ablation benches (DESIGN.md §6) -------------------------------------
 

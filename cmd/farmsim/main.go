@@ -17,6 +17,10 @@
 //	-workers N   parallel runs (default GOMAXPROCS)
 //	-csv         emit CSV instead of aligned text
 //	-v           log per-point progress to stderr
+//	-telemetry A serve live campaign telemetry on HTTP address A
+//	             (e.g. :8080 or 127.0.0.1:0): /progress (JSON),
+//	             /metrics (Prometheus text), /debug/pprof/. Read-only —
+//	             results stay byte-identical with telemetry on or off.
 //
 // Examples:
 //
@@ -32,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -63,7 +68,7 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   farmsim list
-  farmsim run [-runs N] [-scale F] [-seed N] [-workers N] [-csv] [-v] <id>... | all`)
+  farmsim run [-runs N] [-scale F] [-seed N] [-workers N] [-csv] [-v] [-telemetry addr] <id>... | all`)
 }
 
 func list() error {
@@ -82,6 +87,7 @@ func runExperiments(args []string) error {
 	workers := fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
 	csv := fs.Bool("csv", false, "emit CSV")
 	verbose := fs.Bool("v", false, "log per-point progress")
+	telemetry := fs.String("telemetry", "", "serve live telemetry on this HTTP address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +112,16 @@ func runExperiments(args []string) error {
 		opts.Log = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", a...)
 		}
+	}
+	if *telemetry != "" {
+		hub := obs.NewCampaign()
+		srv, err := obs.StartTelemetry(*telemetry, hub)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		defer srv.Close()
+		opts.Telemetry = hub
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/ (progress, metrics, debug/pprof)\n", srv.Addr())
 	}
 
 	for _, id := range ids {

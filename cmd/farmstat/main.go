@@ -1,0 +1,111 @@
+// Command farmstat aggregates the flight-recorder artifacts written by
+// farmtrace (and by any program using internal/obs) into human-readable
+// tables: per-kind event rates from a trace, per-phase rebuild latency
+// breakdowns from a span log, and system-state summaries from a sampled
+// time series.
+//
+// Usage:
+//
+//	farmstat [-csv] [-trace trace.jsonl] [-spans spans.jsonl] [-series series.jsonl]
+//
+// At least one input flag is required. Each file is parsed with the same
+// readers the rest of the toolchain uses (trace.ReadJSONL,
+// obs.ReadSpanJSONL, obs.ReadSampleJSONL), so farmstat accepts exactly
+// what farmtrace emits:
+//
+//	farmtrace -hours 87600 -o trace.jsonl -spans spans.jsonl -series series.jsonl
+//	farmstat -trace trace.jsonl -spans spans.jsonl -series series.jsonl
+//
+// With -csv the tables are emitted as CSV blocks (one header row per
+// table) instead of aligned text, for spreadsheet import.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile  = flag.String("trace", "", "trace JSONL file written by farmtrace -o")
+		spansFile  = flag.String("spans", "", "span JSONL file written by farmtrace -spans")
+		seriesFile = flag.String("series", "", "time-series JSONL file written by farmtrace -series")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+	if *traceFile == "" && *spansFile == "" && *seriesFile == "" {
+		fmt.Fprintln(os.Stderr, "farmstat: no inputs; pass at least one of -trace, -spans, -series")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *traceFile, *spansFile, *seriesFile, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "farmstat:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses whichever inputs were named and streams their tables to w.
+// Split from main so the flag-to-table plumbing is testable.
+func run(w io.Writer, traceFile, spansFile, seriesFile string, csv bool) error {
+	var tables []*report.Table
+	if traceFile != "" {
+		events, err := readInto(traceFile, trace.ReadJSONL)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, traceTable(events))
+	}
+	if spansFile != "" {
+		spans, err := readInto(spansFile, obs.ReadSpanJSONL)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, spanTables(spans)...)
+	}
+	if seriesFile != "" {
+		samples, err := readInto(seriesFile, obs.ReadSampleJSONL)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, seriesTable(samples))
+	}
+	bw := bufio.NewWriter(w)
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Fprintln(bw)
+		}
+		var err error
+		if csv {
+			err = t.WriteCSV(bw)
+		} else {
+			err = t.WriteText(bw)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readInto opens path and hands it to one of the JSONL readers.
+func readInto[T any](path string, read func(io.Reader) (T, error)) (T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	defer f.Close()
+	v, err := read(bufio.NewReader(f))
+	if err != nil {
+		var zero T
+		return zero, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// This file is the pure aggregation half of farmstat: parsed artifacts
+// in, report tables out. No I/O, so the table shapes are unit-testable.
+
+// traceTable renders per-kind counts, first/last occurrence, and event
+// rates from one trace stream.
+func traceTable(events []trace.Event) *report.Table {
+	s := trace.Summarize(events)
+	t := report.NewTable("Trace events by kind",
+		"kind", "count", "first (h)", "last (h)", "per 1000 h")
+	kinds := make([]trace.Kind, 0, len(s.Counts))
+	for k := range s.Counts { //farm:orderinvariant keys are sorted on the next line before any output
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		rate := 0.0
+		if s.LastEventAt > 0 {
+			rate = float64(s.Counts[k]) / s.LastEventAt * 1000
+		}
+		t.AddRow(string(k),
+			fmt.Sprintf("%d", s.Counts[k]),
+			fmt.Sprintf("%.1f", s.FirstAt[k]),
+			fmt.Sprintf("%.1f", s.LastAt[k]),
+			fmt.Sprintf("%.2f", rate))
+	}
+	t.AddNote("%d events, %d distinct disks, last event at %.1f h",
+		len(events), s.DistinctDisks, s.LastEventAt)
+	if s.FirstLossAt >= 0 {
+		t.AddNote("first data loss at %.1f h (%.2f years)", s.FirstLossAt, s.FirstLossAt/8760)
+	} else {
+		t.AddNote("no data loss")
+	}
+	return t
+}
+
+// phaseRow aggregates one named phase's per-span hours.
+func phaseRow(t *report.Table, name string, xs []float64) {
+	if len(xs) == 0 {
+		t.AddRow(name, "0", "-", "-", "-", "-", "-")
+		return
+	}
+	var w metrics.Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	t.AddRow(name,
+		fmt.Sprintf("%d", len(xs)),
+		report.F(w.Mean()),
+		report.F(metrics.Quantile(xs, 0.50)),
+		report.F(metrics.Quantile(xs, 0.90)),
+		report.F(metrics.Quantile(xs, 0.99)),
+		report.F(w.Max()))
+}
+
+// spanTables renders the phase-breakdown and outcome tables from one
+// span log.
+func spanTables(spans []*obs.Span) []*report.Table {
+	phase := report.NewTable("Rebuild phase breakdown (hours per span)",
+		"phase", "spans", "mean", "p50", "p90", "p99", "max")
+	var detect, queue, transfer, retry, hedge, window []float64
+	counts := map[string]int{}
+	attempts, retries, redirections, resourcings, hedges, wins, timeouts := 0, 0, 0, 0, 0, 0, 0
+	for _, sp := range spans {
+		counts[sp.Outcome]++
+		attempts += sp.Attempts
+		retries += sp.Retries
+		redirections += sp.Redirections
+		resourcings += sp.Resourcings
+		hedges += sp.Hedges
+		if sp.HedgeWon {
+			wins++
+		}
+		if sp.TimedOut {
+			timeouts++
+		}
+		detect = append(detect, sp.DetectWait())
+		queue = append(queue, sp.QueueWait)
+		transfer = append(transfer, sp.Transfer)
+		if sp.RetryWait > 0 {
+			retry = append(retry, sp.RetryWait)
+		}
+		if sp.HedgeOverlap > 0 {
+			hedge = append(hedge, sp.HedgeOverlap)
+		}
+		if sp.Outcome == obs.OutcomeDone {
+			window = append(window, sp.Window())
+		}
+	}
+	phaseRow(phase, "detect wait", detect)
+	phaseRow(phase, "queue wait", queue)
+	phaseRow(phase, "transfer", transfer)
+	phaseRow(phase, "retry backoff", retry)
+	phaseRow(phase, "hedge overlap", hedge)
+	phaseRow(phase, "window (done)", window)
+
+	out := report.NewTable("Rebuild outcomes",
+		"outcome", "spans", "share")
+	for _, o := range []string{obs.OutcomeDone, obs.OutcomeDropped, obs.OutcomeUnfinished} {
+		share := 0.0
+		if len(spans) > 0 {
+			share = float64(counts[o]) / float64(len(spans))
+		}
+		out.AddRow(o, fmt.Sprintf("%d", counts[o]), report.Pct(share))
+	}
+	out.AddNote("%d spans, %d attempts, %d retries, %d redirections, %d re-sourcings",
+		len(spans), attempts, retries, redirections, resourcings)
+	out.AddNote("%d hedges (%d won), %d timeouts", hedges, wins, timeouts)
+	return []*report.Table{phase, out}
+}
+
+// seriesTable renders mean/max/final summaries of the sampled system
+// state.
+func seriesTable(samples []obs.Sample) *report.Table {
+	t := report.NewTable("System-state series", "metric", "mean", "max", "final")
+	row := func(name string, get func(obs.Sample) float64) {
+		var w metrics.Welford
+		for _, sm := range samples {
+			w.Add(get(sm))
+		}
+		final := 0.0
+		if n := len(samples); n > 0 {
+			final = get(samples[n-1])
+		}
+		t.AddRow(name, report.F(w.Mean()), report.F(w.Max()), report.F(final))
+	}
+	row("active rebuilds", func(s obs.Sample) float64 { return float64(s.ActiveRebuilds) })
+	row("queued transfers", func(s obs.Sample) float64 { return float64(s.QueuedTransfers) })
+	row("busy disks", func(s obs.Sample) float64 { return float64(s.BusyDisks) })
+	row("recovery MB/s", func(s obs.Sample) float64 { return s.RecoveryMBps })
+	row("degraded groups", func(s obs.Sample) float64 { return float64(s.DegradedGroups) })
+	row("lost groups", func(s obs.Sample) float64 { return float64(s.LostGroups) })
+	row("alive disks", func(s obs.Sample) float64 { return float64(s.AliveDisks) })
+	row("slow disks", func(s obs.Sample) float64 { return float64(s.SlowDisks) })
+	row("suspect disks", func(s obs.Sample) float64 { return float64(s.SuspectDisks) })
+	if n := len(samples); n > 0 {
+		t.AddNote("%d samples from %.1f h to %.1f h", n, samples[0].T, samples[n-1].T)
+	} else {
+		t.AddNote("no samples")
+	}
+	return t
+}

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+func TestTraceTable(t *testing.T) {
+	events := []trace.Event{
+		{Time: 10, Kind: trace.KindDiskFail, Disk: 1},
+		{Time: 20, Kind: trace.KindDiskFail, Disk: 2},
+		{Time: 25, Kind: trace.KindDetect, Disk: 1},
+		{Time: 500, Kind: trace.KindDataLoss, Disk: 2},
+		{Time: 1000, Kind: trace.KindRebuilt, Disk: 3},
+	}
+	var buf bytes.Buffer
+	if err := traceTable(events).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// disk-fail: 2 events, first 10, last 20, rate 2/1000h * 1000 = 2.00.
+	for _, want := range []string{
+		"disk-fail", "2", "10.0", "20.0", "2.00",
+		"5 events, 3 distinct disks, last event at 1000.0 h",
+		"first data loss at 500.0 h",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace table missing %q:\n%s", want, out)
+		}
+	}
+	// Kinds are emitted sorted.
+	if strings.Index(out, "data-loss") > strings.Index(out, "disk-fail") {
+		t.Errorf("kinds not sorted:\n%s", out)
+	}
+}
+
+func TestTraceTableNoLoss(t *testing.T) {
+	var buf bytes.Buffer
+	events := []trace.Event{{Time: 1, Kind: trace.KindDiskFail, Disk: 1}}
+	if err := traceTable(events).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data loss") {
+		t.Errorf("missing no-data-loss note:\n%s", buf.String())
+	}
+}
+
+func testSpans() []*obs.Span {
+	return []*obs.Span{
+		{
+			Group: 1, Rep: 0, FailedAt: 10, DetectedAt: 11, QueuedAt: 11,
+			StartAt: 12, DoneAt: 14, QueueWait: 1, Transfer: 2,
+			Attempts: 1, Outcome: obs.OutcomeDone,
+		},
+		{
+			Group: 2, Rep: 1, FailedAt: 20, DetectedAt: 23, QueuedAt: 23,
+			StartAt: 24, DoneAt: 30, QueueWait: 1, Transfer: 4,
+			RetryWait: 1, HedgeOverlap: 0.5,
+			Attempts: 3, Retries: 1, Redirections: 1, Hedges: 1, HedgeWon: true,
+			Outcome: obs.OutcomeDone,
+		},
+		{
+			Group: 3, Rep: 0, FailedAt: 40, DetectedAt: 41, QueuedAt: 41,
+			StartAt: 42, DoneAt: 45, QueueWait: 1, Transfer: 2,
+			Attempts: 2, Resourcings: 1, TimedOut: true,
+			Outcome: obs.OutcomeDropped,
+		},
+		{
+			Group: 4, Rep: 2, FailedAt: 90, DetectedAt: 92, QueuedAt: 92,
+			StartAt: -1, DoneAt: -1, Attempts: 1,
+			Outcome: obs.OutcomeUnfinished,
+		},
+	}
+}
+
+func TestSpanTables(t *testing.T) {
+	tabs := spanTables(testSpans())
+	if len(tabs) != 2 {
+		t.Fatalf("spanTables returned %d tables, want 2", len(tabs))
+	}
+	var buf bytes.Buffer
+	for _, tab := range tabs {
+		if err := tab.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		// All four spans contribute detect/queue/transfer rows; retry and
+		// hedge only count spans where the phase occurred.
+		"detect wait", "queue wait", "transfer", "retry backoff", "hedge overlap",
+		// window (done) covers the two done spans: 4 h and 10 h.
+		"window (done)",
+		// Outcome shares over 4 spans.
+		"done", "50.0%", "dropped", "25.0%", "unfinished",
+		"4 spans, 7 attempts, 1 retries, 1 redirections, 1 re-sourcings",
+		"1 hedges (1 won), 1 timeouts",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("span tables missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanTablesEmpty(t *testing.T) {
+	tabs := spanTables(nil)
+	var buf bytes.Buffer
+	for _, tab := range tabs {
+		if err := tab.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0 spans, 0 attempts") {
+		t.Errorf("empty span tables wrong:\n%s", out)
+	}
+	// Empty phases render placeholder rows, not NaNs.
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into empty table:\n%s", out)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	samples := []obs.Sample{
+		{T: 0, ActiveRebuilds: 0, AliveDisks: 100, SparePoolFree: -1},
+		{T: 24, ActiveRebuilds: 4, QueuedTransfers: 2, BusyDisks: 8,
+			RecoveryMBps: 160, DegradedGroups: 3, AliveDisks: 99, SparePoolFree: -1},
+		{T: 48, ActiveRebuilds: 2, BusyDisks: 4, RecoveryMBps: 80,
+			DegradedGroups: 1, LostGroups: 1, AliveDisks: 99, SlowDisks: 1,
+			SuspectDisks: 1, SparePoolFree: -1},
+	}
+	var buf bytes.Buffer
+	if err := seriesTable(samples).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"active rebuilds", "queued transfers", "busy disks", "recovery MB/s",
+		"degraded groups", "lost groups", "alive disks", "slow disks",
+		"suspect disks",
+		"3 samples from 0.0 h to 48.0 h",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series table missing %q:\n%s", want, out)
+		}
+	}
+	// active rebuilds: mean 2, max 4, final 2.
+	if !strings.Contains(out, "active rebuilds   2       4    2") {
+		t.Errorf("series table numbers wrong:\n%s", out)
+	}
+}
+
+func TestSeriesTableEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := seriesTable(nil).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no samples") {
+		t.Errorf("empty series table wrong:\n%s", buf.String())
+	}
+}
+
+// TestRunEndToEnd exercises the file-parsing half: write the three JSONL
+// artifact shapes to disk, run the aggregator over them, and check all
+// tables appear in one stream (text and CSV).
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	rec := trace.NewRecorder()
+	rec.Record(trace.Event{Time: 1, Kind: trace.KindDiskFail, Disk: 0})
+	rec.Record(trace.Event{Time: 2, Kind: trace.KindDetect, Disk: 0})
+	var tb bytes.Buffer
+	if err := rec.WriteJSONL(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tracePath, tb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	spanPath := filepath.Join(dir, "spans.jsonl")
+	var sb bytes.Buffer
+	enc := json.NewEncoder(&sb)
+	for _, sp := range testSpans() {
+		if err := enc.Encode(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(spanPath, sb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	seriesPath := filepath.Join(dir, "series.jsonl")
+	ser := obs.NewSeries()
+	ser.Add(obs.Sample{T: 0, AliveDisks: 10, SparePoolFree: -1})
+	ser.Add(obs.Sample{T: 24, AliveDisks: 9, SparePoolFree: -1})
+	var rb bytes.Buffer
+	if err := ser.WriteJSONL(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seriesPath, rb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run(&out, tracePath, spanPath, seriesPath, false); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Trace events by kind", "Rebuild phase breakdown", "Rebuild outcomes",
+		"System-state series",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("combined output missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := run(&out, tracePath, "", "", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kind,count") {
+		t.Errorf("CSV output missing header:\n%s", out.String())
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, filepath.Join(t.TempDir(), "nope.jsonl"), "", "", false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunBadJSON(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(p, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, p, "", "", false); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -18,6 +18,17 @@
 //	-replace F   replacement batch trigger fraction (default 0 = off)
 //	-seed N      random seed (default 1)
 //	-summary     suppress the JSONL stream; print only the summary
+//
+// Flight-recorder flags (all off by default; attaching them never
+// changes the simulation — the trace gains only the two span-lifecycle
+// kinds when -spans is set):
+//
+//	-spans F     write rebuild-lifecycle spans as JSON lines to F
+//	-series F    write periodic system-state samples as JSON lines to F
+//	-sample H    sampling cadence in simulated hours (default 24)
+//	-metrics F   write the run's metrics registry as JSON lines to F
+//	-telemetry A serve /progress, /metrics, /debug/pprof/ on address A
+//	             for the lifetime of the run
 package main
 
 import (
@@ -28,9 +39,28 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/redundancy"
 	"repro/internal/trace"
 )
+
+// writeFile writes one JSONL artifact through a buffered writer.
+func writeFile(path string, write func(w *bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := write(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -49,6 +79,11 @@ func run() error {
 	replaceTrig := flag.Float64("replace", 0, "replacement batch trigger fraction")
 	seed := flag.Uint64("seed", 1, "random seed")
 	summaryOnly := flag.Bool("summary", false, "print only the summary")
+	spansPath := flag.String("spans", "", "write rebuild-lifecycle spans (JSONL) to this file")
+	seriesPath := flag.String("series", "", "write system-state samples (JSONL) to this file")
+	sampleHours := flag.Float64("sample", 24, "sampling cadence in simulated hours")
+	metricsPath := flag.String("metrics", "", "write the metrics registry (JSONL) to this file")
+	telemetry := flag.String("telemetry", "", "serve live telemetry on this HTTP address (empty = off)")
 	flag.Parse()
 
 	scheme, err := redundancy.Parse(*schemeStr)
@@ -68,6 +103,35 @@ func run() error {
 	rec := trace.NewRecorder()
 	cfg.Hook = rec.Record
 
+	// Flight recorder: attach only the instruments asked for, so the
+	// default invocation stays exactly the seed behaviour.
+	ob := &obs.RunObserver{}
+	if *metricsPath != "" || *telemetry != "" {
+		ob.Registry = obs.NewRegistry()
+	}
+	if *spansPath != "" {
+		ob.Spans = obs.NewSpanLog()
+	}
+	if *seriesPath != "" {
+		ob.Series = obs.NewSeries()
+		ob.SampleEveryHours = *sampleHours
+	}
+	if ob.Registry != nil || ob.Spans != nil || ob.Series != nil {
+		cfg.Obs = ob
+	}
+
+	var hub *obs.Campaign
+	if *telemetry != "" {
+		hub = obs.NewCampaign()
+		srv, terr := obs.StartTelemetry(*telemetry, hub)
+		if terr != nil {
+			return fmt.Errorf("telemetry: %w", terr)
+		}
+		defer srv.Close()
+		hub.Begin(1, 1)
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/ (progress, metrics, debug/pprof)\n", srv.Addr())
+	}
+
 	s, err := core.NewSimulator(cfg)
 	if err != nil {
 		return err
@@ -75,6 +139,26 @@ func run() error {
 	res, err := s.Run(*seed)
 	if err != nil {
 		return err
+	}
+	if hub != nil {
+		hub.WorkerRunDone(0)
+		hub.FoldRun(res.DataLoss, ob.Registry)
+	}
+
+	if *spansPath != "" {
+		if err := writeFile(*spansPath, func(w *bufio.Writer) error { return ob.Spans.WriteJSONL(w) }); err != nil {
+			return fmt.Errorf("spans: %w", err)
+		}
+	}
+	if *seriesPath != "" {
+		if err := writeFile(*seriesPath, func(w *bufio.Writer) error { return ob.Series.WriteJSONL(w) }); err != nil {
+			return fmt.Errorf("series: %w", err)
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeFile(*metricsPath, func(w *bufio.Writer) error { return ob.Registry.WriteJSONL(w) }); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
 	}
 
 	if !*summaryOnly {

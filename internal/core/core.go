@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/disk"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/redundancy"
 	"repro/internal/replace"
@@ -105,6 +106,14 @@ type Config struct {
 	// detections, rebuilds, losses, warnings, batches) as it happens.
 	// Used by cmd/farmtrace; nil costs nothing.
 	Hook func(trace.Event)
+	// Obs, when non-nil, attaches the flight recorder: a metrics
+	// Registry mirroring every simulator and recovery counter, a SpanLog
+	// recording one lifecycle span per block rebuild, and a Series of
+	// periodic system-state samples. All instruments are read-only
+	// observers — an attached recorder leaves the run's RunResult (and,
+	// modulo the two span-lifecycle trace kinds, its transcript)
+	// byte-identical. Nil costs nothing.
+	Obs *obs.RunObserver
 }
 
 // DefaultConfig returns the paper's Table 2 base system.
@@ -180,6 +189,9 @@ func (c Config) Validate() error {
 		return errors.New("core: negative smart lead")
 	}
 	if err := c.Straggler.Validate(); err != nil {
+		return err
+	}
+	if err := c.Obs.Validate(); err != nil {
 		return err
 	}
 	return c.Faults.Validate()
@@ -348,6 +360,10 @@ func runOnce(cfg Config) (RunResult, error) {
 		random:  random,
 		res:     &res,
 		monitor: smart.Monitor{Accuracy: cfg.SmartAccuracy, LeadHours: cfg.SmartLeadHours},
+		// The sim-metrics bundle starts as a sink over a throwaway
+		// registry, so the ~14 counter-mirror sites below need no nil
+		// checks; an attached recorder swaps in the real one.
+		sm: obs.NewSimMetrics(obs.NewRegistry()),
 	}
 
 	spawn := func(now sim.Time) int {
@@ -378,10 +394,23 @@ func runOnce(cfg Config) (RunResult, error) {
 			return 1
 		}}
 	}
+	st.bw = bw
 	if cfg.UseFARM {
 		st.engine = recovery.NewFARM(cl, eng, sched, bw)
 	} else {
 		st.engine = recovery.NewSpareDisk(cl, eng, sched, bw, spawn)
+	}
+	if o := cfg.Obs; o != nil {
+		if o.Registry != nil {
+			st.sm = o.SimMetrics()
+		}
+		if o.Registry != nil || o.Spans != nil {
+			var rm *obs.RecoveryMetrics
+			if o.Registry != nil {
+				rm = o.RecoveryMetrics()
+			}
+			st.engine.SetObservability(rm, o.Spans)
+		}
 	}
 	if cfg.Straggler.Enabled {
 		st.engine.SetStraggler(cfg.Straggler, st.onSlowEvicted)
@@ -413,6 +442,9 @@ func runOnce(cfg Config) (RunResult, error) {
 		}
 		st.inj = inj
 		inj.SetDiscoveryHandler(st.onLatentDiscovered)
+		if cfg.Obs != nil && cfg.Obs.Registry != nil {
+			inj.SetMetrics(cfg.Obs.FaultMetrics())
+		}
 		st.engine.SetFaultModel(inj)
 		if sp, ok := st.engine.(*recovery.SpareDisk); ok && cfg.Faults.SparePoolSize > 0 {
 			eff := inj.Config()
@@ -437,7 +469,19 @@ func runOnce(cfg Config) (RunResult, error) {
 		}
 	}
 
+	if cfg.Obs != nil && cfg.Obs.Series != nil {
+		// Baseline sample at t=0, then one per cadence until the horizon.
+		st.takeSample(0)
+		st.scheduleSample()
+	}
+
 	eng.RunUntil(sim.Time(cfg.SimHours))
+
+	if cfg.Obs != nil && cfg.Obs.Registry != nil {
+		// Latch the horizon state into the registry gauges so an exported
+		// registry is self-describing without the series.
+		st.setGauges(st.snapshot(float64(cfg.SimHours)))
+	}
 
 	es := st.engine.Stats()
 	res.DataLoss = cl.LostGroups > 0
@@ -481,6 +525,96 @@ type runState struct {
 	// inj, when non-nil, is the fault injector of the run (cfg.Faults
 	// enabled). Its randomness lives on a separate stream.
 	inj *faults.Injector
+	// sm is the simulator-level metrics bundle; never nil (a sink over a
+	// private registry when no recorder is attached), so every counter
+	// mirror below is branch-free. bw is the run's bandwidth model,
+	// retained for the sampler's in-flight recovery-rate estimate.
+	sm *obs.SimMetrics
+	bw workload.BandwidthModel
+}
+
+// scheduleSample arms the next read-only system-state snapshot. The
+// sampler rides the regular event queue, so an enabled sampler shifts
+// engine sequence numbers uniformly but never reorders, adds, or removes
+// simulation work — RunResult stays byte-identical.
+func (st *runState) scheduleSample() {
+	at := st.eng.Now() + sim.Time(st.cfg.Obs.SampleEveryHours)
+	if float64(at) > st.cfg.SimHours {
+		return
+	}
+	st.eng.Schedule(at, "obs-sample", func(now sim.Time) {
+		st.takeSample(float64(now))
+		st.scheduleSample()
+	})
+}
+
+// takeSample appends one snapshot to the configured series.
+func (st *runState) takeSample(now float64) {
+	st.cfg.Obs.Series.Add(st.snapshot(now))
+}
+
+// snapshot assembles one Sample from cluster, scheduler, and engine
+// state. Strictly read-only.
+func (st *runState) snapshot(now float64) obs.Sample {
+	s := obs.Sample{
+		T:               now,
+		ActiveRebuilds:  st.engine.InFlight(),
+		QueuedTransfers: st.sched.QueuedTransfers(),
+		BusyDisks:       st.sched.BusyDisks(),
+		LostGroups:      st.cl.LostGroups,
+		SparePoolFree:   -1,
+	}
+	// Each running transfer occupies a source/target pair; the pair moves
+	// data at the per-disk recovery allotment in force at the instant.
+	s.RecoveryMBps = float64(s.BusyDisks/2) * st.bw.RecoveryMBps(now)
+	n := int32(st.cl.Cfg.Scheme.N)
+	for g := range st.cl.Groups {
+		grp := &st.cl.Groups[g]
+		if grp.Lost || grp.Available >= n {
+			continue
+		}
+		s.DegradedGroups++
+		switch n - grp.Available {
+		case 1:
+			s.Missing1++
+		case 2:
+			s.Missing2++
+		default:
+			s.Missing3Plus++
+		}
+	}
+	for id := range st.cl.Disks {
+		d := st.cl.Disks[id]
+		if d.State != disk.Alive {
+			continue
+		}
+		s.AliveDisks++
+		if d.Slowdown > 1 {
+			s.SlowDisks++
+		}
+		if st.cl.IsSuspect(id) {
+			s.SuspectDisks++
+		}
+	}
+	s.EvictedSlow = st.engine.Stats().Evictions
+	if sp, ok := st.engine.(*recovery.SpareDisk); ok {
+		s.SparePoolFree, s.SpareQueue = sp.SparePoolFree()
+	}
+	return s
+}
+
+// setGauges latches one snapshot's values into the registry gauges.
+func (st *runState) setGauges(s obs.Sample) {
+	st.sm.ActiveRebuilds.Set(float64(s.ActiveRebuilds))
+	st.sm.QueuedRebuilds.Set(float64(s.QueuedTransfers))
+	st.sm.BusyDisks.Set(float64(s.BusyDisks))
+	st.sm.RecoveryMBps.Set(s.RecoveryMBps)
+	st.sm.DegradedGroups.Set(float64(s.DegradedGroups))
+	st.sm.LostGroups.Set(float64(s.LostGroups))
+	st.sm.SparePoolFree.Set(float64(s.SparePoolFree))
+	st.sm.AliveDisks.Set(float64(s.AliveDisks))
+	st.sm.SlowDisks.Set(float64(s.SlowDisks))
+	st.sm.SuspectDisks.Set(float64(s.SuspectDisks))
 }
 
 // emit forwards a trace event to the configured hook, if any.
@@ -505,6 +639,7 @@ func (st *runState) scheduleFailure(id int) {
 	})
 	if warnAt, ok := st.monitor.Predict(st.random, float64(st.eng.Now()), at); ok {
 		st.res.PredictedFailures++
+		st.sm.Predicted.Inc()
 		st.eng.Schedule(sim.Time(warnAt), "smart-warning", func(now sim.Time) {
 			st.onSmartWarning(now, id)
 		})
@@ -552,6 +687,7 @@ func (st *runState) drainStep(now sim.Time, id int) {
 		// marking this group dead; MoveBlock checks residency itself.
 		if st.cl.Groups[group].Disks[ref.Rep] == int32(id) && st.cl.MoveBlock(ref, target) {
 			st.res.DrainedBlocks++
+			st.sm.DrainedBlocks.Inc()
 		}
 		st.drainStep(done, id)
 	})
@@ -565,6 +701,7 @@ func (st *runState) onDiskFailure(now sim.Time, id int) {
 	}
 	lost, newlyDead := st.cl.FailDisk(id, float64(now))
 	st.res.DiskFailures++
+	st.sm.DiskFailures.Inc()
 	if st.inj != nil {
 		// Undiscovered latent errors on the dead drive are moot: the
 		// whole-disk loss supersedes them.
@@ -573,6 +710,7 @@ func (st *runState) onDiskFailure(now sim.Time, id int) {
 	st.emit(trace.Event{Time: float64(now), Kind: trace.KindDiskFail, Disk: id,
 		Detail: fmt.Sprintf("blocks=%d", len(lost))})
 	if newlyDead > 0 {
+		st.sm.DataLossGroups.Add(uint64(newlyDead))
 		st.emit(trace.Event{Time: float64(now), Kind: trace.KindDataLoss, Disk: id,
 			Detail: fmt.Sprintf("groups=%d", newlyDead)})
 	}
@@ -628,6 +766,7 @@ func (st *runState) applySlowOnset(now sim.Time, id int) {
 	f := st.inj.DrawSlowSeverity()
 	d.Slowdown = f
 	st.res.FailSlowOnsets++
+	st.sm.FailSlowOnsets.Inc()
 	st.emit(trace.Event{Time: float64(now), Kind: trace.KindFailSlowOnset, Disk: id,
 		Detail: fmt.Sprintf("factor=%g", f)})
 	if hours, ok := st.inj.DrawSlowRecovery(); ok {
@@ -637,6 +776,7 @@ func (st *runState) applySlowOnset(now sim.Time, id int) {
 			}
 			d.Slowdown = 0
 			st.res.FailSlowRecoveries++
+			st.sm.FailSlowRecovers.Inc()
 			st.emit(trace.Event{Time: float64(rnow), Kind: trace.KindFailSlowRecover, Disk: id})
 		})
 	}
@@ -671,6 +811,7 @@ func (st *runState) scheduleSlowBurst() {
 			hits++
 		}
 		st.res.SlowBursts++
+		st.sm.SlowBursts.Inc()
 		st.emit(trace.Event{Time: float64(now), Kind: trace.KindSlowBurst,
 			Detail: fmt.Sprintf("hits=%d", hits)})
 		st.scheduleSlowBurst()
@@ -709,6 +850,7 @@ func (st *runState) scheduleLSE(id int) {
 			ref := blocks[st.inj.PickIndex(len(blocks))]
 			if st.inj.MarkLatent(id, int(ref.Group), int(ref.Rep)) {
 				st.res.LSEInjected++
+				st.sm.LSEInjected.Inc()
 				st.emit(trace.Event{Time: float64(now), Kind: trace.KindLSE,
 					Disk: id, Group: int(ref.Group), Rep: int(ref.Rep)})
 			}
@@ -726,9 +868,11 @@ func (st *runState) onLatentDiscovered(now sim.Time, diskID, group, rep int) {
 	}
 	_, newlyDead := st.cl.CorruptBlock(cluster.BlockRef{Group: int32(group), Rep: int32(rep)})
 	st.res.LSEDetected++
+	st.sm.LSEDetected.Inc()
 	st.emit(trace.Event{Time: float64(now), Kind: trace.KindLSEDetect,
 		Disk: diskID, Group: group, Rep: rep})
 	if newlyDead {
+		st.sm.DataLossGroups.Inc()
 		st.emit(trace.Event{Time: float64(now), Kind: trace.KindDataLoss, Disk: diskID,
 			Detail: "groups=1"})
 		return // beyond repair; in-flight rebuilds of the group will drain
@@ -752,10 +896,12 @@ func (st *runState) scheduleScrub() {
 			}
 			found++
 			st.res.ScrubFound++
+			st.sm.ScrubFound.Inc()
 			_, newlyDead := st.cl.CorruptBlock(cluster.BlockRef{Group: int32(e.Group), Rep: int32(e.Rep)})
 			st.emit(trace.Event{Time: float64(now), Kind: trace.KindScrubRepair,
 				Disk: e.Disk, Group: e.Group, Rep: e.Rep})
 			if newlyDead {
+				st.sm.DataLossGroups.Inc()
 				st.emit(trace.Event{Time: float64(now), Kind: trace.KindDataLoss, Disk: e.Disk,
 					Detail: "groups=1"})
 				continue
@@ -798,6 +944,8 @@ func (st *runState) scheduleBurst() {
 		}
 		st.res.Bursts++
 		st.res.BurstKills += kills
+		st.sm.Bursts.Inc()
+		st.sm.BurstKills.Add(uint64(kills))
 		st.emit(trace.Event{Time: float64(now), Kind: trace.KindBurst,
 			Detail: fmt.Sprintf("kills=%d", kills)})
 		st.scheduleBurst()
@@ -830,6 +978,8 @@ func (st *runState) maybeReplace(now sim.Time) {
 	}
 	st.res.BatchesAdded++
 	st.res.DisksAdded += count
+	st.sm.BatchesAdded.Inc()
+	st.sm.DisksAdded.Add(uint64(count))
 	st.res.MigratedBytes += replace.RebalanceOnto(st.cl, ids)
 	st.emit(trace.Event{Time: float64(now), Kind: trace.KindBatchAdded,
 		Detail: fmt.Sprintf("disks=%d", count)})

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Result aggregates a Monte Carlo campaign: the statistics the paper's
@@ -75,10 +76,24 @@ type MonteCarloOptions struct {
 	// Progress, when non-nil, receives the completed-run count as runs
 	// are folded into the aggregate (monotone, in run order).
 	Progress func(done, total int)
+	// Telemetry, when non-nil, receives live campaign telemetry: each run
+	// executes with its own private metrics registry, and the registries
+	// are merged into the campaign master in strict run-index order (the
+	// same ordered fold that makes the Result deterministic), so the
+	// merged registry is byte-identical regardless of worker count or
+	// scheduling. Serving the campaign over HTTP is the caller's business
+	// (obs.StartTelemetry).
+	Telemetry *obs.Campaign
 }
 
 // ErrNoRuns reports an empty campaign request.
 var ErrNoRuns = errors.New("core: MonteCarlo needs at least one run")
+
+// ErrSharedObs rejects a Config.Obs on a Monte Carlo campaign: one
+// observer cannot soundly record many concurrent runs. Use
+// MonteCarloOptions.Telemetry for campaign metrics, Simulator.Run for
+// spans and series.
+var ErrSharedObs = errors.New("core: Config.Obs is per-run; use MonteCarloOptions.Telemetry for campaigns")
 
 // MonteCarlo executes opts.Runs independent trajectories of cfg in
 // parallel and aggregates them streamingly. Each run gets its own seeded
@@ -109,6 +124,13 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	if cfg.Obs != nil {
+		// A shared RunObserver across parallel runs would race (and a
+		// merged Series/SpanLog would interleave runs meaninglessly).
+		// Per-run registries come in through Telemetry instead; spans and
+		// series belong to single runs (Simulator.Run).
+		return Result{}, ErrSharedObs
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -117,8 +139,14 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 		workers = opts.Runs
 	}
 
+	tele := opts.Telemetry
+	if tele != nil {
+		tele.Begin(opts.Runs, workers)
+	}
+
 	type slot struct {
 		res   RunResult
+		reg   *obs.Registry
 		err   error
 		ready bool
 	}
@@ -138,7 +166,7 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 	)
 	cond := sync.NewCond(&mu)
 
-	worker := func() {
+	worker := func(w int) {
 		defer wg.Done()
 		for {
 			i := int(next.Add(1)) - 1
@@ -147,7 +175,17 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 			}
 			runCfg := cfg
 			runCfg.Seed = opts.BaseSeed + uint64(i)
+			var reg *obs.Registry
+			if tele != nil {
+				// Each run records into a private registry; the ordered
+				// fold below merges it into the campaign master.
+				reg = obs.NewRegistry()
+				runCfg.Obs = &obs.RunObserver{Registry: reg}
+			}
 			res, err := runOnce(runCfg)
+			if tele != nil {
+				tele.WorkerRunDone(w)
+			}
 
 			mu.Lock()
 			for runErr == nil && i-reduced >= window {
@@ -158,7 +196,7 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 				return
 			}
 			s := &ring[i%window]
-			s.res, s.err, s.ready = res, err, true
+			s.res, s.reg, s.err, s.ready = res, reg, err, true
 			// Fold the ready prefix in run-index order.
 			for {
 				cur := &ring[reduced%window]
@@ -172,8 +210,12 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 					break
 				}
 				out.add(&cur.res)
+				if tele != nil {
+					tele.FoldRun(cur.res.DataLoss, cur.reg)
+				}
 				cur.ready = false
 				cur.res = RunResult{}
+				cur.reg = nil
 				reduced++
 				if opts.Progress != nil {
 					opts.Progress(reduced, opts.Runs)
@@ -186,7 +228,7 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go worker()
+		go worker(w)
 	}
 	wg.Wait()
 	if runErr != nil {

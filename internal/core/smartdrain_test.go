@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -44,6 +45,7 @@ func newDrainScenario(t *testing.T) *runState {
 		random:  rng.New(cfg.Seed),
 		res:     &RunResult{},
 		monitor: smart.Monitor{},
+		sm:      obs.NewSimMetrics(obs.NewRegistry()),
 	}
 	st.engine = recovery.NewFARM(cl, eng, sched, workload.Fixed{MBps: cfg.RecoveryMBps})
 	return st

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -33,6 +34,12 @@ type Options struct {
 	Scale float64
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
+	// Telemetry, when non-nil, receives live campaign progress and the
+	// merged metrics registry from every Monte Carlo data point (served
+	// over HTTP by cmd/farmsim's -telemetry flag). Campaigns observed by
+	// a telemetry hub bypass the in-process memoization cache so their
+	// progress counters stay truthful; results remain byte-identical.
+	Telemetry *obs.Campaign
 }
 
 // withDefaults fills zero fields.
@@ -74,19 +81,25 @@ var mcCache sync.Map // string -> core.Result
 // monteCarlo runs one data point, memoized.
 func (o Options) monteCarlo(cfg core.Config) (core.Result, error) {
 	cfg.Hook = nil // hooks are never set on experiment configs; be safe
+	cfg.Obs = nil  // per-run observers cannot span a campaign
 	key := fmt.Sprintf("%+v|runs=%d|seed=%d", cfg, o.Runs, o.BaseSeed)
-	if v, ok := mcCache.Load(key); ok {
-		return v.(core.Result), nil
+	if o.Telemetry == nil {
+		if v, ok := mcCache.Load(key); ok {
+			return v.(core.Result), nil
+		}
 	}
 	res, err := core.MonteCarlo(cfg, core.MonteCarloOptions{
-		Runs:     o.Runs,
-		BaseSeed: o.BaseSeed,
-		Workers:  o.Workers,
+		Runs:      o.Runs,
+		BaseSeed:  o.BaseSeed,
+		Workers:   o.Workers,
+		Telemetry: o.Telemetry,
 	})
 	if err != nil {
 		return res, err
 	}
-	mcCache.Store(key, res)
+	if o.Telemetry == nil {
+		mcCache.Store(key, res)
+	}
 	return res, nil
 }
 

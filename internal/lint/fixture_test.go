@@ -34,6 +34,7 @@ func TestNoDetermFixtures(t *testing.T)   { testAnalyzerFixtures(t, NoDeterm) }
 func TestHotPathFixtures(t *testing.T)    { testAnalyzerFixtures(t, HotPath) }
 func TestFloatValidFixtures(t *testing.T) { testAnalyzerFixtures(t, FloatValid) }
 func TestTraceKindFixtures(t *testing.T)  { testAnalyzerFixtures(t, TraceKind) }
+func TestMetricNameFixtures(t *testing.T) { testAnalyzerFixtures(t, MetricName) }
 func TestSeqTieFixtures(t *testing.T)     { testAnalyzerFixtures(t, SeqTie) }
 
 // testAnalyzerFixtures loads every fixture package under

@@ -19,6 +19,9 @@
 //   - tracekind: trace.Kind constants are unique, declared only in
 //     internal/trace, and emitted only via declared constants — never
 //     inline string literals;
+//   - metricname: obs.Name constants are unique snake_case [a-z_]+
+//     strings declared only in internal/obs, and metrics register only
+//     via declared constants — never inline name strings;
 //   - seqtie: every container/heap element ordering must tie-break on an
 //     explicit sequence number, so simultaneous events pop in a
 //     deterministic order.
@@ -101,6 +104,7 @@ func Analyzers() []*Analyzer {
 		HotPath,
 		FloatValid,
 		TraceKind,
+		MetricName,
 		SeqTie,
 	}
 }

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// MetricName enforces the metric vocabulary contract, the static twin of
+// obs.checkName's registration-time panic. Exposition consumers
+// (farmstat, Prometheus scrapes, the campaign merge) key on obs.Name
+// values, so the catalogue must be closed, collision-free, and uniformly
+// snake_case:
+//
+//   - every Name constant is declared in internal/obs, matches [a-z_]+,
+//     and no two declared names share a string value;
+//   - code outside internal/obs never materializes a Name from an inline
+//     string — neither by implicit conversion (r.Counter("oops")) nor by
+//     explicit conversion (obs.Name("oops")) — it must name a declared
+//     constant, so adding a metric forces a catalogue entry the
+//     exposition tooling can see.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "obs.Name values are unique [a-z_]+ constants declared in internal/obs; no inline metric names elsewhere",
+	Run:  runMetricName,
+}
+
+// isObsPkg matches the obs package itself (and fixture stand-ins named
+// obs).
+func isObsPkg(path string) bool {
+	return pkgPathBase(path) == "obs"
+}
+
+func runMetricName(pass *Pass) error {
+	if isObsPkg(pass.Pkg.Path()) {
+		return runMetricNameDecls(pass)
+	}
+	return runMetricNameUses(pass)
+}
+
+// validMetricName reports whether s is non-empty snake_case [a-z_]+,
+// mirroring obs.checkName.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '_' && (c < 'a' || c > 'z') {
+			return false
+		}
+	}
+	return true
+}
+
+// runMetricNameDecls checks the declaration site: Name constants must be
+// well-formed and collision-free.
+func runMetricNameDecls(pass *Pass) error {
+	seen := make(map[string]string) // string value -> first constant name
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || !isMetricNameType(obj.Type()) {
+						continue
+					}
+					if obj.Val().Kind() != constant.String {
+						continue
+					}
+					val := constant.StringVal(obj.Val())
+					if !validMetricName(val) {
+						pass.Reportf(name.Pos(), "metric name %q is not snake_case [a-z_]+", val)
+					}
+					if first, dup := seen[val]; dup {
+						pass.Reportf(name.Pos(), "metric name %q collides with %s: declared names must be unique strings", val, first)
+						continue
+					}
+					seen[val] = name.Name
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runMetricNameUses checks every other package: no inline Name strings,
+// and no Name constants declared outside internal/obs.
+func runMetricNameUses(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if n.Kind != token.STRING {
+					return true
+				}
+				// An untyped string literal adopting the Name type is an
+				// implicit conversion: r.Counter("oops"), n == "oops", etc.
+				if tv, ok := pass.TypesInfo.Types[n]; ok && isMetricNameType(tv.Type) {
+					pass.Reportf(n.Pos(), "inline metric name %s: use a constant declared in internal/obs so the exposition catalogue stays closed", n.Value)
+				}
+			case *ast.CallExpr:
+				// Explicit conversion obs.Name(x).
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() && isMetricNameType(tv.Type) {
+					pass.Reportf(n.Pos(), "conversion to obs.Name outside internal/obs: use a declared catalogue constant instead")
+					return false // don't double-report a literal argument
+				}
+			case *ast.ValueSpec:
+				for _, name := range n.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Const); ok && isMetricNameType(obj.Type()) {
+						pass.Reportf(name.Pos(), "obs.Name constant %s declared outside internal/obs: add it to the catalogue instead", name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMetricNameType reports whether t is the obs package's Name type.
+func isMetricNameType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Name" && obj.Pkg() != nil && isObsPkg(obj.Pkg().Path())
+}

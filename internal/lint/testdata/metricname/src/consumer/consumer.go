@@ -1,0 +1,34 @@
+// Package consumer is a metricname fixture for code outside
+// internal/obs: it must register declared catalogue constants, never
+// inline metric-name strings.
+package consumer
+
+import "obs"
+
+// registerLiteral materializes a Name by implicit conversion.
+func registerLiteral(r *obs.Registry) {
+	r.Counter("oops_total") // want "inline metric name"
+}
+
+// convert materializes a Name by explicit conversion.
+func convert(s string) obs.Name {
+	return obs.Name(s) // want "conversion to obs.Name"
+}
+
+// compare adopts the Name type in a comparison.
+func compare(n obs.Name) bool {
+	return n == "active_rebuilds" // want "inline metric name"
+}
+
+// localName extends the catalogue outside the obs package.
+const localName obs.Name = "local_total" // want "declared outside internal/obs" "inline metric name"
+
+// registerConstant names a declared constant: clean.
+func registerConstant(r *obs.Registry) {
+	r.Counter(obs.MetricDiskFailures)
+}
+
+// plainString passes an ordinary string around: clean.
+func plainString() string {
+	return "disk_failures_total"
+}

@@ -1,0 +1,23 @@
+// Package obs is a fixture stand-in for internal/obs (the analyzer
+// matches the package-path base name). Declared metric names must be
+// unique snake_case strings.
+package obs
+
+// Name is a metric identifier.
+type Name string
+
+// Declared catalogue.
+const (
+	MetricDiskFailures Name = "disk_failures_total"
+	MetricActive       Name = "active_rebuilds"
+	MetricDup          Name = "disk_failures_total" // want "collides with MetricDiskFailures"
+	MetricCamel        Name = "DiskFailures"        // want "not snake_case"
+	MetricDashed       Name = "disk-failures"       // want "not snake_case"
+	MetricEmpty        Name = ""                    // want "not snake_case"
+)
+
+// Registry is a metric sink keyed by Name.
+type Registry struct{}
+
+// Counter registers a counter.
+func (r *Registry) Counter(n Name) {}

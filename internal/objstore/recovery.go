@@ -125,6 +125,7 @@ func (s *Store) Recover() RecoverStats {
 			if !ok {
 				stats.CorruptShards++
 				s.stats.CorruptionsDetected++
+				s.sm.CorruptRegions.Inc()
 				corrupt = append(corrupt, rep)
 				continue
 			}
@@ -146,6 +147,7 @@ func (s *Store) Recover() RecoverStats {
 		for _, rep := range corrupt {
 			s.storeShard(col.disks[rep], shardKey{col.id, rep}, shards[rep])
 			s.stats.CorruptionsRepaired++
+			s.sm.Repairs.Inc()
 			stats.ShardsRepaired++
 		}
 		for _, rep := range missing {
@@ -160,6 +162,7 @@ func (s *Store) Recover() RecoverStats {
 			exclude[target] = true
 			targets[target] = true
 			stats.ShardsRebuilt++
+			s.sm.ShardsRebuilt.Inc()
 		}
 	}
 	stats.TargetsUsed = len(targets)

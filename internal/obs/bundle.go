@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RecoveryMetrics is the pre-resolved handle bundle the recovery engines
+// record into. Resolving handles once at setup keeps the record paths
+// free of map lookups and allocation.
+type RecoveryMetrics struct {
+	BlocksRebuilt   *Counter
+	Dropped         *Counter
+	Redirections    *Counter
+	Resourcings     *Counter
+	Retries         *Counter
+	TransientFaults *Counter
+	Hedges          *Counter
+	HedgeWins       *Counter
+	Timeouts        *Counter
+	SlowFlagged     *Counter
+	SlowEvicted     *Counter
+	SpareWaits      *Counter
+	SparesUsed      *Counter
+
+	WindowHours       *Histogram
+	QueueWaitHours    *Histogram
+	TransferHours     *Histogram
+	RetryWaitHours    *Histogram
+	HedgeOverlapHours *Histogram
+	DetectWaitHours   *Histogram
+}
+
+// NewRecoveryMetrics resolves the recovery-engine handles on r.
+func NewRecoveryMetrics(r *Registry) *RecoveryMetrics {
+	return &RecoveryMetrics{
+		BlocksRebuilt:   r.Counter(MetricBlocksRebuilt),
+		Dropped:         r.Counter(MetricRebuildsDropped),
+		Redirections:    r.Counter(MetricRedirections),
+		Resourcings:     r.Counter(MetricResourcings),
+		Retries:         r.Counter(MetricRetries),
+		TransientFaults: r.Counter(MetricTransientFaults),
+		Hedges:          r.Counter(MetricHedges),
+		HedgeWins:       r.Counter(MetricHedgeWins),
+		Timeouts:        r.Counter(MetricTimeouts),
+		SlowFlagged:     r.Counter(MetricSlowFlagged),
+		SlowEvicted:     r.Counter(MetricSlowEvicted),
+		SpareWaits:      r.Counter(MetricSpareWaits),
+		SparesUsed:      r.Counter(MetricSparesUsed),
+
+		WindowHours:       r.Histogram(MetricWindowHours, PhaseBounds),
+		QueueWaitHours:    r.Histogram(MetricQueueWaitHours, PhaseBounds),
+		TransferHours:     r.Histogram(MetricTransferHours, PhaseBounds),
+		RetryWaitHours:    r.Histogram(MetricRetryWaitHours, PhaseBounds),
+		HedgeOverlapHours: r.Histogram(MetricHedgeOverlapHours, PhaseBounds),
+		DetectWaitHours:   r.Histogram(MetricDetectWaitHours, PhaseBounds),
+	}
+}
+
+// SimMetrics is the simulator-level handle bundle (internal/core).
+type SimMetrics struct {
+	DiskFailures     *Counter
+	DataLossGroups   *Counter
+	BatchesAdded     *Counter
+	DisksAdded       *Counter
+	Predicted        *Counter
+	DrainedBlocks    *Counter
+	LSEInjected      *Counter
+	LSEDetected      *Counter
+	ScrubFound       *Counter
+	Bursts           *Counter
+	BurstKills       *Counter
+	FailSlowOnsets   *Counter
+	FailSlowRecovers *Counter
+	SlowBursts       *Counter
+
+	ActiveRebuilds *Gauge
+	QueuedRebuilds *Gauge
+	BusyDisks      *Gauge
+	RecoveryMBps   *Gauge
+	DegradedGroups *Gauge
+	LostGroups     *Gauge
+	SparePoolFree  *Gauge
+	AliveDisks     *Gauge
+	SlowDisks      *Gauge
+	SuspectDisks   *Gauge
+}
+
+// NewSimMetrics resolves the simulator-level handles on r.
+func NewSimMetrics(r *Registry) *SimMetrics {
+	return &SimMetrics{
+		DiskFailures:     r.Counter(MetricDiskFailures),
+		DataLossGroups:   r.Counter(MetricDataLossGroups),
+		BatchesAdded:     r.Counter(MetricBatchesAdded),
+		DisksAdded:       r.Counter(MetricDisksAdded),
+		Predicted:        r.Counter(MetricPredicted),
+		DrainedBlocks:    r.Counter(MetricDrainedBlocks),
+		LSEInjected:      r.Counter(MetricLSEInjected),
+		LSEDetected:      r.Counter(MetricLSEDetected),
+		ScrubFound:       r.Counter(MetricScrubFound),
+		Bursts:           r.Counter(MetricBursts),
+		BurstKills:       r.Counter(MetricBurstKills),
+		FailSlowOnsets:   r.Counter(MetricFailSlowOnsets),
+		FailSlowRecovers: r.Counter(MetricFailSlowRecovers),
+		SlowBursts:       r.Counter(MetricSlowBursts),
+
+		ActiveRebuilds: r.Gauge(MetricActiveRebuilds),
+		QueuedRebuilds: r.Gauge(MetricQueuedRebuilds),
+		BusyDisks:      r.Gauge(MetricBusyDisks),
+		RecoveryMBps:   r.Gauge(MetricRecoveryMBps),
+		DegradedGroups: r.Gauge(MetricDegradedGroups),
+		LostGroups:     r.Gauge(MetricLostGroups),
+		SparePoolFree:  r.Gauge(MetricSparePoolFree),
+		AliveDisks:     r.Gauge(MetricAliveDisks),
+		SlowDisks:      r.Gauge(MetricSlowDisks),
+		SuspectDisks:   r.Gauge(MetricSuspectDisks),
+	}
+}
+
+// FaultMetrics is the fault-injector handle bundle (internal/faults):
+// read-probe classification counters.
+type FaultMetrics struct {
+	ProbeReads     *Counter
+	ProbeTransient *Counter
+	ProbeLatent    *Counter
+}
+
+// NewFaultMetrics resolves the fault-injector handles on r.
+func NewFaultMetrics(r *Registry) *FaultMetrics {
+	return &FaultMetrics{
+		ProbeReads:     r.Counter(MetricProbeReads),
+		ProbeTransient: r.Counter(MetricProbeTransient),
+		ProbeLatent:    r.Counter(MetricProbeLatent),
+	}
+}
+
+// StoreMetrics is the object-store handle bundle (internal/objstore):
+// degraded-path data counters.
+type StoreMetrics struct {
+	DegradedReads  *Counter
+	CorruptRegions *Counter
+	Repairs        *Counter
+	ShardsRebuilt  *Counter
+}
+
+// NewStoreMetrics resolves the object-store handles on r.
+func NewStoreMetrics(r *Registry) *StoreMetrics {
+	return &StoreMetrics{
+		DegradedReads:  r.Counter(MetricObjDegradedReads),
+		CorruptRegions: r.Counter(MetricObjCorruptRegions),
+		Repairs:        r.Counter(MetricObjRepairs),
+		ShardsRebuilt:  r.Counter(MetricObjShardsRebuilt),
+	}
+}
+
+// RunObserver bundles the per-run observability configuration the core
+// simulator threads through its layers. Every field is optional; the
+// zero value (and a nil *RunObserver) disables the corresponding
+// instrument and leaves the simulation untouched.
+type RunObserver struct {
+	// Registry, when non-nil, receives the metric catalogue of the run.
+	Registry *Registry
+	// Spans, when non-nil, records a rebuild-lifecycle span per block
+	// rebuild.
+	Spans *SpanLog
+	// Series, when non-nil together with a positive SampleEveryHours,
+	// receives periodic system-state samples.
+	Series *Series
+	// SampleEveryHours is the sampling cadence in simulated hours.
+	SampleEveryHours float64
+
+	// Memoized handle bundles over Registry, resolved on first use so
+	// repeat runs against one observer re-register nothing and allocate
+	// nothing (the metrics-on alloc parity gated by BENCH_5.json).
+	sm *SimMetrics
+	rm *RecoveryMetrics
+	fm *FaultMetrics
+}
+
+// SimMetrics returns the simulator-level handle bundle over Registry,
+// resolving it on first call. Registry must be non-nil.
+func (o *RunObserver) SimMetrics() *SimMetrics {
+	if o.sm == nil {
+		o.sm = NewSimMetrics(o.Registry)
+	}
+	return o.sm
+}
+
+// RecoveryMetrics returns the recovery-engine handle bundle over
+// Registry, resolving it on first call. Registry must be non-nil.
+func (o *RunObserver) RecoveryMetrics() *RecoveryMetrics {
+	if o.rm == nil {
+		o.rm = NewRecoveryMetrics(o.Registry)
+	}
+	return o.rm
+}
+
+// FaultMetrics returns the fault-injector handle bundle over Registry,
+// resolving it on first call. Registry must be non-nil.
+func (o *RunObserver) FaultMetrics() *FaultMetrics {
+	if o.fm == nil {
+		o.fm = NewFaultMetrics(o.Registry)
+	}
+	return o.fm
+}
+
+// ErrSampleCadence reports an invalid sampler configuration.
+var ErrSampleCadence = errors.New("obs: non-positive sample cadence with a Series configured")
+
+// Validate checks the observer configuration.
+func (o *RunObserver) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if math.IsNaN(o.SampleEveryHours) || math.IsInf(o.SampleEveryHours, 0) {
+		return fmt.Errorf("obs: SampleEveryHours is not finite")
+	}
+	if o.Series != nil && o.SampleEveryHours <= 0 {
+		return ErrSampleCadence
+	}
+	return nil
+}

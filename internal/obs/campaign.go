@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Campaign aggregates live telemetry over one or more Monte Carlo
+// campaigns: progress, losses, ETA, per-worker throughput, and the
+// merged metrics registry. It is the only concurrency-aware type in the
+// package — workers and the HTTP endpoint touch it from different
+// goroutines, so every method locks.
+//
+// Determinism: the campaign is a pure observer. The Monte Carlo driver
+// folds per-run registries into the master in strict run-index order, so
+// the merged registry is byte-identical regardless of worker count; the
+// wall-clock fields (start time, ETA) feed only the progress endpoint,
+// never the simulation.
+type Campaign struct {
+	mu        sync.Mutex
+	total     int
+	done      int
+	losses    int
+	perWorker []int
+	started   bool
+	startWall time.Time
+	master    *Registry
+}
+
+// NewCampaign returns an empty campaign telemetry hub.
+func NewCampaign() *Campaign {
+	return &Campaign{master: NewRegistry()}
+}
+
+// Begin announces one Monte Carlo campaign of runs trajectories spread
+// over workers workers. Totals accumulate, so a sweep of several
+// campaigns (one per data point) reports combined progress.
+func (c *Campaign) Begin(runs, workers int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total += runs
+	for len(c.perWorker) < workers {
+		c.perWorker = append(c.perWorker, 0)
+	}
+	if !c.started {
+		c.started = true
+		//farm:wallclock progress/ETA reporting only; never feeds the simulation
+		c.startWall = time.Now()
+	}
+}
+
+// WorkerRunDone credits one completed trajectory to worker w (0-based).
+// Called from worker goroutines as runs finish computing, before the
+// ordered fold.
+func (c *Campaign) WorkerRunDone(w int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.perWorker) <= w {
+		c.perWorker = append(c.perWorker, 0)
+	}
+	c.perWorker[w]++
+}
+
+// FoldRun folds one run's outcome into the campaign in run-index order:
+// the loss flag and, when reg is non-nil, the run's metrics registry
+// into the master. The Monte Carlo driver calls this under its ordered
+// reduction, so master merges are deterministic.
+func (c *Campaign) FoldRun(loss bool, reg *Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done++
+	if loss {
+		c.losses++
+	}
+	if reg != nil {
+		// Bucket layouts come from the same catalogue; a mismatch is a
+		// programming error surfaced by the merge tests, not a runtime
+		// condition worth plumbing an error path for.
+		_ = c.master.Merge(reg)
+	}
+}
+
+// MasterSnapshot renders the merged registry with the given writer
+// function while holding the lock (e.g. (*Registry).WritePrometheus).
+func (c *Campaign) MasterSnapshot(write func(*Registry) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return write(c.master)
+}
+
+// Progress is a point-in-time view of the campaign.
+type Progress struct {
+	// RunsDone and RunsTotal report completed vs requested trajectories.
+	RunsDone  int `json:"runs_done"`
+	RunsTotal int `json:"runs_total"`
+	// Losses counts trajectories with data loss so far.
+	Losses int `json:"losses"`
+	// ElapsedSeconds is wall time since the first Begin; EtaSeconds
+	// extrapolates the remaining runs at the observed rate (-1 until the
+	// first run completes).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	EtaSeconds     float64 `json:"eta_seconds"`
+	// RunsPerSecond is the aggregate throughput; PerWorker is the
+	// completed-run count per worker slot.
+	RunsPerSecond float64 `json:"runs_per_second"`
+	PerWorker     []int   `json:"per_worker"`
+}
+
+// Snapshot returns the current progress.
+func (c *Campaign) Snapshot() Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := Progress{
+		RunsDone:   c.done,
+		RunsTotal:  c.total,
+		Losses:     c.losses,
+		EtaSeconds: -1,
+		PerWorker:  append([]int(nil), c.perWorker...),
+	}
+	if c.started {
+		//farm:wallclock progress/ETA reporting only; never feeds the simulation
+		p.ElapsedSeconds = time.Since(c.startWall).Seconds()
+	}
+	if p.ElapsedSeconds > 0 && c.done > 0 {
+		p.RunsPerSecond = float64(c.done) / p.ElapsedSeconds
+		if c.total > c.done {
+			p.EtaSeconds = float64(c.total-c.done) / p.RunsPerSecond
+		} else {
+			p.EtaSeconds = 0
+		}
+	}
+	return p
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCampaignProgress(t *testing.T) {
+	c := NewCampaign()
+	c.Begin(10, 2)
+	p := c.Snapshot()
+	if p.RunsTotal != 10 || p.RunsDone != 0 || p.EtaSeconds != -1 {
+		t.Fatalf("fresh campaign snapshot: %+v", p)
+	}
+	if len(p.PerWorker) != 2 {
+		t.Fatalf("per-worker slots = %d, want 2", len(p.PerWorker))
+	}
+
+	reg := NewRegistry()
+	reg.Counter(MetricBlocksRebuilt).Add(7)
+	c.WorkerRunDone(0)
+	c.FoldRun(true, reg)
+	c.WorkerRunDone(1)
+	c.FoldRun(false, nil)
+
+	p = c.Snapshot()
+	if p.RunsDone != 2 || p.Losses != 1 {
+		t.Fatalf("after folds: %+v", p)
+	}
+	if p.PerWorker[0] != 1 || p.PerWorker[1] != 1 {
+		t.Fatalf("per-worker: %v", p.PerWorker)
+	}
+	if err := c.MasterSnapshot(func(r *Registry) error {
+		if got := r.Counter(MetricBlocksRebuilt).Value(); got != 7 {
+			t.Fatalf("master counter = %d, want 7", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("master snapshot: %v", err)
+	}
+
+	// A second Begin accumulates totals (sweep of several campaigns).
+	c.Begin(5, 3)
+	if p := c.Snapshot(); p.RunsTotal != 15 || len(p.PerWorker) != 3 {
+		t.Fatalf("accumulated: %+v", p)
+	}
+}
+
+// TestCampaignConcurrent exercises the lock under -race: many workers
+// crediting runs and folding registries while a reader snapshots.
+func TestCampaignConcurrent(t *testing.T) {
+	c := NewCampaign()
+	c.Begin(64, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				reg := NewRegistry()
+				reg.Counter(MetricBlocksRebuilt).Inc()
+				c.WorkerRunDone(w)
+				c.FoldRun(i%2 == 0, reg)
+				_ = c.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	p := c.Snapshot()
+	if p.RunsDone != 64 || p.Losses != 32 {
+		t.Fatalf("concurrent folds: %+v", p)
+	}
+	_ = c.MasterSnapshot(func(r *Registry) error {
+		if got := r.Counter(MetricBlocksRebuilt).Value(); got != 64 {
+			t.Fatalf("master counter = %d, want 64", got)
+		}
+		return nil
+	})
+}
+
+func TestTelemetryServer(t *testing.T) {
+	c := NewCampaign()
+	c.Begin(4, 1)
+	reg := NewRegistry()
+	reg.Counter(MetricBlocksRebuilt).Add(3)
+	c.WorkerRunDone(0)
+	c.FoldRun(false, reg)
+
+	ts, err := StartTelemetry("localhost:0", c)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer func() { _ = ts.Close() }()
+	base := "http://" + ts.Addr()
+
+	fetch := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := fetch("/progress")
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("/progress content type = %q", ctype)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if p.RunsDone != 1 || p.RunsTotal != 4 {
+		t.Errorf("/progress = %+v", p)
+	}
+
+	body, ctype = fetch("/metrics")
+	if !strings.Contains(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, "blocks_rebuilt_total 3") {
+		t.Errorf("/metrics missing merged counter:\n%s", body)
+	}
+
+	if body, _ = fetch("/debug/pprof/cmdline"); body == "" {
+		t.Errorf("/debug/pprof/cmdline empty")
+	}
+}

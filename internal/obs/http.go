@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// TelemetryServer is the optional live-telemetry HTTP endpoint behind
+// the -telemetry flag of farmsim/farmtrace. It serves:
+//
+//	/            campaign progress as JSON (runs done, losses, ETA,
+//	             per-worker throughput)
+//	/progress    same as /
+//	/metrics     the merged registry in Prometheus text format
+//	/debug/pprof the standard Go profiler endpoints
+//
+// The server is a pure observer: it reads the Campaign (which locks) and
+// the Go runtime; it cannot touch simulation state, so serving telemetry
+// leaves the results byte-identical.
+type TelemetryServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartTelemetry listens on addr (e.g. "localhost:8080") and serves the
+// campaign's telemetry until Close. The returned server is already
+// accepting connections.
+func StartTelemetry(addr string, c *Campaign) (*TelemetryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	progress := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.Snapshot())
+	}
+	mux.HandleFunc("/", progress)
+	mux.HandleFunc("/progress", progress)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = c.MasterSnapshot(func(r *Registry) error { return r.WritePrometheus(w) })
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ts := &TelemetryServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = ts.srv.Serve(ln) }()
+	return ts, nil
+}
+
+// Addr returns the bound address (useful with a ":0" listen spec).
+func (t *TelemetryServer) Addr() string { return t.ln.Addr().String() }
+
+// Close stops the server.
+func (t *TelemetryServer) Close() error { return t.srv.Close() }

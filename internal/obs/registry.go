@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Counter is a monotone event counter. The zero value is ready to use
+// once obtained from a Registry.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+//
+//farm:hotpath registry record path, gated by TestRegistryRecordZeroAlloc
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+//
+//farm:hotpath registry record path, gated by TestRegistryRecordZeroAlloc
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a last-value instrument for sampled system state.
+type Gauge struct {
+	v float64
+}
+
+// Set overwrites the gauge.
+//
+//farm:hotpath registry record path, gated by TestRegistryRecordZeroAlloc
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the gauge by d.
+//
+//farm:hotpath registry record path, gated by TestRegistryRecordZeroAlloc
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram is a fixed-bucket histogram: counts per bucket, plus total
+// count and sum. Bucket i counts observations v <= bounds[i]; an
+// implicit +Inf bucket catches the rest. Buckets are fixed at
+// registration, so the record path is a branchless binary search over a
+// preallocated array — no allocation, ever.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf bucket
+	count  uint64
+	sum    float64
+}
+
+// Observe bins one observation. NaN observations are dropped: they
+// would poison the running sum, and a NaN phase duration is a simulator
+// bug the validation layer catches, not a value worth binning.
+//
+//farm:hotpath registry record path, gated by TestRegistryRecordZeroAlloc
+func (h *Histogram) Observe(v float64) {
+	if v != v { // NaN
+		return
+	}
+	h.count++
+	h.sum += v
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Bounds returns the bucket upper bounds (caller must not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns the per-bucket counts, the last entry being the
+// +Inf bucket (caller must not mutate).
+func (h *Histogram) BucketCounts() []uint64 { return h.counts }
+
+// Registry is a deterministic metrics registry. Registration (Counter,
+// Gauge, Histogram) happens at run setup and may allocate; the handles it
+// returns record with zero allocation. A Registry is not safe for
+// concurrent use — a simulation run is single-threaded, and each Monte
+// Carlo run gets its own Registry, merged in run-index order afterwards.
+type Registry struct {
+	counters map[Name]*Counter
+	gauges   map[Name]*Gauge
+	hists    map[Name]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[Name]*Counter),
+		gauges:   make(map[Name]*Gauge),
+		hists:    make(map[Name]*Histogram),
+	}
+}
+
+// checkName panics on a malformed metric name. Registration is setup
+// code, so failing loudly beats silently exporting an off-vocabulary
+// name; the farmlint metricname analyzer enforces the same contract
+// statically on the constant declarations.
+func checkName(n Name) {
+	if n == "" {
+		panic("obs: empty metric name")
+	}
+	for i := 0; i < len(n); i++ {
+		c := n[i]
+		if c != '_' && (c < 'a' || c > 'z') {
+			panic(fmt.Sprintf("obs: metric name %q is not snake_case [a-z_]+", string(n)))
+		}
+	}
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(n Name) *Counter {
+	if c, ok := r.counters[n]; ok {
+		return c
+	}
+	checkName(n)
+	c := &Counter{}
+	r.counters[n] = c
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(n Name) *Gauge {
+	if g, ok := r.gauges[n]; ok {
+		return g
+	}
+	checkName(n)
+	g := &Gauge{}
+	r.gauges[n] = g
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// bucket upper bounds (strictly increasing) on first use. Re-registering
+// with different bounds panics: bucket layouts must agree for merging.
+func (r *Registry) Histogram(n Name, bounds []float64) *Histogram {
+	if h, ok := r.hists[n]; ok {
+		if !sameBounds(h.bounds, bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", string(n)))
+		}
+		return h
+	}
+	checkName(n)
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing", string(n)))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.hists[n] = h
+	return h
+}
+
+// ErrMergeMismatch reports a histogram bucket-layout mismatch on merge.
+var ErrMergeMismatch = errors.New("obs: histogram bucket layouts differ")
+
+// Merge folds another registry into this one: counters and histogram
+// buckets add, gauges add (a merged gauge is the level summed across
+// runs — "active rebuilds across the campaign"). Addition is commutative
+// and exact for the integer instruments; for byte-identical float sums,
+// merge in run-index order (the Monte Carlo driver does).
+func (r *Registry) Merge(o *Registry) error {
+	// Merging walks the source maps in sorted-name order so the float
+	// folds below (gauge adds, histogram sums) see a deterministic
+	// sequence even within one source registry.
+	for _, n := range sortedNames(o.counters) {
+		r.Counter(n).Add(o.counters[n].v)
+	}
+	for _, n := range sortedNames(o.gauges) {
+		r.Gauge(n).Add(o.gauges[n].v)
+	}
+	for _, n := range sortedNames(o.hists) {
+		oh := o.hists[n]
+		h, ok := r.hists[n]
+		if !ok {
+			h = r.Histogram(n, oh.bounds)
+		}
+		if !sameBounds(h.bounds, oh.bounds) {
+			return fmt.Errorf("%w: %s", ErrMergeMismatch, string(n))
+		}
+		for i := range oh.counts {
+			h.counts[i] += oh.counts[i]
+		}
+		h.count += oh.count
+		h.sum += oh.sum
+	}
+	return nil
+}
+
+// sameBounds reports whether two bucket layouts are identical.
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedNames returns the map's keys in sorted order — the registry's
+// deterministic iteration idiom.
+func sortedNames[V any](m map[Name]V) []Name {
+	out := make([]Name, 0, len(m))
+	for n := range m { //farm:orderinvariant keys are sorted on the next line before any use
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WriteJSONL writes one JSON object per metric, sorted by name:
+//
+//	{"name":"blocks_rebuilt_total","type":"counter","value":17}
+//	{"name":"rebuild_window_hours","type":"histogram","count":9,"sum":1.25,"bounds":[...],"counts":[...]}
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	for _, n := range sortedNames(r.counters) {
+		if _, err := fmt.Fprintf(w, "{\"name\":%q,\"type\":\"counter\",\"value\":%d}\n",
+			string(n), r.counters[n].v); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedNames(r.gauges) {
+		if _, err := fmt.Fprintf(w, "{\"name\":%q,\"type\":\"gauge\",\"value\":%s}\n",
+			string(n), jsonFloat(r.gauges[n].v)); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedNames(r.hists) {
+		h := r.hists[n]
+		if _, err := fmt.Fprintf(w, "{\"name\":%q,\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"bounds\":%s,\"counts\":%s}\n",
+			string(n), h.count, jsonFloat(h.sum), jsonFloats(h.bounds), jsonUints(h.counts)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4), metrics sorted by name. Histograms follow the
+// cumulative-bucket convention with `le` labels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, n := range sortedNames(r.counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			string(n), string(n), r.counters[n].v); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedNames(r.gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+			string(n), string(n), promFloat(r.gauges[n].v)); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedNames(r.hists) {
+		h := r.hists[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", string(n)); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+				string(n), promFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			string(n), h.count, string(n), promFloat(h.sum), string(n), h.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonFloat renders a float as JSON (NaN/Inf become null — JSON has no
+// spelling for them, and a poisoned gauge should be visible, not a
+// parse error downstream).
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promFloat renders a float for Prometheus text format.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func jsonFloats(vs []float64) string {
+	out := make([]byte, 0, 2+8*len(vs))
+	out = append(out, '[')
+	for i, v := range vs {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, jsonFloat(v)...)
+	}
+	return string(append(out, ']'))
+}
+
+func jsonUints(vs []uint64) string {
+	out := make([]byte, 0, 2+4*len(vs))
+	out = append(out, '[')
+	for i, v := range vs {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = strconv.AppendUint(out, v, 10)
+	}
+	return string(append(out, ']'))
+}

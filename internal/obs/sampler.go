@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sample is one snapshot of system state at a simulated instant, taken
+// by the core simulator's periodic sampler. Sampling is strictly
+// read-only: it observes cluster, scheduler, and engine state without
+// touching any of it, so an enabled sampler leaves the run byte-identical.
+type Sample struct {
+	// T is the snapshot time in simulated hours.
+	T float64 `json:"t"`
+
+	// ActiveRebuilds counts block rebuilds in flight (tracked by a
+	// recovery engine, whether transferring or queued).
+	ActiveRebuilds int `json:"active_rebuilds"`
+	// QueuedTransfers counts rebuild transfers parked in disk FIFO
+	// queues waiting for a busy endpoint.
+	QueuedTransfers int `json:"queued_transfers"`
+	// BusyDisks counts disks currently mid-transfer (two per running
+	// transfer: source and target).
+	BusyDisks int `json:"busy_disks"`
+	// RecoveryMBps is the recovery bandwidth in flight: running
+	// transfers × the per-disk recovery allotment at T.
+	RecoveryMBps float64 `json:"recovery_mbps"`
+
+	// DegradedGroups counts groups missing at least one replica but not
+	// yet lost; Missing1/Missing2/Missing3Plus break them down by how
+	// many replicas are gone (redundancy remaining shrinks as the count
+	// grows). LostGroups counts groups latched lost so far.
+	DegradedGroups int `json:"degraded_groups"`
+	Missing1       int `json:"missing_1"`
+	Missing2       int `json:"missing_2,omitempty"`
+	Missing3Plus   int `json:"missing_3plus,omitempty"`
+	LostGroups     int `json:"lost_groups"`
+
+	// AliveDisks counts drives in service; SlowDisks counts drives
+	// currently degraded by the fail-slow model; SuspectDisks counts
+	// drives marked suspect (S.M.A.R.T. warning or straggler eviction)
+	// and draining.
+	AliveDisks   int `json:"alive_disks"`
+	SlowDisks    int `json:"slow_disks,omitempty"`
+	SuspectDisks int `json:"suspect_disks,omitempty"`
+	// EvictedSlow counts drives the straggler detector has condemned so
+	// far (cumulative).
+	EvictedSlow int `json:"evicted_slow,omitempty"`
+
+	// SparePoolFree is the spare-disk pool level (traditional engine
+	// with a finite pool; -1 means unlimited or not applicable).
+	// SpareQueue counts recovery work items parked waiting for a spare.
+	SparePoolFree int `json:"spare_pool_free"`
+	SpareQueue    int `json:"spare_queue,omitempty"`
+}
+
+// Series collects samples in time order. Not safe for concurrent use.
+type Series struct {
+	samples []Sample
+}
+
+// NewSeries returns an empty series.
+func NewSeries() *Series { return &Series{} }
+
+// Add appends one sample.
+func (s *Series) Add(sm Sample) { s.samples = append(s.samples, sm) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Samples returns the collected samples (caller must not mutate).
+func (s *Series) Samples() []Sample { return s.samples }
+
+// WriteJSONL writes one JSON object per sample.
+func (s *Series) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range s.samples {
+		if err := enc.Encode(&s.samples[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSampleJSONL parses a stream written by WriteJSONL.
+func ReadSampleJSONL(rd io.Reader) ([]Sample, error) {
+	dec := json.NewDecoder(rd)
+	var out []Sample
+	for dec.More() {
+		var sm Sample
+		if err := dec.Decode(&sm); err != nil {
+			return nil, fmt.Errorf("obs: sample: %w", err)
+		}
+		out = append(out, sm)
+	}
+	return out, nil
+}

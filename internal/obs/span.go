@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Span outcomes.
+const (
+	// OutcomeDone marks a rebuild that landed its block.
+	OutcomeDone = "done"
+	// OutcomeDropped marks a rebuild abandoned (group lost, sources
+	// exhausted, or the re-sourcing cap reached).
+	OutcomeDropped = "dropped"
+	// OutcomeUnfinished marks a rebuild still in flight when the
+	// simulation horizon arrived.
+	OutcomeUnfinished = "unfinished"
+)
+
+// Span tracks one block rebuild through its whole lifecycle: the block
+// is lost at FailedAt (disk death or discovered latent error), the loss
+// is noticed at DetectedAt, the first transfer attempt is submitted at
+// QueuedAt, actually starts at StartAt, and the rebuild ends at DoneAt.
+// The phase accumulators break the window of vulnerability down by where
+// the time went; across retries, redirections, and re-sourcings each
+// attempt's queue wait and transfer time adds into the same buckets.
+// All times are simulated hours.
+type Span struct {
+	Group int `json:"group"`
+	Rep   int `json:"rep"`
+
+	FailedAt   float64 `json:"failed_at"`
+	DetectedAt float64 `json:"detected_at"`
+	QueuedAt   float64 `json:"queued_at"`
+	// StartAt is the first transfer start; -1 if no attempt ever started.
+	StartAt float64 `json:"start_at"`
+	// DoneAt is the completion/abandonment time; -1 while unfinished.
+	DoneAt float64 `json:"done_at"`
+
+	// QueueWait accumulates hours spent waiting in disk FIFO queues (and
+	// for an exhausted spare pool) across all attempts.
+	QueueWait float64 `json:"queue_wait"`
+	// Transfer accumulates hours spent actually transferring, including
+	// partial transfers lost to cancellations.
+	Transfer float64 `json:"transfer"`
+	// RetryWait accumulates backoff hours after transient read faults.
+	RetryWait float64 `json:"retry_wait"`
+	// HedgeOverlap accumulates hours during which a duplicate transfer
+	// raced the primary.
+	HedgeOverlap float64 `json:"hedge_overlap"`
+
+	Attempts     int  `json:"attempts"`
+	Retries      int  `json:"retries,omitempty"`
+	Resourcings  int  `json:"resourcings,omitempty"`
+	Redirections int  `json:"redirections,omitempty"`
+	Hedges       int  `json:"hedges,omitempty"`
+	HedgeWon     bool `json:"hedge_won,omitempty"`
+	TimedOut     bool `json:"timed_out,omitempty"`
+
+	// Outcome is "done", "dropped", or "unfinished".
+	Outcome string `json:"outcome"`
+}
+
+// Window returns the span's window of vulnerability (failure to end);
+// 0 for unfinished spans.
+func (s *Span) Window() float64 {
+	if s.DoneAt < 0 {
+		return 0
+	}
+	return s.DoneAt - s.FailedAt
+}
+
+// DetectWait returns the detection-latency phase of the span.
+func (s *Span) DetectWait() float64 { return s.DetectedAt - s.FailedAt }
+
+// SpanLog collects rebuild-lifecycle spans in start order. Not safe for
+// concurrent use — one run, one SpanLog.
+type SpanLog struct {
+	spans []*Span
+}
+
+// NewSpanLog returns an empty span log.
+func NewSpanLog() *SpanLog { return &SpanLog{} }
+
+// Start opens a span for one block rebuild at queue time and returns it
+// for in-place phase accounting.
+func (l *SpanLog) Start(group, rep int, failedAt, detectedAt, queuedAt float64) *Span {
+	sp := &Span{
+		Group: group, Rep: rep,
+		FailedAt: failedAt, DetectedAt: detectedAt, QueuedAt: queuedAt,
+		StartAt: -1, DoneAt: -1,
+		Outcome: OutcomeUnfinished,
+	}
+	l.spans = append(l.spans, sp)
+	return sp
+}
+
+// Len returns the number of spans (finished or not).
+func (l *SpanLog) Len() int { return len(l.spans) }
+
+// Spans returns the recorded spans in start order (caller must not
+// mutate the slice).
+func (l *SpanLog) Spans() []*Span { return l.spans }
+
+// WriteJSONL writes one JSON object per span.
+func (l *SpanLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, sp := range l.spans {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSpanJSONL parses a stream written by WriteJSONL.
+func ReadSpanJSONL(rd io.Reader) ([]*Span, error) {
+	dec := json.NewDecoder(rd)
+	var out []*Span
+	for dec.More() {
+		sp := &Span{}
+		if err := dec.Decode(sp); err != nil {
+			return nil, fmt.Errorf("obs: span: %w", err)
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}

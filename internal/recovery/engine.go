@@ -5,6 +5,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -103,6 +104,13 @@ type Engine interface {
 	// rebuild completes ("rebuilt"), is abandoned ("dropped"), or is
 	// retried after a transient fault ("retry"), for tracing.
 	SetObserver(fn func(now sim.Time, kind trace.Kind, group, rep, diskID int))
+	// SetObservability installs the flight-recorder surfaces: the
+	// pre-resolved metrics bundle (nil restores the no-op sink) and the
+	// rebuild-lifecycle span log (nil disables span accounting).
+	SetObservability(rm *obs.RecoveryMetrics, spans *obs.SpanLog)
+	// InFlight returns the number of tracked block rebuilds (read-only;
+	// feeds the state sampler).
+	InFlight() int
 }
 
 // DiskSpawner lets an engine add drives to the system; the simulator hooks
@@ -137,6 +145,15 @@ type rebuild struct {
 	timeoutEv *sim.Event
 	hedgeTask *Task
 	hedges    int
+	// span is the rebuild's lifecycle span (nil when spans are
+	// disabled); spanDone latches the current attempt's phase accounting
+	// (see spanEndAttempt). retryArmedAt is when the pending backed-off
+	// resubmission was armed; hedgeAt is when the in-flight hedge
+	// launched — both feed the span's retry-wait/hedge-overlap phases.
+	span         *obs.Span
+	spanDone     bool
+	retryArmedAt sim.Time
+	hedgeAt      sim.Time
 }
 
 // base holds the machinery common to both engines.
@@ -180,6 +197,14 @@ type base struct {
 	// hedgeByDisk indexes in-flight hedge transfers by both endpoints so
 	// disk deaths can drop them.
 	hedgeByDisk map[int][]*rebuild
+	// rm is the flight-recorder metrics bundle. Never nil: newBase
+	// installs a sink bundle on a private registry, so record sites need
+	// no branches; SetObservability swaps in the real one.
+	rm *obs.RecoveryMetrics
+	// spans, when non-nil, receives one lifecycle span per block rebuild.
+	spans *obs.SpanLog
+	// inFlight counts tracked rebuilds (read-only sampler feed).
+	inFlight int
 }
 
 func newBase(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload.BandwidthModel) base {
@@ -197,6 +222,7 @@ func newBase(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload
 	}
 	b.stats.WindowP50 = metrics.NewP2(0.5)
 	b.stats.WindowP99 = metrics.NewP2(0.99)
+	b.rm = obs.NewRecoveryMetrics(obs.NewRegistry())
 	return b
 }
 
@@ -264,6 +290,7 @@ func (b *base) track(r *rebuild) {
 	b.bySource[r.task.Source] = append(b.bySource[r.task.Source], r)
 	b.byTarget[r.task.Target] = append(b.byTarget[r.task.Target], r)
 	b.perGroupTargets[r.task.Group] = append(b.perGroupTargets[r.task.Group], r.task.Target)
+	b.inFlight++
 }
 
 // untrack removes a rebuild from the disk indexes. It also cancels any
@@ -276,6 +303,11 @@ func (b *base) untrack(r *rebuild) {
 	if r.retryEv != nil {
 		b.eng.Cancel(r.retryEv)
 		r.retryEv = nil
+		if r.span != nil {
+			// The backoff was cut short; the hours actually waited are
+			// still retry wait.
+			r.span.RetryWait += float64(b.eng.Now() - r.retryArmedAt)
+		}
 	}
 	if r.hedgeEv != nil {
 		b.eng.Cancel(r.hedgeEv)
@@ -300,6 +332,7 @@ func (b *base) untrack(r *rebuild) {
 			break
 		}
 	}
+	b.inFlight--
 }
 
 func removeRebuild(list []*rebuild, r *rebuild) []*rebuild {
@@ -315,10 +348,14 @@ func removeRebuild(list []*rebuild, r *rebuild) []*rebuild {
 // complete finishes a rebuild: probe the source read for injected
 // faults, then install the block and record the window.
 func (b *base) complete(now sim.Time, r *rebuild) {
+	// The attempt ran to completion whatever the probe below says; fold
+	// its queue wait and transfer time into the span now.
+	b.spanEndAttempt(r, now)
 	if b.fm != nil {
 		switch b.fm.ProbeRead(now, r.task.Source, r.task.Group) {
 		case faults.ReadTransient:
 			b.stats.TransientFaults++
+			b.rm.TransientFaults.Inc()
 			b.retryOrResource(now, r)
 			return
 		case faults.ReadLatent:
@@ -337,29 +374,40 @@ func (b *base) complete(now sim.Time, r *rebuild) {
 		// reservation stands as wasted space dropped with the group.
 		b.cl.ReleaseTarget(r.task.Target)
 		b.stats.DroppedLost++
+		b.rm.Dropped.Inc()
+		b.spanDropped(r, now)
 		b.observe(now, trace.KindDropped, r.task.Group, r.task.Rep, r.task.Target)
 		return
 	}
 	b.cl.PlaceRecovered(r.task.Group, r.task.Rep, r.task.Target)
 	b.stats.BlocksRebuilt++
+	b.rm.BlocksRebuilt.Inc()
 	w := float64(now - r.failedAt)
 	b.stats.Window.Add(w)
 	b.recordWindow(w)
+	b.spanFinish(r, now, obs.OutcomeDone)
 	b.noteTransfer(now, r.task)
 	b.observe(now, trace.KindRebuilt, r.task.Group, r.task.Rep, r.task.Target)
 }
 
 // abandon drops a rebuild whose group is beyond repair.
 func (b *base) abandon(r *rebuild) {
+	now := b.eng.Now()
+	b.spanEndAttempt(r, now)
 	b.sched.Cancel(r.task)
 	b.untrack(r)
 	b.cl.ReleaseTarget(r.task.Target)
 	b.stats.DroppedLost++
+	b.rm.Dropped.Inc()
+	b.spanDropped(r, now)
 }
 
 // resource replaces the failed read source of a rebuild, or abandons it if
 // the group is lost.
 func (b *base) resource(r *rebuild) {
+	// The current attempt ends here whichever branch wins (abandon
+	// re-checks via the latch).
+	b.spanEndAttempt(r, b.eng.Now())
 	grp := &b.cl.Groups[r.task.Group]
 	if grp.Lost {
 		b.abandon(r)
@@ -392,6 +440,10 @@ func (b *base) resource(r *rebuild) {
 	r.task = nt
 	b.track(r)
 	b.stats.Resourcings++
+	b.rm.Resourcings.Inc()
+	if r.span != nil {
+		r.span.Resourcings++
+	}
 	b.submitTracked(r)
 }
 
@@ -422,6 +474,10 @@ func (b *base) retryOrResource(now sim.Time, r *rebuild) {
 	}
 	r.retries++
 	b.stats.Retries++
+	b.rm.Retries.Inc()
+	if r.span != nil {
+		r.span.Retries++
+	}
 	// A fresh Task with identical endpoints: the finished task is spent
 	// (scheduler state done), but the disk indexes key by endpoint, so
 	// swapping the task pointer keeps tracking consistent.
@@ -433,9 +489,13 @@ func (b *base) retryOrResource(now sim.Time, r *rebuild) {
 		Duration: b.effDuration(r.baseDur, r.task.Source, r.task.Target),
 	}
 	r.task = nt
+	r.retryArmedAt = now
 	b.observe(now, trace.KindRetry, nt.Group, nt.Rep, nt.Source)
 	r.retryEv = b.eng.After(b.fm.RetryBackoff(r.retries), "rebuild-retry", func(at sim.Time) {
 		r.retryEv = nil
+		if r.span != nil {
+			r.span.RetryWait += float64(at - r.retryArmedAt)
+		}
 		if b.cl.Groups[nt.Group].Lost {
 			b.observe(at, trace.KindDropped, nt.Group, nt.Rep, nt.Target)
 			b.abandon(r)

@@ -45,19 +45,24 @@ func (f *FARM) startRebuild(failedAt sim.Time, group, rep int) {
 	grp := &f.cl.Groups[group]
 	if grp.Lost {
 		f.stats.DroppedLost++
+		f.rm.Dropped.Inc()
 		return
 	}
 	src := f.cl.SourceFor(group, -1)
 	if src < 0 {
 		f.stats.DroppedLost++
+		f.rm.Dropped.Inc()
 		return
 	}
 	r := &rebuild{failedAt: failedAt, baseDur: f.blockDuration()}
+	r.span = f.spanOpen(group, rep, failedAt)
 	target, trial, ok := f.pickTarget(group, rep, 0)
 	if !ok {
 		// Nowhere to put the block (cluster effectively full/dead);
 		// leave the group degraded.
 		f.stats.DroppedLost++
+		f.rm.Dropped.Inc()
+		f.spanDropped(r, f.eng.Now())
 		return
 	}
 	r.trial = trial
@@ -99,17 +104,22 @@ func (f *FARM) HandleFailure(now sim.Time, diskID int) {
 // died mid-rebuild — the paper's recovery redirection. The transfer
 // restarts from scratch on the new disk.
 func (f *FARM) redirect(now sim.Time, r *rebuild) {
+	f.spanEndAttempt(r, now)
 	f.sched.Cancel(r.task)
 	f.untrack(r)
 	// No ReleaseTarget: the dead disk's byte accounting is already gone.
 	grp := &f.cl.Groups[r.task.Group]
 	if grp.Lost {
 		f.stats.DroppedLost++
+		f.rm.Dropped.Inc()
+		f.spanDropped(r, now)
 		return
 	}
 	target, trial, ok := f.pickTarget(r.task.Group, r.task.Rep, r.trial+1)
 	if !ok {
 		f.stats.DroppedLost++
+		f.rm.Dropped.Inc()
+		f.spanDropped(r, now)
 		return
 	}
 	src := r.task.Source
@@ -118,6 +128,8 @@ func (f *FARM) redirect(now sim.Time, r *rebuild) {
 		if src < 0 {
 			f.cl.ReleaseTarget(target)
 			f.stats.DroppedLost++
+			f.rm.Dropped.Inc()
+			f.spanDropped(r, now)
 			return
 		}
 	}
@@ -132,5 +144,9 @@ func (f *FARM) redirect(now sim.Time, r *rebuild) {
 	r.trial = trial
 	f.track(r)
 	f.stats.Redirections++
+	f.rm.Redirections.Inc()
+	if r.span != nil {
+		r.span.Redirections++
+	}
 	f.submitTracked(r)
 }

@@ -2,6 +2,7 @@ package recovery
 
 import (
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -22,6 +23,14 @@ import (
 // contrast, scores only transfer durations — a busy healthy disk is
 // never *flagged* slow, it just gets hedged around.
 func (b *base) submitTracked(r *rebuild) {
+	// A new attempt begins: re-arm the span latch so its end is
+	// accounted exactly once, and hand the span to the scheduler so the
+	// OnStart hook can mark the first transfer start.
+	r.spanDone = false
+	r.task.span = r.span
+	if r.span != nil {
+		r.span.Attempts++
+	}
 	b.sched.Submit(r.task, func(now sim.Time, _ *Task) { b.complete(now, r) })
 	b.armStragglerTimers(r)
 }
@@ -79,6 +88,10 @@ func (b *base) timeoutFired(now sim.Time, r *rebuild) {
 		return // mitigation exhausted; let the attempt finish at its pace
 	}
 	b.stats.Timeouts++
+	b.rm.Timeouts.Inc()
+	if r.span != nil {
+		r.span.TimedOut = true
+	}
 	b.observe(now, trace.KindRebuildTimeout, r.task.Group, r.task.Rep, r.task.Target)
 	r.retries = 0
 	b.resourceChecked(now, r)
@@ -120,7 +133,13 @@ func (b *base) maybeHedge(now sim.Time, r *rebuild) {
 	}
 	r.hedgeTask = ht
 	r.hedges++
+	r.hedgeAt = now
 	b.stats.Hedges++
+	b.rm.Hedges.Inc()
+	if r.span != nil {
+		r.span.Hedges++
+		ht.span = r.span
+	}
 	b.trackHedge(r)
 	b.observe(now, trace.KindHedge, ht.Group, ht.Rep, ht.Target)
 	b.sched.Submit(ht, func(done sim.Time, _ *Task) { b.hedgeComplete(done, r) })
@@ -137,7 +156,13 @@ func (b *base) trackHedge(r *rebuild) {
 
 // untrackHedge removes the hedge from the indexes and clears the task
 // pointer. It does not touch the scheduler or the target reservation.
+// Whatever resolved the hedge (win, loss, cancellation), the duplicate
+// raced the primary from launch until this instant — that interval is
+// the span's hedge-overlap phase.
 func (b *base) untrackHedge(r *rebuild) {
+	if r.span != nil {
+		r.span.HedgeOverlap += float64(b.eng.Now() - r.hedgeAt)
+	}
 	ht := r.hedgeTask
 	b.hedgeByDisk[ht.Source] = removeRebuild(b.hedgeByDisk[ht.Source], r)
 	b.hedgeByDisk[ht.Target] = removeRebuild(b.hedgeByDisk[ht.Target], r)
@@ -183,6 +208,7 @@ func (b *base) hedgeComplete(now sim.Time, r *rebuild) {
 		switch b.fm.ProbeRead(now, ht.Source, ht.Group) {
 		case faults.ReadTransient:
 			b.stats.TransientFaults++
+			b.rm.TransientFaults.Inc()
 			b.cl.ReleaseTarget(ht.Target)
 			b.untrackHedge(r)
 			return
@@ -197,21 +223,30 @@ func (b *base) hedgeComplete(now sim.Time, r *rebuild) {
 	b.untrackHedge(r)
 	// First finisher wins: cancel the primary attempt and release its
 	// reservation (dead targets already dropped their byte accounting).
+	b.spanEndAttempt(r, now)
 	b.sched.Cancel(r.task)
 	b.untrack(r)
 	b.cl.ReleaseTarget(r.task.Target)
 	if b.cl.Groups[ht.Group].Lost {
 		b.cl.ReleaseTarget(ht.Target)
 		b.stats.DroppedLost++
+		b.rm.Dropped.Inc()
+		b.spanDropped(r, now)
 		b.observe(now, trace.KindDropped, ht.Group, ht.Rep, ht.Target)
 		return
 	}
 	b.cl.PlaceRecovered(ht.Group, ht.Rep, ht.Target)
 	b.stats.BlocksRebuilt++
 	b.stats.HedgeWins++
+	b.rm.BlocksRebuilt.Inc()
+	b.rm.HedgeWins.Inc()
+	if r.span != nil {
+		r.span.HedgeWon = true
+	}
 	w := float64(now - r.failedAt)
 	b.stats.Window.Add(w)
 	b.recordWindow(w)
+	b.spanFinish(r, now, obs.OutcomeDone)
 	b.noteTransfer(now, ht)
 	b.observe(now, trace.KindHedgeWin, ht.Group, ht.Rep, ht.Target)
 }
@@ -221,6 +256,7 @@ func (b *base) hedgeComplete(now sim.Time, r *rebuild) {
 func (b *base) recordWindow(w float64) {
 	b.stats.WindowP50.Add(w)
 	b.stats.WindowP99.Add(w)
+	b.rm.WindowHours.Observe(w)
 }
 
 // noteTransfer feeds one successful transfer into the peer-comparison
@@ -244,10 +280,12 @@ func (b *base) scoreDisk(now sim.Time, id int, mbps float64) {
 	flagged, evicted := b.det.score(id, mbps)
 	if flagged {
 		b.stats.SlowFlagged++
+		b.rm.SlowFlagged.Inc()
 		b.observe(now, trace.KindFailSlowDetect, -1, -1, id)
 	}
 	if evicted {
 		b.stats.Evictions++
+		b.rm.SlowEvicted.Inc()
 		b.observe(now, trace.KindEvictSlow, -1, -1, id)
 		if b.evict != nil {
 			b.evict(now, id)

@@ -19,6 +19,7 @@ package recovery
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -44,11 +45,17 @@ type Task struct {
 	// SubmittedAt records when the rebuild was first requested, for
 	// window-of-vulnerability statistics.
 	SubmittedAt sim.Time
+	// StartedAt records when the transfer actually began (queue wait is
+	// StartedAt - SubmittedAt); meaningful once the task is running.
+	StartedAt sim.Time
 
 	state    taskState
 	event    *sim.Event
 	onDone   func(now sim.Time, t *Task)
 	queuedOn int // disk queue currently holding the task, -1 if none
+	// span, when non-nil, is the rebuild-lifecycle span this attempt
+	// belongs to; the scheduler marks its first transfer start.
+	span *obs.Span
 }
 
 // State helpers used by engines and tests.
@@ -70,6 +77,10 @@ type Scheduler struct {
 	// disks per transfer) — the degraded-mode interference the paper's
 	// declustering argument is about.
 	BusyHours float64
+	// OnStart, when set, fires as each transfer begins — the engines'
+	// span layer hooks it to mark transfer starts. Strictly read-only
+	// with respect to scheduling decisions.
+	OnStart func(now sim.Time, t *Task)
 }
 
 // NewScheduler returns a scheduler for numDisks disk slots.
@@ -94,6 +105,33 @@ func (s *Scheduler) Busy(id int) bool { return s.busy[id] }
 
 // QueueLen returns the number of tasks waiting on disk id.
 func (s *Scheduler) QueueLen(id int) int { return len(s.waiting[id]) }
+
+// BusyDisks counts disks currently mid-transfer (two per running
+// transfer). Read-only; used by the state sampler.
+func (s *Scheduler) BusyDisks() int {
+	n := 0
+	for _, b := range s.busy {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// QueuedTransfers counts live tasks parked in the per-disk FIFO queues
+// (cancelled or re-filed entries are lazily removed, so they are
+// skipped here). Read-only; used by the state sampler.
+func (s *Scheduler) QueuedTransfers() int {
+	n := 0
+	for d, q := range s.waiting {
+		for _, t := range q {
+			if t.state == taskPending && t.queuedOn == d {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // Submit queues a rebuild. onDone fires at completion with the simulation
 // time. The task starts immediately if both disks are idle.
@@ -127,7 +165,11 @@ func (s *Scheduler) start(t *Task) {
 	s.busy[t.Target] = true
 	t.state = taskRunning
 	t.queuedOn = -1
+	t.StartedAt = s.eng.Now()
 	s.Started++
+	if s.OnStart != nil {
+		s.OnStart(t.StartedAt, t)
+	}
 	t.event = s.eng.After(t.Duration, "rebuild-done", func(now sim.Time) {
 		t.event = nil
 		t.state = taskDone

@@ -3,6 +3,7 @@ package recovery
 import (
 	"repro/internal/cluster"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -40,6 +41,11 @@ type SpareDisk struct {
 type pendingBlock struct {
 	group, rep int
 	failedAt   sim.Time
+	// span is the block's lifecycle span carried across the wait (nil
+	// when spans are disabled); parkedAt is when the block joined the
+	// queue — the wait folds into the span's queue-wait phase at drain.
+	span     *obs.Span
+	parkedAt sim.Time
 }
 
 // spareWork is the queued recovery work of one failed disk.
@@ -103,6 +109,7 @@ func (s *SpareDisk) takeSpare() bool {
 // queueSpareWork parks recovery work until a spare arrives.
 func (s *SpareDisk) queueSpareWork(now sim.Time, failed int, blocks []pendingBlock) {
 	s.stats.SpareWaits++
+	s.rm.SpareWaits.Inc()
 	s.waiting = append(s.waiting, spareWork{failed: failed, blocks: blocks})
 	s.observe(now, trace.KindSpareQueued, -1, -1, failed)
 }
@@ -115,8 +122,12 @@ func (s *SpareDisk) drainSpareQueue(now sim.Time) {
 		s.waiting = s.waiting[1:]
 		spare := s.activateSpare(now, w.failed)
 		for _, pb := range w.blocks {
+			if pb.span != nil {
+				// Hours spent waiting for a spare are queue wait.
+				pb.span.QueueWait += float64(now - pb.parkedAt)
+			}
 			// startRebuild drops blocks whose group died while waiting.
-			s.startRebuild(pb.failedAt, pb.group, pb.rep, spare)
+			s.startRebuild(pb.failedAt, pb.group, pb.rep, spare, pb.span)
 		}
 	}
 }
@@ -130,14 +141,17 @@ func (s *SpareDisk) HandleDetection(now sim.Time, diskID int, failedAt sim.Time,
 	if !s.takeSpare() {
 		blocks := make([]pendingBlock, len(lost))
 		for i, ref := range lost {
-			blocks[i] = pendingBlock{group: int(ref.Group), rep: int(ref.Rep), failedAt: failedAt}
+			blocks[i] = pendingBlock{
+				group: int(ref.Group), rep: int(ref.Rep), failedAt: failedAt,
+				span: s.spanOpen(int(ref.Group), int(ref.Rep), failedAt), parkedAt: now,
+			}
 		}
 		s.queueSpareWork(now, diskID, blocks)
 		return
 	}
 	spare := s.activateSpare(now, diskID)
 	for _, ref := range lost {
-		s.startRebuild(failedAt, int(ref.Group), int(ref.Rep), spare)
+		s.startRebuild(failedAt, int(ref.Group), int(ref.Rep), spare, nil)
 	}
 }
 
@@ -149,28 +163,41 @@ func (s *SpareDisk) activateSpare(now sim.Time, failed int) int {
 	s.spareFor[failed] = spare
 	s.spareRole[spare] = failed
 	s.stats.SparesUsed++
+	s.rm.SparesUsed.Inc()
 	return spare
 }
 
-// startRebuild queues one block onto the designated spare.
-func (s *SpareDisk) startRebuild(failedAt sim.Time, group, rep, spare int) {
+// startRebuild queues one block onto the designated spare. sp, when
+// non-nil, is an existing lifecycle span carried over from an earlier
+// attempt (spare death, spare-pool wait); nil opens a fresh one when
+// spans are enabled.
+func (s *SpareDisk) startRebuild(failedAt sim.Time, group, rep, spare int, sp *obs.Span) {
+	if sp == nil {
+		sp = s.spanOpen(group, rep, failedAt)
+	}
+	r := &rebuild{failedAt: failedAt, baseDur: s.blockDuration(), span: sp}
 	grp := &s.cl.Groups[group]
 	if grp.Lost {
 		s.stats.DroppedLost++
+		s.rm.Dropped.Inc()
+		s.spanDropped(r, s.eng.Now())
 		return
 	}
 	src := s.cl.SourceFor(group, spare)
 	if src < 0 {
 		s.stats.DroppedLost++
+		s.rm.Dropped.Inc()
+		s.spanDropped(r, s.eng.Now())
 		return
 	}
 	if !s.cl.ReserveTarget(spare) {
 		// The spare cannot be full in the paper's regime (a fresh drive
 		// absorbing at most one failed drive's data); treat as dropped.
 		s.stats.DroppedLost++
+		s.rm.Dropped.Inc()
+		s.spanDropped(r, s.eng.Now())
 		return
 	}
-	r := &rebuild{failedAt: failedAt, baseDur: s.blockDuration()}
 	r.task = &Task{
 		Group:    group,
 		Rep:      rep,
@@ -187,9 +214,22 @@ func (s *SpareDisk) startRebuild(failedAt sim.Time, group, rep, spare int) {
 // the block in place, so the repair targets the same drive when it is
 // alive with space, falling back to any eligible drive otherwise.
 func (s *SpareDisk) HandleBlockLoss(now sim.Time, failedAt sim.Time, diskID, group, rep int) {
+	s.blockLoss(now, failedAt, diskID, group, rep, nil)
+}
+
+// blockLoss is HandleBlockLoss with an optional carried-over span (the
+// target-death restart path re-drives repairs through here without
+// opening a second span for the same block).
+func (s *SpareDisk) blockLoss(now sim.Time, failedAt sim.Time, diskID, group, rep int, sp *obs.Span) {
+	if sp == nil {
+		sp = s.spanOpen(group, rep, failedAt)
+	}
+	r := &rebuild{failedAt: failedAt, baseDur: s.blockDuration(), span: sp}
 	grp := &s.cl.Groups[group]
 	if grp.Lost {
 		s.stats.DroppedLost++
+		s.rm.Dropped.Inc()
+		s.spanDropped(r, now)
 		return
 	}
 	target := -1
@@ -199,6 +239,8 @@ func (s *SpareDisk) HandleBlockLoss(now sim.Time, failedAt sim.Time, diskID, gro
 		t, _, ok := s.pickTarget(group, rep, 0)
 		if !ok {
 			s.stats.DroppedLost++
+			s.rm.Dropped.Inc()
+			s.spanDropped(r, now)
 			return
 		}
 		target = t
@@ -207,9 +249,10 @@ func (s *SpareDisk) HandleBlockLoss(now sim.Time, failedAt sim.Time, diskID, gro
 	if src < 0 {
 		s.cl.ReleaseTarget(target)
 		s.stats.DroppedLost++
+		s.rm.Dropped.Inc()
+		s.spanDropped(r, now)
 		return
 	}
-	r := &rebuild{failedAt: failedAt, baseDur: s.blockDuration()}
 	r.task = &Task{
 		Group:    group,
 		Rep:      rep,
@@ -234,28 +277,43 @@ func (s *SpareDisk) HandleFailure(now sim.Time, diskID int) {
 			if s.takeSpare() {
 				replacement := s.activateSpare(now, failed)
 				for _, r := range asTarget {
+					s.spanEndAttempt(r, now)
 					s.sched.Cancel(r.task)
 					s.untrack(r)
 					if s.cl.Groups[r.task.Group].Lost {
 						s.stats.DroppedLost++
+						s.rm.Dropped.Inc()
+						s.spanDropped(r, now)
 						continue
 					}
 					s.stats.Redirections++
-					s.startRebuild(r.failedAt, r.task.Group, r.task.Rep, replacement)
+					s.rm.Redirections.Inc()
+					if r.span != nil {
+						r.span.Redirections++
+					}
+					s.startRebuild(r.failedAt, r.task.Group, r.task.Rep, replacement, r.span)
 				}
 			} else {
 				// Pool exhausted mid-recovery: park the remaining work.
 				blocks := make([]pendingBlock, 0, len(asTarget))
 				for _, r := range asTarget {
+					s.spanEndAttempt(r, now)
 					s.sched.Cancel(r.task)
 					s.untrack(r)
 					if s.cl.Groups[r.task.Group].Lost {
 						s.stats.DroppedLost++
+						s.rm.Dropped.Inc()
+						s.spanDropped(r, now)
 						continue
 					}
 					s.stats.Redirections++
+					s.rm.Redirections.Inc()
+					if r.span != nil {
+						r.span.Redirections++
+					}
 					blocks = append(blocks, pendingBlock{
-						group: r.task.Group, rep: r.task.Rep, failedAt: r.failedAt})
+						group: r.task.Group, rep: r.task.Rep, failedAt: r.failedAt,
+						span: r.span, parkedAt: now})
 				}
 				if len(blocks) > 0 {
 					s.queueSpareWork(now, failed, blocks)
@@ -274,14 +332,21 @@ func (s *SpareDisk) HandleFailure(now sim.Time, diskID int) {
 	// latent-error repairs (in place or redirected); restart each on a
 	// surviving drive so the replica is not silently forgotten.
 	for _, r := range asTarget {
+		s.spanEndAttempt(r, now)
 		s.sched.Cancel(r.task)
 		s.untrack(r)
 		if s.cl.Groups[r.task.Group].Lost {
 			s.stats.DroppedLost++
+			s.rm.Dropped.Inc()
+			s.spanDropped(r, now)
 			continue
 		}
 		s.stats.Redirections++
-		s.HandleBlockLoss(now, r.failedAt, diskID, r.task.Group, r.task.Rep)
+		s.rm.Redirections.Inc()
+		if r.span != nil {
+			r.span.Redirections++
+		}
+		s.blockLoss(now, r.failedAt, diskID, r.task.Group, r.task.Rep, r.span)
 	}
 	for _, r := range asSource {
 		if r.task.Source == diskID {

@@ -45,6 +45,12 @@ const (
 	KindEvictSlow       Kind = "evict-slow"       // the detector condemned a persistent straggler
 	KindRebuildTimeout  Kind = "rebuild-timeout"  // a rebuild overstayed its timeout multiple
 	KindSlowBurst       Kind = "slow-burst"       // a correlated slow-burst fired (Detail: hits=N)
+
+	// Span-lifecycle kinds, emitted only when the flight recorder's
+	// rebuild-lifecycle spans are enabled — transcripts recorded without
+	// the obs stack stay byte-identical.
+	KindRebuildQueued Kind = "rebuild-queued" // a block rebuild's first attempt was queued
+	KindTransferStart Kind = "transfer-start" // a rebuild transfer began moving bytes
 )
 
 // Event is one timestamped simulator occurrence. Times are simulation
@@ -101,27 +107,56 @@ func ReadJSONL(rd io.Reader) ([]Event, error) {
 	return out, nil
 }
 
+// clusterWide lists the kinds whose Disk field carries no drive
+// identity (cluster-scope events; their payload lives in Detail).
+// Every other kind's Disk names a real drive — the failed, detected,
+// warned, degraded, or rebuilt-onto disk — except when negative (the
+// emitter had no disk in hand).
+var clusterWide = map[Kind]bool{
+	KindScrub:      true,
+	KindBurst:      true,
+	KindSlowBurst:  true,
+	KindBatchAdded: true,
+}
+
 // Summary aggregates an event stream.
 type Summary struct {
-	Counts        map[Kind]int
-	FirstLossAt   float64 // -1 if no loss
-	LastEventAt   float64
+	Counts map[Kind]int
+	// FirstAt/LastAt record the first and last occurrence time of each
+	// kind present in the stream.
+	FirstAt map[Kind]float64
+	LastAt  map[Kind]float64
+	// FirstLossAt is the time of the first data-loss event (-1 if none).
+	FirstLossAt float64
+	LastEventAt float64
+	// DistinctDisks counts the distinct drives named by any disk-bearing
+	// event — failures, detections, warnings, LSEs, degradations, and
+	// rebuild targets alike — not just drives that died.
 	DistinctDisks int
 }
 
 // Summarize computes a Summary.
 func Summarize(events []Event) Summary {
-	s := Summary{Counts: make(map[Kind]int), FirstLossAt: -1}
+	s := Summary{
+		Counts:      make(map[Kind]int),
+		FirstAt:     make(map[Kind]float64),
+		LastAt:      make(map[Kind]float64),
+		FirstLossAt: -1,
+	}
 	disks := map[int]bool{}
 	for _, e := range events {
+		if s.Counts[e.Kind] == 0 {
+			s.FirstAt[e.Kind] = e.Time
+		}
 		s.Counts[e.Kind]++
+		s.LastAt[e.Kind] = e.Time
 		if e.Kind == KindDataLoss && s.FirstLossAt < 0 {
 			s.FirstLossAt = e.Time
 		}
 		if e.Time > s.LastEventAt {
 			s.LastEventAt = e.Time
 		}
-		if e.Kind == KindDiskFail {
+		if !clusterWide[e.Kind] && e.Disk >= 0 {
 			disks[e.Disk] = true
 		}
 	}
@@ -129,7 +164,8 @@ func Summarize(events []Event) Summary {
 	return s
 }
 
-// WriteSummary prints a human-readable digest.
+// WriteSummary prints a human-readable digest: one line per kind with
+// its count and first/last occurrence, then the loss verdict.
 func (s Summary) WriteSummary(w io.Writer) error {
 	kinds := make([]string, 0, len(s.Counts))
 	for k := range s.Counts { //farm:orderinvariant keys are sorted on the next line before any output
@@ -137,7 +173,8 @@ func (s Summary) WriteSummary(w io.Writer) error {
 	}
 	sort.Strings(kinds)
 	for _, k := range kinds {
-		if _, err := fmt.Fprintf(w, "%-12s %d\n", k, s.Counts[Kind(k)]); err != nil {
+		if _, err := fmt.Fprintf(w, "%-16s %7d   first %10.1f h   last %10.1f h\n",
+			k, s.Counts[Kind(k)], s.FirstAt[Kind(k)], s.LastAt[Kind(k)]); err != nil {
 			return err
 		}
 	}
@@ -147,17 +184,31 @@ func (s Summary) WriteSummary(w io.Writer) error {
 	} else {
 		fmt.Fprintln(w, "no data loss")
 	}
-	_, err := fmt.Fprintf(w, "last event at %.1f h\n", s.LastEventAt)
+	_, err := fmt.Fprintf(w, "distinct disks seen: %d, last event at %.1f h\n",
+		s.DistinctDisks, s.LastEventAt)
 	return err
 }
 
 // CheckCausality verifies ordering invariants of a simulator trace:
-// events are time-sorted, each disk's detect follows its failure, and no
-// rebuild completes before the simulation starts. Returns the first
-// violation found.
+//
+//   - events are time-sorted;
+//   - each disk's detection follows its failure;
+//   - no block rebuild completes before some repair trigger (a
+//     detection, a discovered latent error, or a scrub repair) has
+//     appeared — rebuilds are always *re*actions;
+//   - a hedge win follows a hedge launch for the same (group, rep);
+//   - a discovered latent error (lse-detect) follows the arrival of a
+//     latent error on the same (disk, group).
+//
+// Returns the first violation found.
 func CheckCausality(events []Event) error {
+	type gr struct{ g, r int }
+	type dg struct{ d, g int }
 	last := -1.0
 	failedAt := map[int]float64{}
+	hedged := map[gr]bool{}
+	latent := map[dg]bool{}
+	triggerSeen := false
 	for i, e := range events {
 		if e.Time < last {
 			return fmt.Errorf("trace: event %d at %v precedes predecessor at %v", i, e.Time, last)
@@ -174,9 +225,31 @@ func CheckCausality(events []Event) error {
 			if e.Time < f {
 				return fmt.Errorf("trace: detect of disk %d at %v precedes failure at %v", e.Disk, e.Time, f)
 			}
+			triggerSeen = true
+		case KindLSE:
+			latent[dg{e.Disk, e.Group}] = true
+		case KindLSEDetect:
+			if !latent[dg{e.Disk, e.Group}] {
+				return fmt.Errorf("trace: lse-detect on disk %d group %d without a prior lse", e.Disk, e.Group)
+			}
+			triggerSeen = true
+		case KindScrubRepair:
+			if !latent[dg{e.Disk, e.Group}] {
+				return fmt.Errorf("trace: scrub-repair on disk %d group %d without a prior lse", e.Disk, e.Group)
+			}
+			triggerSeen = true
 		case KindRebuilt:
 			if e.Time < 0 {
 				return fmt.Errorf("trace: rebuild before start")
+			}
+			if !triggerSeen {
+				return fmt.Errorf("trace: rebuilt of group %d rep %d before any detection", e.Group, e.Rep)
+			}
+		case KindHedge:
+			hedged[gr{e.Group, e.Rep}] = true
+		case KindHedgeWin:
+			if !hedged[gr{e.Group, e.Rep}] {
+				return fmt.Errorf("trace: hedge-win on group %d rep %d without a prior hedge", e.Group, e.Rep)
 			}
 		}
 	}

@@ -54,22 +54,43 @@ func TestSummarize(t *testing.T) {
 	events := []Event{
 		{Time: 1, Kind: KindDiskFail, Disk: 1},
 		{Time: 2, Kind: KindDiskFail, Disk: 2},
-		{Time: 3, Kind: KindDataLoss, Detail: "groups=2"},
-		{Time: 4, Kind: KindRebuilt},
+		{Time: 3, Kind: KindDataLoss, Disk: 2, Detail: "groups=2"},
+		{Time: 4, Kind: KindRebuilt, Disk: 7},         // rebuild targets count as disks
+		{Time: 5, Kind: KindSmartWarn, Disk: 9},       // so do warned drives
+		{Time: 6, Kind: KindScrub, Detail: "found=0"}, // cluster-wide: no disk identity
+		{Time: 7, Kind: KindRebuildQueued, Disk: -1},  // negative disk: emitter had none
+		{Time: 8, Kind: KindDiskFail, Disk: 1},        // duplicate: still one drive
 	}
 	s := Summarize(events)
-	if s.Counts[KindDiskFail] != 2 || s.Counts[KindRebuilt] != 1 {
+	if s.Counts[KindDiskFail] != 3 || s.Counts[KindRebuilt] != 1 {
 		t.Fatalf("counts wrong: %+v", s.Counts)
 	}
-	if s.FirstLossAt != 3 || s.LastEventAt != 4 || s.DistinctDisks != 2 {
+	if s.FirstLossAt != 3 || s.LastEventAt != 8 {
 		t.Fatalf("summary wrong: %+v", s)
+	}
+	// Distinct drives named anywhere: 1, 2, 7, 9 — scrub and the negative
+	// disk contribute nothing.
+	if s.DistinctDisks != 4 {
+		t.Fatalf("DistinctDisks = %d, want 4", s.DistinctDisks)
+	}
+	if s.FirstAt[KindDiskFail] != 1 || s.LastAt[KindDiskFail] != 8 {
+		t.Fatalf("disk-fail first/last = %v/%v, want 1/8",
+			s.FirstAt[KindDiskFail], s.LastAt[KindDiskFail])
+	}
+	if s.FirstAt[KindRebuilt] != 4 || s.LastAt[KindRebuilt] != 4 {
+		t.Fatalf("rebuilt first/last = %v/%v, want 4/4",
+			s.FirstAt[KindRebuilt], s.LastAt[KindRebuilt])
 	}
 	var buf bytes.Buffer
 	if err := s.WriteSummary(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "first data loss at 3.0 h") {
-		t.Fatalf("summary text wrong:\n%s", buf.String())
+	out := buf.String()
+	if !strings.Contains(out, "first data loss at 3.0 h") {
+		t.Fatalf("summary text wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "distinct disks seen: 4") {
+		t.Fatalf("summary text missing disk count:\n%s", out)
 	}
 }
 
@@ -101,6 +122,53 @@ func TestCheckCausality(t *testing.T) {
 	orphan := []Event{{Time: 1, Kind: KindDetect, Disk: 5}}
 	if err := CheckCausality(orphan); err == nil {
 		t.Fatal("orphan detect accepted")
+	}
+}
+
+func TestCheckCausalityViolations(t *testing.T) {
+	fail := Event{Time: 1, Kind: KindDiskFail, Disk: 1}
+	detect := Event{Time: 1.5, Kind: KindDetect, Disk: 1}
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"rebuilt before any detection", []Event{
+			fail,
+			{Time: 1.2, Kind: KindRebuilt, Group: 3, Rep: 0, Disk: 7},
+		}},
+		{"hedge-win without hedge", []Event{
+			fail, detect,
+			{Time: 2, Kind: KindHedgeWin, Group: 3, Rep: 0, Disk: 7},
+		}},
+		{"hedge-win for a different rebuild", []Event{
+			fail, detect,
+			{Time: 2, Kind: KindHedge, Group: 3, Rep: 1, Disk: 7},
+			{Time: 3, Kind: KindHedgeWin, Group: 3, Rep: 0, Disk: 7},
+		}},
+		{"lse-detect without lse", []Event{
+			fail, detect,
+			{Time: 2, Kind: KindLSEDetect, Disk: 4, Group: 9, Rep: 1},
+		}},
+		{"scrub-repair without lse", []Event{
+			{Time: 2, Kind: KindScrubRepair, Disk: 4, Group: 9, Rep: 1},
+		}},
+	}
+	for _, tc := range cases {
+		if err := CheckCausality(tc.events); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The legal orderings of the same kinds pass.
+	good := []Event{
+		fail, detect,
+		{Time: 2, Kind: KindLSE, Disk: 4, Group: 9, Rep: 1},
+		{Time: 2.5, Kind: KindRebuilt, Group: 3, Rep: 0, Disk: 7},
+		{Time: 3, Kind: KindLSEDetect, Disk: 4, Group: 9, Rep: 1},
+		{Time: 3.5, Kind: KindHedge, Group: 3, Rep: 0, Disk: 8},
+		{Time: 4, Kind: KindHedgeWin, Group: 3, Rep: 0, Disk: 8},
+	}
+	if err := CheckCausality(good); err != nil {
+		t.Fatalf("legal trace rejected: %v", err)
 	}
 }
 

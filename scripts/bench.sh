@@ -1,7 +1,7 @@
 #!/bin/sh
 # bench.sh — run the hot-path benchmarks and record the results as JSON.
 #
-# Runs the six named benchmarks that gate the simulator's performance
+# Runs the seven named benchmarks that gate the simulator's performance
 # trajectory, each with -benchmem -count=5, and writes BENCH_1.json at
 # the repository root mapping benchmark name -> {ns/op, B/op, allocs/op}.
 # For each metric the minimum over the five repetitions is kept: minima
@@ -14,7 +14,7 @@ set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_1.json}"
 
-pattern='^(BenchmarkTable2BaseSystemBuild|BenchmarkSingleRunFARM|BenchmarkFailDiskAndIndex|BenchmarkPlacementCandidate|BenchmarkErasureEncodeRS8of10|BenchmarkEventQueue)$'
+pattern='^(BenchmarkTable2BaseSystemBuild|BenchmarkSingleRunFARM|BenchmarkSingleRunFARMObs|BenchmarkFailDiskAndIndex|BenchmarkPlacementCandidate|BenchmarkErasureEncodeRS8of10|BenchmarkEventQueue)$'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
