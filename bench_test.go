@@ -408,6 +408,42 @@ func BenchmarkErasureEncodeEvenOdd5(b *testing.B) {
 	}
 }
 
+// BenchmarkSingleRunFARM100k is the exabyte-scale proof point: a 100,000
+// one-TB-drive fleet (20 PB of user data under two-way mirroring at 40%
+// fill — ~2M redundancy groups) simulated over the full six-year design
+// life. The lazy group materialization and the arena event queue keep the
+// per-run footprint proportional to events and concurrent damage, so the
+// run completes in the same order of wall time as the 2 PB default. Run
+// with -benchtime=1x: one iteration is a full fleet lifetime.
+func BenchmarkSingleRunFARM100k(b *testing.B) {
+	cfg := core.DefaultConfig()
+	// 20,000 TB of user data = 40,000 TB raw under mirroring; at 40%
+	// fill of 1 TB drives that is exactly 100,000 disks.
+	cfg.TotalDataBytes = 20000 * disk.TB
+	s, err := core.NewSimulator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	disks := 0
+	losses := 0
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		disks = res.Disks
+		if res.DataLoss {
+			losses++
+		}
+	}
+	if disks != 100000 {
+		b.Fatalf("fleet size = %d disks, want 100000", disks)
+	}
+	b.ReportMetric(float64(disks), "disks")
+	b.ReportMetric(100*float64(losses)/float64(b.N), "ploss_pct")
+}
+
 func BenchmarkEventQueue(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

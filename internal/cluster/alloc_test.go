@@ -74,7 +74,7 @@ func TestBuddyExcludesMatchesGroupState(t *testing.T) {
 	for g := 0; g < 10; g++ {
 		ex := c.BuddyExcludes(g)
 		for id := 0; id < c.NumDisks(); id++ {
-			want := in(c.Groups[g].Disks, id)
+			want := in(c.GroupDisks(g), id)
 			if got := ex.Excluded(id); got != want {
 				t.Fatalf("group %d disk %d: excluded=%v want %v", g, id, got, want)
 			}
@@ -82,12 +82,100 @@ func TestBuddyExcludesMatchesGroupState(t *testing.T) {
 	}
 	// Epoch reuse: the next call must clear the previous group's marks.
 	first := c.BuddyExcludes(0)
-	d0 := int(c.Groups[0].Disks[0])
+	d0 := int(c.GroupDiskOf(0, 0))
 	second := c.BuddyExcludes(1)
 	if first != second {
 		t.Fatal("BuddyExcludes must return the shared scratch")
 	}
-	if !in(c.Groups[1].Disks, d0) && second.Excluded(d0) {
+	if !in(c.GroupDisks(1), d0) && second.Excluded(d0) {
 		t.Fatal("stale exclusion survived epoch reset")
+	}
+}
+
+// TestGroupStateScalesWithDamage pins the lazy-materialization contract:
+// group bookkeeping exists only for groups touched by damage, is recycled
+// to the pool on full repair, and the pool is reused — so resident group
+// state follows concurrent damage, never fleet size.
+func TestGroupStateScalesWithDamage(t *testing.T) {
+	c, err := New(testConfig(redundancy.Scheme{M: 1, N: 3}, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live, pooled := c.MaterializedGroupStates(); live != 0 || pooled != 0 {
+		t.Fatalf("healthy fleet holds %d live / %d pooled records", live, pooled)
+	}
+
+	repair := func(lost []BlockRef) {
+		t.Helper()
+		for _, ref := range lost {
+			g := int(ref.Group)
+			target, _, err := c.Hasher().RecoveryTarget(
+				c, uint64(ref.Group), int(ref.Rep), c.BlockBytes, c.BuddyExcludes(g), 0)
+			if err != nil {
+				t.Fatalf("no target for %v: %v", ref, err)
+			}
+			if !c.ReserveTarget(target) {
+				t.Fatalf("reserve failed on %d", target)
+			}
+			c.PlaceRecovered(g, int(ref.Rep), target)
+		}
+	}
+
+	lost, _ := c.FailDisk(7, 1)
+	touched := map[int32]bool{}
+	for _, ref := range lost {
+		touched[ref.Group] = true
+	}
+	live, pooled := c.MaterializedGroupStates()
+	if live != len(touched) || pooled != 0 {
+		t.Fatalf("after one failure: %d live / %d pooled, want %d / 0", live, pooled, len(touched))
+	}
+	if live >= c.GroupCount()/10 {
+		t.Fatalf("one failure materialized %d of %d groups", live, c.GroupCount())
+	}
+
+	repair(lost)
+	live, pooled = c.MaterializedGroupStates()
+	if live != 0 || pooled != len(touched) {
+		t.Fatalf("after full repair: %d live / %d pooled, want 0 / %d", live, pooled, len(touched))
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second damage wave of similar size must be absorbed by the pool:
+	// the record table's high-water mark may creep only if the new wave
+	// touches more groups than the pool holds.
+	highWater := live + pooled
+	lost2, _ := c.FailDisk(11, 2)
+	repair(lost2)
+	live, pooled = c.MaterializedGroupStates()
+	if live != 0 {
+		t.Fatalf("second wave left %d live records", live)
+	}
+	if grown := live + pooled - highWater; grown > len(lost2) {
+		t.Fatalf("pool grew by %d on a reusable wave of %d blocks", grown, len(lost2))
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTouchReleaseZeroAlloc gates the steady-state materialize/recycle
+// cycle: once the pool holds a record, damaging and repairing a group
+// must not allocate.
+func TestTouchReleaseZeroAlloc(t *testing.T) {
+	c, err := New(testConfig(redundancy.Scheme{M: 1, N: 2}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pool with one record.
+	c.touch(0)
+	c.releaseState(0)
+	if n := testing.AllocsPerRun(100, func() {
+		c.touch(42)
+		c.releaseState(42)
+	}); n != 0 {
+		t.Fatalf("touch/release cycle allocates %v times per run, want 0", n)
 	}
 }

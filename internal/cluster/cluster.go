@@ -5,6 +5,14 @@
 // The paper's system stores 2 PB of user data in redundancy groups of
 // 1–100 GB placed over up to 15,000 one-terabyte drives, with each drive
 // initially ~40% utilized so that recovered blocks always find space.
+//
+// Group state is materialized lazily: a healthy group exists only as its
+// row of the flat int32 placement arena (disk per replica), with
+// availability implied to be the full scheme width. Mutable bookkeeping —
+// the availability count and the data-loss latch — is created on the first
+// failure touching a group and recycled through a free pool once the group
+// is repaired back to full health, so resident group state scales with
+// concurrent damage rather than fleet size.
 package cluster
 
 import (
@@ -22,15 +30,14 @@ type BlockRef struct {
 	Rep   int32
 }
 
-// Group is the live state of one redundancy group.
-type Group struct {
-	// Disks[rep] is the disk holding block rep, or -1 while the block is
-	// lost/being rebuilt.
-	Disks []int32
-	// Available is the number of blocks currently intact.
-	Available int32
-	// Lost is latched true the first time Available drops below m.
-	Lost bool
+// groupState is the mutable bookkeeping of one damaged group. Healthy
+// groups have none; the placement arena alone describes them.
+type groupState struct {
+	// avail is the number of blocks currently intact.
+	avail int32
+	// lost is latched true the first time avail drops below m. Lost
+	// groups keep their state resident forever (the latch must survive).
+	lost bool
 }
 
 // Config sizes a cluster.
@@ -80,12 +87,21 @@ type Cluster struct {
 	Cfg        Config
 	BlockBytes int64 // size of one block on disk
 	Disks      []*disk.Drive
-	Groups     []Group
 	hasher     *placement.Hasher
-	// groupDisks is the flat arena backing every Group.Disks slice: one
-	// []int32 of NumGroups×N words allocated at build instead of one
-	// slice header + backing array per group.
+	// groupDisks is the flat placement arena: groupDisks[g*N+rep] is the
+	// disk holding block rep of group g, or -1 while the block is
+	// lost/being rebuilt. One allocation for the whole fleet.
 	groupDisks []int32
+	// stateIdx[g] indexes the group's materialized state in states, or -1
+	// while the group is healthy and carries no mutable bookkeeping.
+	stateIdx []int32
+	// states holds materialized group records; stateOwner[i] is the group
+	// owning record i (-1 when the record is in the free pool). Records
+	// are recycled through freeStates when a group returns to full
+	// health, so len(states) tracks the damage high-water mark.
+	states     []groupState
+	stateOwner []int32
+	freeStates []int32
 	// byDisk[d] lists the blocks resident on disk d.
 	byDisk [][]BlockRef
 	// aliveCount tracks the alive drive population.
@@ -117,16 +133,19 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		Cfg:        cfg,
 		BlockBytes: cfg.Scheme.BlockBytes(cfg.GroupBytes),
-		Disks:      make([]*disk.Drive, numDisks),
-		Groups:     make([]Group, cfg.NumGroups),
+		// One backing array for the whole initial fleet instead of one
+		// heap object per drive; the per-run build stays O(1) drive
+		// allocations even at 100k disks.
+		Disks:      disk.NewFleet(numDisks, cfg.DiskModel, 0),
 		hasher:     placement.NewHasher(cfg.PlacementSeed),
 		groupDisks: make([]int32, cfg.NumGroups*n),
+		stateIdx:   make([]int32, cfg.NumGroups),
 		byDisk:     make([][]BlockRef, numDisks),
 		aliveCount: numDisks,
 		suspect:    make([]uint64, (numDisks+63)/64),
 	}
-	for i := range c.Disks {
-		c.Disks[i] = disk.NewDrive(i, cfg.DiskModel, 0)
+	for i := range c.stateIdx {
+		c.stateIdx[i] = -1
 	}
 	// Pre-reserve every per-disk block index at the expected
 	// blocks-per-disk (with slack for placement jitter) so the build loop
@@ -141,16 +160,14 @@ func New(cfg Config) (*Cluster, error) {
 	// One reusable placement buffer for the whole build: with the flat
 	// group arena this makes the per-group loop allocation-free.
 	idsBuf := make([]int, 0, n)
-	for g := range c.Groups {
+	for g := 0; g < cfg.NumGroups; g++ {
 		ids, err := c.hasher.PlaceGroupInto(c, uint64(g), n, c.BlockBytes, idsBuf)
 		if err != nil {
 			return nil, fmt.Errorf("%w: group %d: %v", ErrBuild, g, err)
 		}
-		grp := &c.Groups[g]
-		grp.Disks = c.groupDisks[g*n : (g+1)*n : (g+1)*n]
-		grp.Available = int32(n)
+		row := c.groupDisks[g*n : (g+1)*n]
 		for rep, id := range ids {
-			grp.Disks[rep] = int32(id)
+			row[rep] = int32(id)
 			if !c.Disks[id].Store(c.BlockBytes) {
 				return nil, fmt.Errorf("%w: disk %d rejected block", ErrBuild, id)
 			}
@@ -158,6 +175,100 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// Group-state accessors. Healthy groups answer from the arena alone.
+
+// GroupCount returns the number of redundancy groups.
+func (c *Cluster) GroupCount() int { return c.Cfg.NumGroups }
+
+// GroupDisks returns the group's placement row: element rep is the disk
+// holding block rep, or -1 while that block is lost/being rebuilt. The
+// slice aliases the cluster's arena; callers must not mutate it.
+func (c *Cluster) GroupDisks(group int) []int32 {
+	n := c.Cfg.Scheme.N
+	return c.groupDisks[group*n : (group+1)*n : (group+1)*n]
+}
+
+// GroupDiskOf returns the disk holding block rep of group, or -1 while the
+// block is lost/being rebuilt.
+func (c *Cluster) GroupDiskOf(group, rep int) int32 {
+	return c.groupDisks[group*c.Cfg.Scheme.N+rep]
+}
+
+// GroupAvailable returns the number of intact blocks of group. Healthy
+// (unmaterialized) groups report the full scheme width.
+func (c *Cluster) GroupAvailable(group int) int32 {
+	if si := c.stateIdx[group]; si >= 0 {
+		return c.states[si].avail
+	}
+	return int32(c.Cfg.Scheme.N)
+}
+
+// GroupLost reports whether the group has (irrecoverably) lost data.
+//
+//farm:hotpath data-loss latch check on every rebuild decision
+func (c *Cluster) GroupLost(group int) bool {
+	si := c.stateIdx[group]
+	return si >= 0 && c.states[si].lost
+}
+
+// ForEachDamaged calls fn for every group with materialized state — every
+// group that is degraded or lost — in a deterministic (materialization
+// record) order. Iteration cost scales with concurrent damage, not fleet
+// size.
+func (c *Cluster) ForEachDamaged(fn func(group int32, available int32, lost bool)) {
+	for i := range c.states {
+		g := c.stateOwner[i]
+		if g < 0 {
+			continue // pooled record
+		}
+		fn(g, c.states[i].avail, c.states[i].lost)
+	}
+}
+
+// MaterializedGroupStates reports the resident and pooled group-state
+// record counts (test/diagnostic hook for the lazy-materialization
+// contract: live+pooled is the concurrent-damage high-water mark).
+func (c *Cluster) MaterializedGroupStates() (live, pooled int) {
+	return len(c.states) - len(c.freeStates), len(c.freeStates)
+}
+
+// touch returns the group's mutable state, materializing it on the first
+// failure that reaches the group. Materialization recycles a pooled record
+// when one exists; growing the record table is the only allocating path
+// and amortizes to zero once the table covers the damage high-water mark.
+//
+//farm:hotpath group-state materialization on every block loss
+func (c *Cluster) touch(group int32) *groupState {
+	if si := c.stateIdx[group]; si >= 0 {
+		return &c.states[si]
+	}
+	var si int32
+	if k := len(c.freeStates); k > 0 {
+		si = c.freeStates[k-1]
+		c.freeStates = c.freeStates[:k-1]
+	} else {
+		c.states = append(c.states, groupState{})
+		c.stateOwner = append(c.stateOwner, -1)
+		si = int32(len(c.states) - 1)
+	}
+	// A dormant group is at full health by construction: every release
+	// back to the pool requires avail == N.
+	c.states[si] = groupState{avail: int32(c.Cfg.Scheme.N)}
+	c.stateOwner[si] = group
+	c.stateIdx[group] = si
+	return &c.states[si]
+}
+
+// releaseState returns a fully-repaired group's record to the free pool.
+//
+//farm:hotpath group-state recycling on repair completion
+func (c *Cluster) releaseState(group int32) {
+	si := c.stateIdx[group]
+	c.stateIdx[group] = -1
+	c.stateOwner[si] = -1
+	c.freeStates = append(c.freeStates, si)
 }
 
 // placement.View implementation.
@@ -220,16 +331,18 @@ func (c *Cluster) FailDisk(id int, now float64) (lost []BlockRef, newlyDead int)
 	lost = c.byDisk[id]
 	c.byDisk[id] = nil
 	d.UsedBytes = 0
+	n := c.Cfg.Scheme.N
 	for _, ref := range lost {
-		grp := &c.Groups[ref.Group]
-		if grp.Disks[ref.Rep] != int32(id) {
+		slot := &c.groupDisks[int(ref.Group)*n+int(ref.Rep)]
+		if *slot != int32(id) {
 			panic(fmt.Sprintf("cluster: index corruption: group %d rep %d on disk %d, index says %d",
-				ref.Group, ref.Rep, grp.Disks[ref.Rep], id))
+				ref.Group, ref.Rep, *slot, id))
 		}
-		grp.Disks[ref.Rep] = -1
-		grp.Available--
-		if !grp.Lost && c.Cfg.Scheme.Lost(int(grp.Available)) {
-			grp.Lost = true
+		gs := c.touch(ref.Group)
+		*slot = -1
+		gs.avail--
+		if !gs.lost && c.Cfg.Scheme.Lost(int(gs.avail)) {
+			gs.lost = true
 			c.LostGroups++
 			newlyDead++
 		}
@@ -243,8 +356,8 @@ func (c *Cluster) FailDisk(id int, now float64) (lost []BlockRef, newlyDead int)
 // Returns the disk that held the block (-1 if the block was already
 // missing, a no-op) and whether the group newly crossed into data loss.
 func (c *Cluster) CorruptBlock(ref BlockRef) (onDisk int, newlyDead bool) {
-	grp := &c.Groups[ref.Group]
-	d := grp.Disks[ref.Rep]
+	slot := &c.groupDisks[int(ref.Group)*c.Cfg.Scheme.N+int(ref.Rep)]
+	d := *slot
 	if d < 0 {
 		return -1, false
 	}
@@ -259,10 +372,11 @@ func (c *Cluster) CorruptBlock(ref BlockRef) (onDisk int, newlyDead bool) {
 	if c.Disks[d].State == disk.Alive {
 		c.Disks[d].Release(c.BlockBytes)
 	}
-	grp.Disks[ref.Rep] = -1
-	grp.Available--
-	if !grp.Lost && c.Cfg.Scheme.Lost(int(grp.Available)) {
-		grp.Lost = true
+	gs := c.touch(ref.Group)
+	*slot = -1
+	gs.avail--
+	if !gs.lost && c.Cfg.Scheme.Lost(int(gs.avail)) {
+		gs.lost = true
 		c.LostGroups++
 		return int(d), true
 	}
@@ -281,14 +395,21 @@ func (c *Cluster) RetireDisk(id int) {
 
 // PlaceRecovered installs a rebuilt block of (group, rep) on disk target.
 // The caller must have reserved the space via ReserveTarget. It increments
-// group availability.
+// group availability; a group repaired back to full health releases its
+// materialized state to the pool.
 func (c *Cluster) PlaceRecovered(group, rep, target int) {
-	grp := &c.Groups[group]
-	if grp.Disks[rep] != -1 {
-		panic(fmt.Sprintf("cluster: recovered block %d/%d already present on %d", group, rep, grp.Disks[rep]))
+	n := c.Cfg.Scheme.N
+	slot := &c.groupDisks[group*n+rep]
+	if *slot != -1 {
+		panic(fmt.Sprintf("cluster: recovered block %d/%d already present on %d", group, rep, *slot))
 	}
-	grp.Disks[rep] = int32(target)
-	grp.Available++
+	// The group must be materialized: one of its blocks was missing.
+	gs := &c.states[c.stateIdx[group]]
+	*slot = int32(target)
+	gs.avail++
+	if !gs.lost && int(gs.avail) == n {
+		c.releaseState(int32(group))
+	}
 	c.byDisk[target] = append(c.byDisk[target], BlockRef{Group: int32(group), Rep: int32(rep)})
 }
 
@@ -314,8 +435,7 @@ func (c *Cluster) ReleaseTarget(target int) {
 // buddy works in this model; the full m-block read is folded into the
 // rebuild duration.
 func (c *Cluster) SourceFor(group int, exclude int) int {
-	grp := &c.Groups[group]
-	for _, d := range grp.Disks {
+	for _, d := range c.GroupDisks(group) {
 		if d >= 0 && int(d) != exclude && c.Disks[d].State == disk.Alive {
 			return int(d)
 		}
@@ -329,8 +449,7 @@ func (c *Cluster) SourceFor(group int, exclude int) int {
 // from the one that just proved slow or faulty. Returns -1 when no such
 // disk exists; callers fall back to SourceFor.
 func (c *Cluster) SourceForExcluding(group, ex1, ex2 int) int {
-	grp := &c.Groups[group]
-	for _, d := range grp.Disks {
+	for _, d := range c.GroupDisks(group) {
 		if d >= 0 && int(d) != ex1 && int(d) != ex2 && c.Disks[d].State == disk.Alive {
 			return int(d)
 		}
@@ -349,8 +468,7 @@ func (c *Cluster) SourceForExcluding(group, ex1, ex2 int) int {
 //farm:hotpath exclusion scratch fill, gated by TestRecoveryTargetSelectionZeroAlloc
 func (c *Cluster) BuddyExcludes(group int) *placement.ExcludeSet {
 	c.excl.Reset(len(c.Disks))
-	grp := &c.Groups[group]
-	for _, d := range grp.Disks {
+	for _, d := range c.GroupDisks(group) {
 		if d >= 0 {
 			c.excl.Add(int(d))
 		}
@@ -376,8 +494,8 @@ func (c *Cluster) AddDisks(count int, bornAt float64) []int {
 // rebalancing). The destination must be alive with space; returns false
 // otherwise.
 func (c *Cluster) MoveBlock(ref BlockRef, to int) bool {
-	grp := &c.Groups[ref.Group]
-	from := grp.Disks[ref.Rep]
+	slot := &c.groupDisks[int(ref.Group)*c.Cfg.Scheme.N+int(ref.Rep)]
+	from := *slot
 	if from < 0 || int(from) == to {
 		return false
 	}
@@ -394,7 +512,7 @@ func (c *Cluster) MoveBlock(ref BlockRef, to int) bool {
 		}
 	}
 	c.Disks[from].Release(c.BlockBytes)
-	grp.Disks[ref.Rep] = int32(to)
+	*slot = int32(to)
 	c.byDisk[to] = append(c.byDisk[to], ref)
 	return true
 }
@@ -421,23 +539,24 @@ func (c *Cluster) UsedBytesAll() []int64 {
 }
 
 // CheckInvariants validates internal consistency (test hook): the byDisk
-// index and group tables agree, availability counts match, and byte
-// accounting covers resident blocks.
+// index and the placement arena agree, materialized availability counts
+// match the arena, dormant groups are at full health, the state pool's
+// bookkeeping is coherent, and byte accounting covers resident blocks.
 func (c *Cluster) CheckInvariants() error {
+	n := c.Cfg.Scheme.N
 	counts := make([]int64, len(c.Disks))
 	for d, list := range c.byDisk {
 		for _, ref := range list {
-			grp := &c.Groups[ref.Group]
-			if grp.Disks[ref.Rep] != int32(d) {
-				return fmt.Errorf("cluster: block %v indexed on disk %d but group says %d", ref, d, grp.Disks[ref.Rep])
+			if got := c.GroupDiskOf(int(ref.Group), int(ref.Rep)); got != int32(d) {
+				return fmt.Errorf("cluster: block %v indexed on disk %d but group says %d", ref, d, got)
 			}
 			counts[d] += c.BlockBytes
 		}
 	}
-	for g := range c.Groups {
-		grp := &c.Groups[g]
+	lost := 0
+	for g := 0; g < c.Cfg.NumGroups; g++ {
 		avail := int32(0)
-		for rep, d := range grp.Disks {
+		for rep, d := range c.GroupDisks(g) {
 			if d < 0 {
 				continue
 			}
@@ -446,9 +565,41 @@ func (c *Cluster) CheckInvariants() error {
 				return fmt.Errorf("cluster: group %d rep %d on non-alive disk %d", g, rep, d)
 			}
 		}
-		if avail != grp.Available {
-			return fmt.Errorf("cluster: group %d availability %d, counted %d", g, grp.Available, avail)
+		si := c.stateIdx[g]
+		if si < 0 {
+			if avail != int32(n) {
+				return fmt.Errorf("cluster: dormant group %d has %d/%d blocks", g, avail, n)
+			}
+			continue
 		}
+		if c.stateOwner[si] != int32(g) {
+			return fmt.Errorf("cluster: group %d state record %d owned by %d", g, si, c.stateOwner[si])
+		}
+		gs := &c.states[si]
+		if avail != gs.avail {
+			return fmt.Errorf("cluster: group %d availability %d, counted %d", g, gs.avail, avail)
+		}
+		if !gs.lost && avail == int32(n) {
+			return fmt.Errorf("cluster: group %d fully healthy but still materialized", g)
+		}
+		if gs.lost {
+			lost++
+		}
+	}
+	if lost != c.LostGroups {
+		return fmt.Errorf("cluster: LostGroups %d, counted %d", c.LostGroups, lost)
+	}
+	free := 0
+	for si, owner := range c.stateOwner {
+		if owner < 0 {
+			free++
+		} else if c.stateIdx[owner] != int32(si) {
+			return fmt.Errorf("cluster: state record %d claims group %d, which points at %d",
+				si, owner, c.stateIdx[owner])
+		}
+	}
+	if free != len(c.freeStates) {
+		return fmt.Errorf("cluster: %d free-owner records, pool holds %d", free, len(c.freeStates))
 	}
 	for d, want := range counts {
 		drv := c.Disks[d]

@@ -59,17 +59,20 @@ func TestNewPlacesAllGroups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(c.Groups) != 500 {
-		t.Fatalf("groups = %d", len(c.Groups))
+	if c.GroupCount() != 500 {
+		t.Fatalf("groups = %d", c.GroupCount())
 	}
-	for g := range c.Groups {
-		grp := &c.Groups[g]
-		if grp.Available != 2 || grp.Lost {
+	for g := 0; g < c.GroupCount(); g++ {
+		if c.GroupAvailable(g) != 2 || c.GroupLost(g) {
 			t.Fatalf("group %d not fully available", g)
 		}
-		if grp.Disks[0] == grp.Disks[1] {
-			t.Fatalf("group %d has both blocks on disk %d", g, grp.Disks[0])
+		row := c.GroupDisks(g)
+		if row[0] == row[1] {
+			t.Fatalf("group %d has both blocks on disk %d", g, row[0])
 		}
+	}
+	if live, pooled := c.MaterializedGroupStates(); live != 0 || pooled != 0 {
+		t.Fatalf("fresh cluster materialized %d/%d group states", live, pooled)
 	}
 	if err := c.CheckInvariants(); err != nil {
 		t.Fatal(err)
@@ -86,9 +89,9 @@ func TestNewDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for g := range a.Groups {
-		for rep := range a.Groups[g].Disks {
-			if a.Groups[g].Disks[rep] != b.Groups[g].Disks[rep] {
+	for g := 0; g < a.GroupCount(); g++ {
+		for rep := range a.GroupDisks(g) {
+			if a.GroupDiskOf(g, rep) != b.GroupDiskOf(g, rep) {
 				t.Fatalf("placement differs at group %d rep %d", g, rep)
 			}
 		}
@@ -137,8 +140,7 @@ func TestFailDiskBookkeeping(t *testing.T) {
 		t.Fatalf("alive count %d", c.AliveDisks())
 	}
 	for _, ref := range lost {
-		grp := &c.Groups[ref.Group]
-		if grp.Disks[ref.Rep] != -1 || grp.Available != 1 {
+		if c.GroupDiskOf(int(ref.Group), int(ref.Rep)) != -1 || c.GroupAvailable(int(ref.Group)) != 1 {
 			t.Fatalf("group %d block state wrong after failure", ref.Group)
 		}
 	}
@@ -168,8 +170,8 @@ func TestDataLossLatch(t *testing.T) {
 		t.Fatal("no data loss even after killing every disk")
 	}
 	recount := 0
-	for g := range c.Groups {
-		if c.Groups[g].Lost {
+	for g := 0; g < c.GroupCount(); g++ {
+		if c.GroupLost(g) {
 			recount++
 		}
 	}
@@ -206,7 +208,7 @@ func TestRecoveryCycle(t *testing.T) {
 			t.Fatalf("reserve failed on %d", target)
 		}
 		c.PlaceRecovered(g, int(ref.Rep), target)
-		if c.Groups[g].Available != 3 {
+		if c.GroupAvailable(g) != 3 {
 			t.Fatalf("group %d not restored", g)
 		}
 	}
@@ -285,7 +287,7 @@ func TestMoveBlock(t *testing.T) {
 	if !c.MoveBlock(ref, target) {
 		t.Fatal("MoveBlock failed")
 	}
-	if c.Groups[ref.Group].Disks[ref.Rep] != int32(target) {
+	if c.GroupDiskOf(int(ref.Group), int(ref.Rep)) != int32(target) {
 		t.Fatal("group table not updated by move")
 	}
 	found := false
@@ -350,8 +352,8 @@ func TestQuickFailureSequences(t *testing.T) {
 			id := int(k) % len(c.Disks)
 			c.FailDisk(id, 1)
 		}
-		for g := range c.Groups {
-			if c.Groups[g].Available < 0 {
+		for g := 0; g < c.GroupCount(); g++ {
+			if c.GroupAvailable(g) < 0 {
 				return false
 			}
 		}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+)
+
+// TestSingleRunAllocCeiling is the allocation-regression gate for the full
+// single-run path — kernel, cluster, placement, recovery, replacement and
+// metrics together — at the benchmark configuration BENCH_*.json records
+// (50 TB user data, 10 GB groups, FARM engine). The ceiling is the
+// BENCH_1 baseline (8857 allocs/op); the arena event queue and lazy group
+// materialization hold the measured figure well under it, so any change
+// that drifts allocations back above the seed fails `go test`, not just a
+// benchmark eyeball.
+func TestSingleRunAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const ceiling = 8857 // BENCH_1 SingleRunFARM allocs/op
+	cfg := DefaultConfig()
+	cfg.TotalDataBytes = 50 * disk.TB
+	cfg.GroupBytes = 10 * disk.GB
+	cfg.UseFARM = true
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(0)
+	run := func() {
+		if _, err := s.Run(seed); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+	}
+	if n := testing.AllocsPerRun(20, run); n > ceiling {
+		t.Fatalf("full single run allocates %.0f times, ceiling %d (BENCH_1)", n, ceiling)
+	}
+}

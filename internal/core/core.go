@@ -567,14 +567,16 @@ func (st *runState) snapshot(now float64) obs.Sample {
 	// Each running transfer occupies a source/target pair; the pair moves
 	// data at the per-disk recovery allotment in force at the instant.
 	s.RecoveryMBps = float64(s.BusyDisks/2) * st.bw.RecoveryMBps(now)
+	// Only damaged groups carry materialized state; healthy groups need
+	// no visit, so the scan scales with concurrent damage, not fleet
+	// size. The counts are commutative sums, so record order is free.
 	n := int32(st.cl.Cfg.Scheme.N)
-	for g := range st.cl.Groups {
-		grp := &st.cl.Groups[g]
-		if grp.Lost || grp.Available >= n {
-			continue
+	st.cl.ForEachDamaged(func(_ int32, avail int32, lost bool) {
+		if lost || avail >= n {
+			return
 		}
 		s.DegradedGroups++
-		switch n - grp.Available {
+		switch n - avail {
 		case 1:
 			s.Missing1++
 		case 2:
@@ -582,7 +584,7 @@ func (st *runState) snapshot(now float64) obs.Sample {
 		default:
 			s.Missing3Plus++
 		}
-	}
+	})
 	for id := range st.cl.Disks {
 		d := st.cl.Disks[id]
 		if d.State != disk.Alive {
@@ -685,7 +687,7 @@ func (st *runState) drainStep(now sim.Time, id int) {
 		}
 		// The block may have been lost meanwhile via a buddy failure
 		// marking this group dead; MoveBlock checks residency itself.
-		if st.cl.Groups[group].Disks[ref.Rep] == int32(id) && st.cl.MoveBlock(ref, target) {
+		if st.cl.GroupDiskOf(group, int(ref.Rep)) == int32(id) && st.cl.MoveBlock(ref, target) {
 			st.res.DrainedBlocks++
 			st.sm.DrainedBlocks.Inc()
 		}
@@ -863,7 +865,7 @@ func (st *runState) scheduleLSE(id int) {
 // (diskID, group, rep): the damaged replica is unlinked (an erasure) and
 // its repair is queued through the recovery engine.
 func (st *runState) onLatentDiscovered(now sim.Time, diskID, group, rep int) {
-	if st.cl.Groups[group].Disks[rep] != int32(diskID) {
+	if st.cl.GroupDiskOf(group, rep) != int32(diskID) {
 		return // the block moved (drain/rebalance) since the error arrived
 	}
 	_, newlyDead := st.cl.CorruptBlock(cluster.BlockRef{Group: int32(group), Rep: int32(rep)})
@@ -891,7 +893,7 @@ func (st *runState) scheduleScrub() {
 	st.eng.Schedule(at, "scrub", func(now sim.Time) {
 		found := 0
 		for _, e := range st.inj.TakeLatent() {
-			if st.cl.Groups[e.Group].Disks[e.Rep] != int32(e.Disk) {
+			if st.cl.GroupDiskOf(e.Group, e.Rep) != int32(e.Disk) {
 				continue // block moved since the error arrived; stale
 			}
 			found++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -117,5 +118,30 @@ func TestLatencyIncreasesWindow(t *testing.T) {
 	if b.WindowHours.Mean() < a.WindowHours.Mean()+1.5 {
 		t.Fatalf("2h latency lifted window only from %v to %v",
 			a.WindowHours.Mean(), b.WindowHours.Mean())
+	}
+}
+
+// TestMonteCarloWorkersByteIdentical pins the cross-worker determinism
+// contract on the lazy-group path: a hostile campaign (tripled failure
+// rates plus the full fault storm, so group records churn through the
+// materialize/recycle pool constantly) must aggregate to a byte-identical
+// Result whether runs execute on one worker or race across four. The
+// ordered ring fold in MonteCarlo makes worker count invisible; this test
+// (run under -race in CI) is the gate that keeps it so.
+func TestMonteCarloWorkersByteIdentical(t *testing.T) {
+	cfg := stormConfig()
+	cfg.VintageScale = 3
+	const runs = 6
+	serial, err := MonteCarlo(cfg, MonteCarloOptions{Runs: runs, BaseSeed: 17, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := MonteCarlo(cfg, MonteCarloOptions{Runs: runs, BaseSeed: 17, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", serial) != fmt.Sprintf("%+v", parallel) {
+		t.Fatalf("worker count changed the aggregate:\n1 worker:  %+v\n4 workers: %+v",
+			serial, parallel)
 	}
 }

@@ -55,8 +55,8 @@ func newDrainScenario(t *testing.T) *runState {
 // least one redundancy group, so failing b puts a on the rebuild path.
 func sharedBuddy(t *testing.T, cl *cluster.Cluster) (a, b int) {
 	t.Helper()
-	for g := range cl.Groups {
-		d := cl.Groups[g].Disks
+	for g := 0; g < cl.GroupCount(); g++ {
+		d := cl.GroupDisks(g)
 		if len(d) >= 2 && d[0] >= 0 && d[1] >= 0 {
 			return int(d[0]), int(d[1])
 		}

@@ -1,0 +1,33 @@
+package experiment
+
+import "testing"
+
+// TestExtBigFleetTiny runs the fleet-scale sweep at miniature scale: the
+// shape (one row per sweep point, drive counts strictly increasing) must
+// hold regardless of scale.
+func TestExtBigFleetTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := tinyOpts()
+	opts.Runs = 2
+	opts.Scale = 0.005
+	e, ok := Lookup("ext-bigfleet")
+	if !ok {
+		t.Fatal("ext-bigfleet not registered")
+	}
+	tabs, err := e.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 || len(tabs[0].Rows) != len(bigFleetPoints) {
+		t.Fatalf("ext-bigfleet shape wrong: %+v", tabs)
+	}
+	prev := ""
+	for _, row := range tabs[0].Rows {
+		if row[0] == prev {
+			t.Fatalf("sweep points collapsed to the same drive count %q at tiny scale", row[0])
+		}
+		prev = row[0]
+	}
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strconv"
 )
 
 // HotPath makes the PR-1 zero-alloc guarantee structural. Functions whose
@@ -17,7 +18,14 @@ import (
 //   - make of a map or channel, or map/chan composite literals;
 //   - append whose destination is not the slice being appended to
 //     (x = append(x, ...) reuses a preallocated buffer and amortizes;
-//     y := append(x, ...) builds a fresh escaping slice).
+//     y := append(x, ...) builds a fresh escaping slice);
+//   - calls into container/heap, and the import itself in any file that
+//     declares hot functions (heap.Push/Pop box every element through
+//     interface{}; the kernel uses an inline implicit heap of concrete
+//     entries instead);
+//   - passing a concrete value where the callee takes an empty interface
+//     (the conversion boxes: one heap allocation per call for any value
+//     that doesn't fit an interface word).
 //
 // The benchmark gates remain the ground truth for allocation counts;
 // this analyzer stops regressions from being written in the first place.
@@ -32,12 +40,26 @@ func runHotPath(pass *Pass) error {
 		if pass.InTestFile(file.Pos()) {
 			continue
 		}
+		hot := false
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !funcHasDirective(fd, dirHotPath) {
 				continue
 			}
+			hot = true
 			pass.checkHotFunc(fd)
+		}
+		if !hot {
+			continue
+		}
+		// The import ban is per-file: a file declaring hot functions has no
+		// business depending on container/heap at all — the temptation to
+		// "just heap.Fix this one path" is exactly the regression the arena
+		// kernel removed.
+		for _, imp := range file.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "container/heap" {
+				pass.Reportf(imp.Pos(), "file declares //farm:hotpath functions but imports container/heap (boxes every element through interface{}); use an inline implicit heap over concrete entries")
+			}
 		}
 	}
 	return nil
@@ -45,8 +67,9 @@ func runHotPath(pass *Pass) error {
 
 // allocPkgs are packages whose every call allocates on the way out.
 var allocPkgs = map[string]string{
-	"fmt":    "formats into a fresh string/interface",
-	"errors": "allocates a new error; declare sentinel errors at package level",
+	"fmt":            "formats into a fresh string/interface",
+	"errors":         "allocates a new error; declare sentinel errors at package level",
+	"container/heap": "boxes every element through interface{}; use an inline implicit heap",
 }
 
 func (p *Pass) checkHotFunc(fd *ast.FuncDecl) {
@@ -85,19 +108,83 @@ func (p *Pass) checkHotCall(name string, call *ast.CallExpr) {
 	switch fun := call.Fun.(type) {
 	case *ast.SelectorExpr:
 		obj := p.TypesInfo.Uses[fun.Sel]
-		if obj == nil || obj.Pkg() == nil {
-			return
-		}
-		if why, bad := allocPkgs[obj.Pkg().Path()]; bad {
-			p.Reportf(call.Pos(), "hot path %s calls %s.%s (%s)", name, obj.Pkg().Name(), fun.Sel.Name, why)
-		}
-	case *ast.Ident:
-		if obj, ok := p.TypesInfo.Uses[fun].(*types.Builtin); ok && obj.Name() == "make" && len(call.Args) > 0 {
-			if p.isMapOrChan(p.typeOf(call.Args[0])) {
-				p.Reportf(call.Pos(), "hot path %s makes a map/chan (always allocates)", name)
+		if obj != nil && obj.Pkg() != nil {
+			if why, bad := allocPkgs[obj.Pkg().Path()]; bad {
+				p.Reportf(call.Pos(), "hot path %s calls %s.%s (%s)", name, obj.Pkg().Name(), fun.Sel.Name, why)
+				return // the call is already condemned; boxing into it is moot
 			}
 		}
+	case *ast.Ident:
+		if obj, ok := p.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			if obj.Name() == "make" && len(call.Args) > 0 && p.isMapOrChan(p.typeOf(call.Args[0])) {
+				p.Reportf(call.Pos(), "hot path %s makes a map/chan (always allocates)", name)
+			}
+			return // no other builtin boxes its arguments
+		}
 	}
+	p.checkHotBoxing(name, call)
+}
+
+// checkHotBoxing flags arguments that box: a concrete value passed where
+// the callee declares an empty-interface parameter is converted to an
+// interface at the call site, which heap-allocates for anything wider
+// than a pointer word. Interface-typed arguments pass through unboxed and
+// untyped nil converts for free; both are exempt.
+func (p *Pass) checkHotBoxing(name string, call *ast.CallExpr) {
+	sig := p.callSignature(call)
+	if sig == nil || call.Ellipsis.IsValid() {
+		return // conversion, builtin, or slice-forwarding call
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			param = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !isEmptyInterface(param) {
+			continue
+		}
+		at := p.typeOf(arg)
+		if at == nil {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if _, ok := at.Underlying().(*types.Interface); ok {
+			continue
+		}
+		p.Reportf(arg.Pos(), "hot path %s boxes %s into an interface{} argument (allocates per call); take a concrete parameter type", name, at.String())
+	}
+}
+
+// callSignature resolves the signature of a call's callee, or nil for
+// type conversions and builtins.
+func (p *Pass) callSignature(call *ast.CallExpr) *types.Signature {
+	if tv, ok := p.TypesInfo.Types[call.Fun]; ok {
+		if tv.IsType() {
+			return nil
+		}
+		sig, _ := tv.Type.(*types.Signature)
+		return sig
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.TypesInfo.Uses[fun.Sel]
+	}
+	if obj == nil {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig
 }
 
 // checkHotAppend flags appends whose destination differs from the slice

@@ -16,6 +16,15 @@ import (
 //     element type, and
 //   - reference that field in its Less method (the explicit tie-break:
 //     equal times fall back to scheduling order).
+//
+// The same contract binds implicit heaps, which replace container/heap
+// with inline sift loops over a concrete entry slice: their comparator is
+// a plain two-argument less function (func(a, b entry) bool). Any
+// package-level function whose name contains "less" comparing two values
+// of a struct type that carries a sequence field must reference that
+// field — dropping the tie-break while rewriting a heap from
+// container/heap to an implicit array is exactly the regression this
+// analyzer exists to stop.
 var SeqTie = &Analyzer{
 	Name: "seqtie",
 	Doc:  "heap comparators must tie-break on an explicit sequence number",
@@ -58,7 +67,73 @@ func runSeqTie(pass *Pass) error {
 			pass.Reportf(fd.Pos(), "heap %s's Less does not tie-break on %s: events at equal times will pop in nondeterministic sift order", name, seq.Name())
 		}
 	}
+	return runSeqTieComparators(pass)
+}
+
+// runSeqTieComparators covers the implicit-heap shape: standalone
+// comparator functions over a seq-bearing struct.
+func runSeqTieComparators(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			if !strings.Contains(strings.ToLower(fd.Name.Name), "less") {
+				continue
+			}
+			def, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := def.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			elem := comparatorElemStruct(sig)
+			if elem == nil {
+				continue
+			}
+			seq := seqFieldOf(elem)
+			if seq == nil {
+				// A struct with no sequence field may legitimately be
+				// sorted on other keys; only seq-bearing entries are bound
+				// to the determinism contract.
+				continue
+			}
+			if !pass.bodyReferencesField(fd.Body, seq) {
+				pass.Reportf(fd.Pos(), "comparator %s does not tie-break on %s: entries at equal times will pop in nondeterministic sift order", fd.Name.Name, seq.Name())
+			}
+		}
+	}
 	return nil
+}
+
+// comparatorElemStruct recognizes the implicit-heap comparator shape —
+// func(a, b T) bool with both parameters the same struct type (possibly
+// through a pointer) — and returns T's struct type, or nil.
+func comparatorElemStruct(sig *types.Signature) *types.Struct {
+	if sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return nil
+	}
+	if b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Bool {
+		return nil
+	}
+	a, b := sig.Params().At(0).Type(), sig.Params().At(1).Type()
+	if !types.Identical(a, b) {
+		return nil
+	}
+	if p, ok := a.Underlying().(*types.Pointer); ok {
+		a = p.Elem()
+	}
+	st, ok := a.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	return st
 }
 
 // implementsHeapInterface reports whether T or *T provides the five

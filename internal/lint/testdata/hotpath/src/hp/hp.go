@@ -3,6 +3,7 @@
 package hp
 
 import (
+	"container/heap" // want "imports container/heap"
 	"errors"
 	"fmt"
 )
@@ -82,6 +83,60 @@ func guard(v int) {
 	if v < 0 {
 		panic(fmt.Sprintf("bad v %d", v))
 	}
+}
+
+//farm:hotpath fixture
+func siftsViaInterface(h heap.Interface) {
+	heap.Init(h) // want "calls heap.Init"
+}
+
+// sink stands in for any API taking an empty interface.
+func sink(v any) {}
+
+// sinkAll is the variadic flavor (fmt-style APIs).
+func sinkAll(vs ...any) {}
+
+// typedSink takes a concrete parameter: calls to it never box.
+func typedSink(v int) {}
+
+//farm:hotpath fixture
+func boxesArg(v int) {
+	sink(v) // want "boxes int into an interface"
+}
+
+//farm:hotpath fixture
+func boxesVariadic(v float64) {
+	sinkAll(v) // want "boxes float64 into an interface"
+}
+
+// passesInterface hands over a value that is already an interface — a
+// copy, not a box: clean.
+//
+//farm:hotpath fixture for the interface pass-through exemption
+func passesInterface(err error) {
+	sink(err)
+}
+
+// passesNil converts untyped nil for free: clean.
+//
+//farm:hotpath fixture for the nil exemption
+func passesNil() {
+	sink(nil)
+}
+
+// concreteCall passes concrete to concrete: clean.
+//
+//farm:hotpath fixture for concrete calls
+func concreteCall(v int) {
+	typedSink(v)
+}
+
+// forwards re-slices an existing []any through; no per-element boxing
+// happens at this call site: clean.
+//
+//farm:hotpath fixture for the slice-forwarding exemption
+func forwards(vs []any) {
+	sinkAll(vs...)
 }
 
 // cold is not annotated, so the contract does not bind it: clean.

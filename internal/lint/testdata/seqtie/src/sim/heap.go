@@ -85,6 +85,41 @@ func (s byTime) Len() int           { return len(s) }
 func (s byTime) Less(i, j int) bool { return s[i].t < s[j].t }
 func (s byTime) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
+// slotEntry is the implicit-heap element shape: an ordering key plus a
+// sequence number.
+type slotEntry struct {
+	at  float64
+	seq uint64
+}
+
+// goodEntryLess is the implicit-heap comparator done right: compares on
+// time, tie-breaks on seq. Clean.
+func goodEntryLess(a, b slotEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// badEntryLess drops the tie-break while the element carries a sequence
+// field: the exact regression an implicit-heap rewrite invites.
+func badEntryLess(a, b slotEntry) bool { return a.at < b.at } // want "does not tie-break on seq"
+
+// ptrEntryLess compares through pointers; same contract.
+func ptrEntryLess(a, b *slotEntry) bool { return a.at < b.at } // want "does not tie-break on seq"
+
+type labeled struct{ name string }
+
+// nameLess orders a struct with no sequence field: sorting on other keys
+// is legitimate, outside the contract.
+func nameLess(a, b labeled) bool { return a.name < b.name }
+
+// less over non-structs is outside the contract.
+func intLess(a, b int) bool { return a < b }
+
+// lessThan3 is not a two-argument comparator: outside the contract.
+func lessThan3(v slotEntry) bool { return v.at < 3 }
+
 // stacklike has Push/Pop with non-heap shapes: outside the contract.
 type stacklike []item
 

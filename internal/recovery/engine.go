@@ -131,7 +131,7 @@ type rebuild struct {
 	// retryEv is the pending backed-off resubmission, if any; untrack
 	// cancels it so redirection/re-sourcing/abandonment during a backoff
 	// cannot leave a stale resubmission behind.
-	retryEv *sim.Event
+	retryEv sim.Handle
 	// baseDur is the healthy-model transfer duration fixed when the
 	// rebuild was first created. It is the deadline reference for hedging
 	// and timeouts and the base every (re)submission scales by the
@@ -141,8 +141,8 @@ type rebuild struct {
 	// hedgeEv/timeoutEv are the pending straggler timers; hedgeTask is
 	// the in-flight duplicate transfer (nil when none); hedges counts
 	// duplicates launched over the rebuild's lifetime (capped).
-	hedgeEv   *sim.Event
-	timeoutEv *sim.Event
+	hedgeEv   sim.Handle
+	timeoutEv sim.Handle
 	hedgeTask *Task
 	hedges    int
 	// span is the rebuild's lifecycle span (nil when spans are
@@ -300,22 +300,22 @@ func (b *base) track(r *rebuild) {
 //
 //farm:hotpath in-flight index removal, gated by TestTrackUntrackSteadyStateZeroAlloc
 func (b *base) untrack(r *rebuild) {
-	if r.retryEv != nil {
+	if r.retryEv.Valid() {
 		b.eng.Cancel(r.retryEv)
-		r.retryEv = nil
+		r.retryEv = sim.Handle{}
 		if r.span != nil {
 			// The backoff was cut short; the hours actually waited are
 			// still retry wait.
 			r.span.RetryWait += float64(b.eng.Now() - r.retryArmedAt)
 		}
 	}
-	if r.hedgeEv != nil {
+	if r.hedgeEv.Valid() {
 		b.eng.Cancel(r.hedgeEv)
-		r.hedgeEv = nil
+		r.hedgeEv = sim.Handle{}
 	}
-	if r.timeoutEv != nil {
+	if r.timeoutEv.Valid() {
 		b.eng.Cancel(r.timeoutEv)
-		r.timeoutEv = nil
+		r.timeoutEv = sim.Handle{}
 	}
 	if r.hedgeTask != nil {
 		b.cancelHedge(r)
@@ -369,7 +369,7 @@ func (b *base) complete(now sim.Time, r *rebuild) {
 		}
 	}
 	b.untrack(r)
-	if b.cl.Groups[r.task.Group].Lost {
+	if b.cl.GroupLost(r.task.Group) {
 		// The group lost data while this block was in flight; the
 		// reservation stands as wasted space dropped with the group.
 		b.cl.ReleaseTarget(r.task.Target)
@@ -408,8 +408,7 @@ func (b *base) resource(r *rebuild) {
 	// The current attempt ends here whichever branch wins (abandon
 	// re-checks via the latch).
 	b.spanEndAttempt(r, b.eng.Now())
-	grp := &b.cl.Groups[r.task.Group]
-	if grp.Lost {
+	if b.cl.GroupLost(r.task.Group) {
 		b.abandon(r)
 		return
 	}
@@ -492,11 +491,11 @@ func (b *base) retryOrResource(now sim.Time, r *rebuild) {
 	r.retryArmedAt = now
 	b.observe(now, trace.KindRetry, nt.Group, nt.Rep, nt.Source)
 	r.retryEv = b.eng.After(b.fm.RetryBackoff(r.retries), "rebuild-retry", func(at sim.Time) {
-		r.retryEv = nil
+		r.retryEv = sim.Handle{}
 		if r.span != nil {
 			r.span.RetryWait += float64(at - r.retryArmedAt)
 		}
-		if b.cl.Groups[nt.Group].Lost {
+		if b.cl.GroupLost(nt.Group) {
 			b.observe(at, trace.KindDropped, nt.Group, nt.Rep, nt.Target)
 			b.abandon(r)
 			return

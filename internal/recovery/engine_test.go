@@ -59,12 +59,12 @@ func TestFARMRebuildsEverything(t *testing.T) {
 		t.Fatalf("rebuilt %d of %d blocks", f.Stats().BlocksRebuilt, len(lost))
 	}
 	for _, ref := range lost {
-		grp := &h.cl.Groups[ref.Group]
-		if grp.Available != 2 || grp.Lost {
+		g := int(ref.Group)
+		if h.cl.GroupAvailable(g) != 2 || h.cl.GroupLost(g) {
 			t.Fatalf("group %d not restored", ref.Group)
 		}
 		// Rule (b): blocks of a group on distinct disks.
-		if grp.Disks[0] == grp.Disks[1] {
+		if h.cl.GroupDiskOf(g, 0) == h.cl.GroupDiskOf(g, 1) {
 			t.Fatalf("group %d has both blocks on one disk", ref.Group)
 		}
 	}
@@ -84,7 +84,7 @@ func TestFARMTargetsAreSpread(t *testing.T) {
 	// Count distinct target disks among the recovered replicas.
 	targets := map[int32]bool{}
 	for _, ref := range lost {
-		targets[h.cl.Groups[ref.Group].Disks[ref.Rep]] = true
+		targets[h.cl.GroupDiskOf(int(ref.Group), int(ref.Rep))] = true
 	}
 	// Declustering: the rebuilt blocks should land on many disks, not one.
 	if len(targets) < 3 {
@@ -137,7 +137,7 @@ func TestSpareDiskSerializesOnOneTarget(t *testing.T) {
 	}
 	// All recovered blocks sit on the one spare.
 	for _, ref := range lost {
-		got := h.cl.Groups[ref.Group].Disks[ref.Rep]
+		got := h.cl.GroupDiskOf(int(ref.Group), int(ref.Rep))
 		if got != int32(spareID) {
 			t.Fatalf("block %v recovered to %d, want spare %d", ref, got, spareID)
 		}
@@ -294,9 +294,9 @@ func TestErasureToleratesTwoFailures(t *testing.T) {
 	if h.cl.LostGroups != 0 {
 		t.Fatalf("4/6 lost %d groups after two failures", h.cl.LostGroups)
 	}
-	for g := range h.cl.Groups {
-		if h.cl.Groups[g].Available != 6 {
-			t.Fatalf("group %d not fully restored (%d/6)", g, h.cl.Groups[g].Available)
+	for g := 0; g < h.cl.GroupCount(); g++ {
+		if h.cl.GroupAvailable(g) != 6 {
+			t.Fatalf("group %d not fully restored (%d/6)", g, h.cl.GroupAvailable(g))
 		}
 	}
 }

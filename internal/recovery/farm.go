@@ -42,8 +42,7 @@ func (f *FARM) HandleDetection(now sim.Time, diskID int, failedAt sim.Time, lost
 // startRebuild selects target and source for one block and submits the
 // transfer. Returns silently if the group is already beyond repair.
 func (f *FARM) startRebuild(failedAt sim.Time, group, rep int) {
-	grp := &f.cl.Groups[group]
-	if grp.Lost {
+	if f.cl.GroupLost(group) {
 		f.stats.DroppedLost++
 		f.rm.Dropped.Inc()
 		return
@@ -108,8 +107,7 @@ func (f *FARM) redirect(now sim.Time, r *rebuild) {
 	f.sched.Cancel(r.task)
 	f.untrack(r)
 	// No ReleaseTarget: the dead disk's byte accounting is already gone.
-	grp := &f.cl.Groups[r.task.Group]
-	if grp.Lost {
+	if f.cl.GroupLost(r.task.Group) {
 		f.stats.DroppedLost++
 		f.rm.Dropped.Inc()
 		f.spanDropped(r, now)

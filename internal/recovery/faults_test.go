@@ -177,7 +177,7 @@ func TestPendingRetryCancelledByTargetDeath(t *testing.T) {
 	var victim int = -1
 	for target, list := range f.byTarget {
 		for _, r := range list {
-			if r.retryEv != nil {
+			if r.retryEv.Valid() {
 				victim = target
 			}
 		}
@@ -274,7 +274,7 @@ func TestSpareHandleBlockLossRepairsInPlace(t *testing.T) {
 	if e.Stats().BlocksRebuilt != 1 {
 		t.Fatalf("rebuilt %d, want 1", e.Stats().BlocksRebuilt)
 	}
-	if got := int(h.cl.Groups[group].Disks[rep]); got != diskID {
+	if got := int(h.cl.GroupDiskOf(group, rep)); got != diskID {
 		t.Fatalf("repair landed on disk %d, want in-place on %d", got, diskID)
 	}
 	if err := h.cl.CheckInvariants(); err != nil {

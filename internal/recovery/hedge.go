@@ -43,18 +43,18 @@ func (b *base) armStragglerTimers(r *rebuild) {
 	if b.det == nil {
 		return
 	}
-	if b.policy.timeouts() && r.timeoutEv == nil {
+	if b.policy.timeouts() && !r.timeoutEv.Valid() {
 		d := sim.Time(float64(r.baseDur) * b.policy.TimeoutMultiple)
 		r.timeoutEv = b.eng.After(d, "rebuild-timeout", func(now sim.Time) {
-			r.timeoutEv = nil
+			r.timeoutEv = sim.Handle{}
 			b.timeoutFired(now, r)
 		})
 	}
-	if b.policy.hedging() && r.hedgeEv == nil && r.hedgeTask == nil &&
+	if b.policy.hedging() && !r.hedgeEv.Valid() && r.hedgeTask == nil &&
 		r.hedges < b.policy.MaxHedgesPerRebuild {
 		d := sim.Time(float64(r.baseDur) * b.policy.HedgeAfterMultiple)
 		r.hedgeEv = b.eng.After(d, "rebuild-hedge", func(now sim.Time) {
-			r.hedgeEv = nil
+			r.hedgeEv = sim.Handle{}
 			b.maybeHedge(now, r)
 		})
 	}
@@ -79,7 +79,7 @@ func (b *base) timeoutFired(now sim.Time, r *rebuild) {
 	if r.hedgeTask != nil {
 		d := sim.Time(float64(r.baseDur) * b.policy.TimeoutMultiple)
 		r.timeoutEv = b.eng.After(d, "rebuild-timeout", func(at sim.Time) {
-			r.timeoutEv = nil
+			r.timeoutEv = sim.Handle{}
 			b.timeoutFired(at, r)
 		})
 		return
@@ -106,7 +106,7 @@ func (b *base) maybeHedge(now sim.Time, r *rebuild) {
 	if r.hedgeTask != nil || r.hedges >= b.policy.MaxHedgesPerRebuild {
 		return
 	}
-	if b.cl.Groups[r.task.Group].Lost {
+	if b.cl.GroupLost(r.task.Group) {
 		return
 	}
 	target, _, ok := b.pickTarget(r.task.Group, r.task.Rep, 0)
@@ -227,7 +227,7 @@ func (b *base) hedgeComplete(now sim.Time, r *rebuild) {
 	b.sched.Cancel(r.task)
 	b.untrack(r)
 	b.cl.ReleaseTarget(r.task.Target)
-	if b.cl.Groups[ht.Group].Lost {
+	if b.cl.GroupLost(ht.Group) {
 		b.cl.ReleaseTarget(ht.Target)
 		b.stats.DroppedLost++
 		b.rm.Dropped.Inc()

@@ -96,15 +96,14 @@ func TestQuickFARMEndToEnd(t *testing.T) {
 		if err := h.cl.CheckInvariants(); err != nil {
 			return false
 		}
-		for g := range h.cl.Groups {
-			grp := &h.cl.Groups[g]
-			if grp.Lost {
+		for g := 0; g < h.cl.GroupCount(); g++ {
+			if h.cl.GroupLost(g) {
 				continue
 			}
 			// Non-lost groups must be fully restored once the queue
 			// drains (all rebuilds completed or redirected to completion),
 			// unless no eligible target existed (tiny cluster corner).
-			if int(grp.Available) < h.cl.Cfg.Scheme.M {
+			if int(h.cl.GroupAvailable(g)) < h.cl.Cfg.Scheme.M {
 				return false
 			}
 		}

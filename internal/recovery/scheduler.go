@@ -50,7 +50,7 @@ type Task struct {
 	StartedAt sim.Time
 
 	state    taskState
-	event    *sim.Event
+	event    sim.Handle
 	onDone   func(now sim.Time, t *Task)
 	queuedOn int // disk queue currently holding the task, -1 if none
 	// span, when non-nil, is the rebuild-lifecycle span this attempt
@@ -171,7 +171,7 @@ func (s *Scheduler) start(t *Task) {
 		s.OnStart(t.StartedAt, t)
 	}
 	t.event = s.eng.After(t.Duration, "rebuild-done", func(now sim.Time) {
-		t.event = nil
+		t.event = sim.Handle{}
 		t.state = taskDone
 		s.busy[t.Source] = false
 		s.busy[t.Target] = false
@@ -207,9 +207,9 @@ func (s *Scheduler) Cancel(t *Task) bool {
 	case taskDone, taskCancelled:
 		return t.state == taskCancelled
 	case taskRunning:
-		if t.event != nil {
+		if t.event.Valid() {
 			s.eng.Cancel(t.event)
-			t.event = nil
+			t.event = sim.Handle{}
 		}
 		t.state = taskCancelled
 		s.busy[t.Source] = false

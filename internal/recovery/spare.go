@@ -176,8 +176,7 @@ func (s *SpareDisk) startRebuild(failedAt sim.Time, group, rep, spare int, sp *o
 		sp = s.spanOpen(group, rep, failedAt)
 	}
 	r := &rebuild{failedAt: failedAt, baseDur: s.blockDuration(), span: sp}
-	grp := &s.cl.Groups[group]
-	if grp.Lost {
+	if s.cl.GroupLost(group) {
 		s.stats.DroppedLost++
 		s.rm.Dropped.Inc()
 		s.spanDropped(r, s.eng.Now())
@@ -225,8 +224,7 @@ func (s *SpareDisk) blockLoss(now sim.Time, failedAt sim.Time, diskID, group, re
 		sp = s.spanOpen(group, rep, failedAt)
 	}
 	r := &rebuild{failedAt: failedAt, baseDur: s.blockDuration(), span: sp}
-	grp := &s.cl.Groups[group]
-	if grp.Lost {
+	if s.cl.GroupLost(group) {
 		s.stats.DroppedLost++
 		s.rm.Dropped.Inc()
 		s.spanDropped(r, now)
@@ -280,7 +278,7 @@ func (s *SpareDisk) HandleFailure(now sim.Time, diskID int) {
 					s.spanEndAttempt(r, now)
 					s.sched.Cancel(r.task)
 					s.untrack(r)
-					if s.cl.Groups[r.task.Group].Lost {
+					if s.cl.GroupLost(r.task.Group) {
 						s.stats.DroppedLost++
 						s.rm.Dropped.Inc()
 						s.spanDropped(r, now)
@@ -300,7 +298,7 @@ func (s *SpareDisk) HandleFailure(now sim.Time, diskID int) {
 					s.spanEndAttempt(r, now)
 					s.sched.Cancel(r.task)
 					s.untrack(r)
-					if s.cl.Groups[r.task.Group].Lost {
+					if s.cl.GroupLost(r.task.Group) {
 						s.stats.DroppedLost++
 						s.rm.Dropped.Inc()
 						s.spanDropped(r, now)
@@ -335,7 +333,7 @@ func (s *SpareDisk) HandleFailure(now sim.Time, diskID int) {
 		s.spanEndAttempt(r, now)
 		s.sched.Cancel(r.task)
 		s.untrack(r)
-		if s.cl.Groups[r.task.Group].Lost {
+		if s.cl.GroupLost(r.task.Group) {
 			s.stats.DroppedLost++
 			s.rm.Dropped.Inc()
 			s.spanDropped(r, now)

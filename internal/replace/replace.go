@@ -122,7 +122,7 @@ func contains(xs []int, v int) bool {
 }
 
 func groupHasBlockOn(cl *cluster.Cluster, group, diskID int) bool {
-	for _, d := range cl.Groups[group].Disks {
+	for _, d := range cl.GroupDisks(group) {
 		if int(d) == diskID {
 			return true
 		}

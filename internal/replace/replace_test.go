@@ -85,8 +85,8 @@ func TestRebalancePreservesGroupInvariant(t *testing.T) {
 	cl := buildCluster(t, 400)
 	ids := cl.AddDisks(3, 1000)
 	RebalanceOnto(cl, ids)
-	for g := range cl.Groups {
-		d := cl.Groups[g].Disks
+	for g := 0; g < cl.GroupCount(); g++ {
+		d := cl.GroupDisks(g)
 		seen := map[int32]bool{}
 		for _, id := range d {
 			if id < 0 {

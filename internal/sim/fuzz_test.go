@@ -13,9 +13,9 @@ import (
 //   - the clock never runs backwards and matches each fired event's time;
 //   - cancelled events never fire, fired events fire exactly once;
 //   - Len agrees with the caller's own pending bookkeeping;
-//   - the heap's internal index bookkeeping stays consistent (checked
-//     implicitly: a corrupted index would misfire or panic under the
-//     random cancels).
+//   - handle generations stay consistent (checked implicitly: under the
+//     random cancels and slot reuse, a generation bug would revive a
+//     stale handle, double-fire, or misfire).
 func FuzzEngine(f *testing.F) {
 	// Seed corpus: empty, a plain schedule run, same-time FIFO ties,
 	// cancel patterns, and interleaved run-until advances.
@@ -25,12 +25,15 @@ func FuzzEngine(f *testing.F) {
 	f.Add([]byte{0, 50, 0, 20, 1, 0, 0, 30, 3})
 	f.Add([]byte{0, 5, 2, 10, 0, 5, 1, 0, 2, 255, 3})
 	f.Add([]byte{0, 1, 0, 1, 1, 0, 1, 1, 0, 1, 1, 2, 3, 0, 2, 3})
+	// Slot-reuse stress: cancel, reschedule into the freed slot, then
+	// cancel the stale handle again (must be a no-op on the new tenant).
+	f.Add([]byte{0, 10, 2, 0, 0, 10, 2, 0, 0, 10, 2, 1, 3, 255})
 
 	f.Fuzz(func(t *testing.T, program []byte) {
 		eng := New()
 
 		type tracked struct {
-			ev        *Event
+			ev        Handle
 			at        Time
 			seq       int // order of scheduling, for FIFO checking
 			fired     bool
@@ -101,7 +104,7 @@ func FuzzEngine(f *testing.F) {
 					tr.cancelled = true
 					pending--
 				}
-				if tr.ev.Pending() {
+				if eng.Pending(tr.ev) {
 					t.Fatalf("event %d still Pending after Cancel", tr.seq)
 				}
 			case 3: // run until a horizon a little past now

@@ -88,13 +88,16 @@ func TestCancel(t *testing.T) {
 	e := New()
 	fired := false
 	ev := e.Schedule(10, "x", func(Time) { fired = true })
-	if !ev.Pending() {
+	if !ev.Valid() {
+		t.Fatal("Schedule returned an invalid handle")
+	}
+	if !e.Pending(ev) {
 		t.Fatal("scheduled event not pending")
 	}
 	if !e.Cancel(ev) {
 		t.Fatal("Cancel returned false for pending event")
 	}
-	if ev.Pending() {
+	if e.Pending(ev) {
 		t.Fatal("cancelled event still pending")
 	}
 	e.Run()
@@ -104,15 +107,21 @@ func TestCancel(t *testing.T) {
 	if e.Cancel(ev) {
 		t.Fatal("double-cancel returned true")
 	}
-	if e.Cancel(nil) {
-		t.Fatal("Cancel(nil) returned true")
+	if e.Cancel(Handle{}) {
+		t.Fatal("Cancel of the zero Handle returned true")
+	}
+	if (Handle{}).Valid() {
+		t.Fatal("zero Handle claims to be valid")
+	}
+	if e.Pending(Handle{}) {
+		t.Fatal("zero Handle claims to be pending")
 	}
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var got []int
-	evs := make([]*Event, 10)
+	evs := make([]Handle, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.Schedule(Time(i), "x", func(Time) { got = append(got, i) })
@@ -167,8 +176,117 @@ func TestRunUntilInclusiveBoundary(t *testing.T) {
 func TestEventAccessors(t *testing.T) {
 	e := New()
 	ev := e.Schedule(42, "hello", func(Time) {})
-	if ev.Time() != 42 || ev.Label() != "hello" {
-		t.Fatalf("accessors: %v %q", ev.Time(), ev.Label())
+	if at, ok := e.EventTime(ev); !ok || at != 42 {
+		t.Fatalf("EventTime: %v %v", at, ok)
+	}
+	e.Run()
+	if _, ok := e.EventTime(ev); ok {
+		t.Fatal("EventTime ok for a fired event")
+	}
+}
+
+// TestStaleHandleAfterSlotReuse pins the generation mechanism: once an
+// event's slot has been recycled by a newer event, the old handle must be
+// inert — not pending, not cancellable — and cancelling it must never
+// disturb the new occupant.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	e := New()
+	h1 := e.Schedule(10, "old", func(Time) {})
+	if !e.Cancel(h1) {
+		t.Fatal("Cancel of live event failed")
+	}
+	// The freed slot is at the head of the free list; this schedule
+	// reuses it under a bumped generation.
+	fired := false
+	h2 := e.Schedule(20, "new", func(Time) { fired = true })
+	if h2 == h1 {
+		t.Fatal("reused slot handed out under the same generation")
+	}
+	if e.Pending(h1) {
+		t.Fatal("stale handle pending after cancel")
+	}
+	if e.Cancel(h1) {
+		t.Fatal("stale handle cancel returned true")
+	}
+	if !e.Pending(h2) {
+		t.Fatal("stale cancel disturbed the slot's new occupant")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("new occupant never fired")
+	}
+}
+
+// TestStaleHandleAfterFire: a handle to a fired event must be equally
+// inert, even after the slot is reused many times over.
+func TestStaleHandleAfterFire(t *testing.T) {
+	e := New()
+	h := e.Schedule(1, "once", func(Time) {})
+	e.Run()
+	if e.Pending(h) || e.Cancel(h) {
+		t.Fatal("handle to fired event still live")
+	}
+	var reused []Handle
+	for i := 0; i < 100; i++ {
+		reused = append(reused, e.Schedule(Time(100+i), "reuse", func(Time) {}))
+	}
+	if e.Pending(h) || e.Cancel(h) {
+		t.Fatal("stale handle revived by slot reuse")
+	}
+	for _, r := range reused {
+		if !e.Pending(r) {
+			t.Fatal("live handle lost")
+		}
+	}
+}
+
+// TestCancelRescheduleStorm: tight schedule/cancel cycling over the same
+// arena slot must keep Len exact and fire only the survivors.
+func TestCancelRescheduleStorm(t *testing.T) {
+	e := New()
+	fired := 0
+	for i := 0; i < 10000; i++ {
+		h := e.Schedule(Time(i), "churn", func(Time) { fired++ })
+		if i%2 == 0 {
+			if !e.Cancel(h) {
+				t.Fatal("cancel failed")
+			}
+		}
+		if want := (i + 1) / 2; e.Len() != want {
+			t.Fatalf("Len = %d, want %d", e.Len(), want)
+		}
+	}
+	e.Run()
+	if fired != 5000 {
+		t.Fatalf("fired %d, want 5000", fired)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len after drain = %d", e.Len())
+	}
+}
+
+// TestArenaGrowth: more live events than one chunk holds forces arena
+// growth; ordering and liveness must survive it.
+func TestArenaGrowth(t *testing.T) {
+	e := New()
+	const n = 5000 // several chunks
+	var prev Time
+	fired := 0
+	for i := 0; i < n; i++ {
+		e.Schedule(Time(n-i), "grow", func(now Time) {
+			if now < prev {
+				t.Fatalf("order violated: %v after %v", now, prev)
+			}
+			prev = now
+			fired++
+		})
+	}
+	if e.Len() != n {
+		t.Fatalf("Len = %d, want %d", e.Len(), n)
+	}
+	e.Run()
+	if fired != n {
+		t.Fatalf("fired %d, want %d", fired, n)
 	}
 }
 

@@ -10,7 +10,7 @@ import (
 // drains must suppress exactly those events.
 func TestCancelDuringRun(t *testing.T) {
 	e := New()
-	var later []*Event
+	var later []Handle
 	fired := map[int]bool{}
 	for i := 0; i < 10; i++ {
 		i := i
@@ -53,7 +53,7 @@ func TestRunUntilThenContinue(t *testing.T) {
 func TestHeapStress(t *testing.T) {
 	e := New()
 	r := rng.New(77)
-	var live []*Event
+	var live []Handle
 	const n = 30000
 	for i := 0; i < n; i++ {
 		at := Time(r.Float64() * 1e6)
