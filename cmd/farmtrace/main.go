@@ -19,6 +19,18 @@
 //	-seed N      random seed (default 1)
 //	-summary     suppress the JSONL stream; print only the summary
 //
+// Network fault-domain flags (all off by default; leaving them off keeps
+// the flat-network seed behaviour byte-identical):
+//
+//	-racks N       racks in the fabric (0 = flat network, the default)
+//	-rackaware     spread each group across distinct racks
+//	-uplink M      ToR uplink bandwidth in MB/s (0 = unconstrained)
+//	-oversub R     spine oversubscription ratio (default 1)
+//	-falsedead H   hours before an unreachable rack is written off (0 = never)
+//	-switchfails R ToR switch failures per year (rack dark until written off)
+//	-powerfails R  rack power events per year (self-restoring)
+//	-partitions R  transient network partitions per year (self-healing)
+//
 // Flight-recorder flags (all off by default; attaching them never
 // changes the simulation — the trace gains only the two span-lifecycle
 // kinds when -spans is set):
@@ -39,8 +51,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/redundancy"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -79,6 +93,14 @@ func run() error {
 	replaceTrig := flag.Float64("replace", 0, "replacement batch trigger fraction")
 	seed := flag.Uint64("seed", 1, "random seed")
 	summaryOnly := flag.Bool("summary", false, "print only the summary")
+	racks := flag.Int("racks", 0, "racks in the fabric (0 = flat network)")
+	rackAware := flag.Bool("rackaware", false, "spread each group across distinct racks")
+	uplink := flag.Float64("uplink", 0, "ToR uplink bandwidth in MB/s (0 = unconstrained)")
+	oversub := flag.Float64("oversub", 1, "spine oversubscription ratio")
+	falseDead := flag.Float64("falsedead", 0, "hours before an unreachable rack is written off (0 = never)")
+	switchFails := flag.Float64("switchfails", 0, "ToR switch failures per year")
+	powerFails := flag.Float64("powerfails", 0, "rack power events per year (8 h mean restore)")
+	partitions := flag.Float64("partitions", 0, "transient partitions per year (12 h mean heal)")
 	spansPath := flag.String("spans", "", "write rebuild-lifecycle spans (JSONL) to this file")
 	seriesPath := flag.String("series", "", "write system-state samples (JSONL) to this file")
 	sampleHours := flag.Float64("sample", 24, "sampling cadence in simulated hours")
@@ -99,6 +121,22 @@ func run() error {
 	cfg.SmartAccuracy = *smartAcc
 	cfg.SmartLeadHours = 24
 	cfg.ReplaceTrigger = *replaceTrig
+	if *racks > 0 {
+		cfg.Topology = topology.Config{
+			Racks:                 *racks,
+			RackAware:             *rackAware,
+			UplinkMBps:            *uplink,
+			OversubscriptionRatio: *oversub,
+			FalseDeadHours:        *falseDead,
+		}
+		cfg.Faults.Network = faults.NetworkFaultConfig{
+			SwitchFailsPerYear:    *switchFails,
+			PowerEventsPerYear:    *powerFails,
+			PowerRestoreMeanHours: 8,
+			PartitionsPerYear:     *partitions,
+			PartitionMeanHours:    12,
+		}
+	}
 
 	rec := trace.NewRecorder()
 	cfg.Hook = rec.Record

@@ -22,6 +22,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/placement"
 	"repro/internal/redundancy"
+	"repro/internal/topology"
 )
 
 // BlockRef identifies one block: replica Rep of group Group.
@@ -51,6 +52,11 @@ type Config struct {
 	// ExtraDisks adds headroom beyond the computed population (unused by
 	// the paper's experiments; handy for stress tests).
 	ExtraDisks int
+	// Net, when non-nil, is the run's network fabric: disks in dark
+	// racks stop being eligible sources/targets, and with RackAware set
+	// the initial build spreads each group over distinct racks. Nil
+	// keeps the flat (topology-free) behaviour bit-for-bit.
+	Net *topology.Network
 }
 
 // Validate checks the configuration.
@@ -117,6 +123,10 @@ type Cluster struct {
 	// allocates nothing, so steady-state rebuild targeting produces no
 	// garbage (the former per-rebuild map[int]bool did).
 	excl placement.ExcludeSet
+	// rackExcl is the rack-indexed twin of excl for rack-aware target
+	// selection (rule: a target's rack must not already hold a block of
+	// the group).
+	rackExcl placement.ExcludeSet
 }
 
 // ErrBuild reports that initial placement could not complete.
@@ -160,8 +170,15 @@ func New(cfg Config) (*Cluster, error) {
 	// One reusable placement buffer for the whole build: with the flat
 	// group arena this makes the per-group loop allocation-free.
 	idsBuf := make([]int, 0, n)
+	rackAware := cfg.Net != nil && cfg.Net.RackAware()
 	for g := 0; g < cfg.NumGroups; g++ {
-		ids, err := c.hasher.PlaceGroupInto(c, uint64(g), n, c.BlockBytes, idsBuf)
+		var ids []int
+		var err error
+		if rackAware {
+			ids, err = c.hasher.PlaceGroupSpreadInto(c, cfg.Net, uint64(g), n, c.BlockBytes, idsBuf)
+		} else {
+			ids, err = c.hasher.PlaceGroupInto(c, uint64(g), n, c.BlockBytes, idsBuf)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: group %d: %v", ErrBuild, g, err)
 		}
@@ -277,10 +294,16 @@ func (c *Cluster) releaseState(group int32) {
 func (c *Cluster) NumDisks() int { return len(c.Disks) }
 
 // Eligible reports whether disk id can accept size more bytes: alive,
-// not suspected of imminent failure, and with space.
+// reachable, not suspected of imminent failure, and with space.
 func (c *Cluster) Eligible(id int, size int64) bool {
 	d := c.Disks[id]
-	return d.State == disk.Alive && !c.isSuspect(id) && d.FreeBytes() >= size
+	return d.State == disk.Alive && c.reachable(id) && !c.isSuspect(id) && d.FreeBytes() >= size
+}
+
+// reachable reports whether the disk's rack is currently reachable;
+// always true without a configured topology.
+func (c *Cluster) reachable(id int) bool {
+	return c.Cfg.Net == nil || !c.Cfg.Net.DiskUnreachable(id)
 }
 
 // isSuspect tests the suspect bit without bounds surprises.
@@ -436,6 +459,19 @@ func (c *Cluster) ReleaseTarget(target int) {
 // rebuild duration.
 func (c *Cluster) SourceFor(group int, exclude int) int {
 	for _, d := range c.GroupDisks(group) {
+		if d >= 0 && int(d) != exclude && c.Disks[d].State == disk.Alive && c.reachable(int(d)) {
+			return int(d)
+		}
+	}
+	return -1
+}
+
+// AnySourceFor is SourceFor without the reachability requirement: it
+// reports whether an intact buddy *exists*, reachable or not. The
+// engines use it to distinguish "the group's data is gone" (abandon)
+// from "the data sits behind a dark switch" (park until heal).
+func (c *Cluster) AnySourceFor(group int, exclude int) int {
+	for _, d := range c.GroupDisks(group) {
 		if d >= 0 && int(d) != exclude && c.Disks[d].State == disk.Alive {
 			return int(d)
 		}
@@ -450,7 +486,7 @@ func (c *Cluster) SourceFor(group int, exclude int) int {
 // disk exists; callers fall back to SourceFor.
 func (c *Cluster) SourceForExcluding(group, ex1, ex2 int) int {
 	for _, d := range c.GroupDisks(group) {
-		if d >= 0 && int(d) != ex1 && int(d) != ex2 && c.Disks[d].State == disk.Alive {
+		if d >= 0 && int(d) != ex1 && int(d) != ex2 && c.Disks[d].State == disk.Alive && c.reachable(int(d)) {
 			return int(d)
 		}
 	}
@@ -474,6 +510,25 @@ func (c *Cluster) BuddyExcludes(group int) *placement.ExcludeSet {
 		}
 	}
 	return &c.excl
+}
+
+// BuddyRackExcludes returns the cluster's reusable rack-exclusion
+// scratch reset and filled with the racks holding intact blocks of
+// group — the rack-aware recovery-target rule (no two blocks of a group
+// in one rack, preserved through recovery re-placement). Requires a
+// configured topology. Owned by the cluster, valid until the next call;
+// callers may Add the racks of in-flight rebuild targets before use.
+//
+//farm:hotpath rack-exclusion scratch fill, gated by TestSingleRunAllocCeiling
+func (c *Cluster) BuddyRackExcludes(group int) *placement.ExcludeSet {
+	net := c.Cfg.Net
+	c.rackExcl.Reset(net.Racks())
+	for _, d := range c.GroupDisks(group) {
+		if d >= 0 {
+			c.rackExcl.Add(net.RackOf(int(d)))
+		}
+	}
+	return &c.rackExcl
 }
 
 // AddDisks appends fresh drives entering service at bornAt (a replacement

@@ -26,6 +26,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/smart"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -97,6 +98,14 @@ type Config struct {
 	// stragglers through the suspect/drain path. The zero value disables
 	// the layer entirely and leaves every code path untouched.
 	Straggler recovery.StragglerPolicy
+	// Topology configures the network fabric: disks spread over racks
+	// behind oversubscribable ToR uplinks. With a fabric configured,
+	// cross-rack rebuild transfers contend for fair-share bandwidth, and
+	// the correlated network faults of Faults.Network (switch failures,
+	// rack power events, partitions) become schedulable. The zero value
+	// disables the fabric entirely and leaves every experiment
+	// byte-identical.
+	Topology topology.Config
 	// Seed drives all randomness of the run.
 	Seed uint64
 	// CollectUtilization records per-disk used bytes at build time and
@@ -190,6 +199,15 @@ func (c Config) Validate() error {
 	}
 	if err := c.Straggler.Validate(); err != nil {
 		return err
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if c.Faults.Network.Enabled() && !c.Topology.Enabled() {
+		return errors.New("core: network faults need a topology (set Topology.Racks)")
+	}
+	if c.Topology.RackAware && c.Topology.Racks < c.Scheme.N {
+		return errors.New("core: rack-aware placement needs at least N racks")
 	}
 	if err := c.Obs.Validate(); err != nil {
 		return err
@@ -295,6 +313,24 @@ type RunResult struct {
 	// fail-slow experiment reports). Zero when no block was rebuilt.
 	WindowP50Hours float64
 	WindowP99Hours float64
+	// Network-fault accounting (zero unless cfg.Topology and
+	// cfg.Faults.Network are enabled). SwitchFails counts ToR-switch
+	// deaths; RackPowerEvents and Partitions count the transient rack
+	// outages; PartitionHeals counts racks that came back. FalseDeadRacks
+	// counts dark racks the false-dead timer declared lost, and
+	// FalseDeadDisks the (healthy) drives written off with them.
+	SwitchFails     int
+	RackPowerEvents int
+	Partitions      int
+	PartitionHeals  int
+	FalseDeadRacks  int
+	FalseDeadDisks  int
+	// ParkedTransfers counts rebuilds parked against a dark rack instead
+	// of abandoned; CrossRackTransfers/CrossRackBytes tally completed
+	// transfers that crossed the rack fabric.
+	ParkedTransfers    int
+	CrossRackTransfers int
+	CrossRackBytes     int64
 	// InitialUsedBytes and FinalUsedBytes are per-disk-slot utilization
 	// snapshots, present only when CollectUtilization is set. Final
 	// covers all slots ever provisioned (0 for dead drives).
@@ -329,6 +365,10 @@ func runOnce(cfg Config) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	net, err := topology.NewNetwork(cfg.Topology)
+	if err != nil {
+		return RunResult{}, err
+	}
 	ccfg := cluster.Config{
 		Scheme:             cfg.Scheme,
 		GroupBytes:         cfg.GroupBytes,
@@ -336,6 +376,7 @@ func runOnce(cfg Config) (RunResult, error) {
 		DiskModel:          model,
 		InitialUtilization: cfg.InitialUtilization,
 		PlacementSeed:      cfg.Seed ^ 0xfa57_feed_c0de_f00d,
+		Net:                net,
 	}
 	cl, err := cluster.New(ccfg)
 	if err != nil {
@@ -400,6 +441,10 @@ func runOnce(cfg Config) (RunResult, error) {
 	} else {
 		st.engine = recovery.NewSpareDisk(cl, eng, sched, bw, spawn)
 	}
+	if net != nil {
+		st.net = net
+		st.engine.SetTopology(net)
+	}
 	if o := cfg.Obs; o != nil {
 		if o.Registry != nil {
 			st.sm = o.SimMetrics()
@@ -459,6 +504,11 @@ func runOnce(cfg Config) (RunResult, error) {
 			}
 		}
 		st.scheduleBurst()
+		if st.net != nil && cfg.Faults.Network.Enabled() {
+			st.scheduleSwitchFail()
+			st.schedulePowerEvent()
+			st.schedulePartition()
+		}
 		if cfg.Faults.FailSlow.Enabled() {
 			if cfg.Faults.FailSlow.OnsetRatePerDiskHour > 0 {
 				for id := 0; id < cl.NumDisks(); id++ {
@@ -503,6 +553,9 @@ func runOnce(cfg Config) (RunResult, error) {
 	res.RebuildTimeouts = es.Timeouts
 	res.WindowP50Hours = es.WindowP50.Value()
 	res.WindowP99Hours = es.WindowP99.Value()
+	res.ParkedTransfers = es.Parked
+	res.CrossRackTransfers = es.CrossRackTransfers
+	res.CrossRackBytes = es.CrossRackBytes
 	if cfg.CollectUtilization {
 		res.FinalUsedBytes = cl.UsedBytesAll()
 	}
@@ -531,6 +584,9 @@ type runState struct {
 	// retained for the sampler's in-flight recovery-rate estimate.
 	sm *obs.SimMetrics
 	bw workload.BandwidthModel
+	// net, when non-nil, is the run's network fabric (cfg.Topology
+	// enabled); rack outages and heals route through it.
+	net *topology.Network
 }
 
 // scheduleSample arms the next read-only system-state snapshot. The
@@ -698,10 +754,18 @@ func (st *runState) drainStep(now sim.Time, id int) {
 // onDiskFailure plays one drive death: cluster bookkeeping, in-flight
 // rebuild fix-ups, delayed detection, and the replacement policy.
 func (st *runState) onDiskFailure(now sim.Time, id int) {
+	st.failDiskAt(now, id, now)
+}
+
+// failDiskAt is onDiskFailure with an explicit underlying failure time:
+// a false-dead declaration backdates failedAt to the instant the rack
+// went dark (that is when the data became unavailable), while the
+// handlers and detection delay run from now.
+func (st *runState) failDiskAt(now sim.Time, id int, failedAt sim.Time) {
 	if st.cl.Disks[id].State != disk.Alive {
 		return // already dead or retired (defensive)
 	}
-	lost, newlyDead := st.cl.FailDisk(id, float64(now))
+	lost, newlyDead := st.cl.FailDisk(id, float64(failedAt))
 	st.res.DiskFailures++
 	st.sm.DiskFailures.Inc()
 	if st.inj != nil {
@@ -717,7 +781,6 @@ func (st *runState) onDiskFailure(now sim.Time, id int) {
 			Detail: fmt.Sprintf("groups=%d", newlyDead)})
 	}
 	st.engine.HandleFailure(now, id)
-	failedAt := now
 	blocks := lost
 	st.eng.Schedule(now+sim.Time(st.cfg.DetectionLatencyHours), "detect", func(dnow sim.Time) {
 		st.emit(trace.Event{Time: float64(dnow), Kind: trace.KindDetect, Disk: id})
@@ -952,6 +1015,136 @@ func (st *runState) scheduleBurst() {
 			Detail: fmt.Sprintf("kills=%d", kills)})
 		st.scheduleBurst()
 	})
+}
+
+// scheduleSwitchFail samples the next ToR-switch failure and queues it;
+// on firing, the struck rack goes dark with no scheduled heal (a dead
+// switch needs a human; only the false-dead timer ends the outage), and
+// the process re-arms.
+func (st *runState) scheduleSwitchFail() {
+	at := st.eng.Now() + sim.Time(st.inj.NextSwitchFailGap())
+	if float64(at) > st.cfg.SimHours {
+		return // also covers the disabled (+Inf) case
+	}
+	st.eng.Schedule(at, "switch-fail", func(now sim.Time) {
+		rack := st.inj.PickRack(st.net.Racks())
+		st.res.SwitchFails++
+		st.sm.SwitchFails.Inc()
+		st.emit(trace.Event{Time: float64(now), Kind: trace.KindSwitchFail, Rack: rack})
+		st.rackDown(now, rack, "switch-fail", 0)
+		st.scheduleSwitchFail()
+	})
+}
+
+// schedulePowerEvent samples the next rack power event and queues it; on
+// firing, the struck rack goes dark until power is restored (drives
+// return with their data), and the process re-arms.
+func (st *runState) schedulePowerEvent() {
+	at := st.eng.Now() + sim.Time(st.inj.NextPowerEventGap())
+	if float64(at) > st.cfg.SimHours {
+		return
+	}
+	st.eng.Schedule(at, "rack-power", func(now sim.Time) {
+		rack := st.inj.PickRack(st.net.Racks())
+		restore := st.inj.DrawPowerRestore()
+		st.res.RackPowerEvents++
+		st.sm.RackPowerEvents.Inc()
+		st.rackDown(now, rack, "power", restore)
+		st.schedulePowerEvent()
+	})
+}
+
+// schedulePartition samples the next transient network partition and
+// queues it; on firing, the struck rack is unreachable (drives healthy,
+// data intact) until the partition heals, and the process re-arms.
+func (st *runState) schedulePartition() {
+	at := st.eng.Now() + sim.Time(st.inj.NextPartitionGap())
+	if float64(at) > st.cfg.SimHours {
+		return
+	}
+	st.eng.Schedule(at, "partition", func(now sim.Time) {
+		rack := st.inj.PickRack(st.net.Racks())
+		heal := st.inj.DrawPartitionHeal()
+		st.res.Partitions++
+		st.sm.Partitions.Inc()
+		st.rackDown(now, rack, "partition", heal)
+		st.schedulePartition()
+	})
+}
+
+// rackDown takes a rack off the fabric: the engine parks or re-sources
+// every rebuild touching it, a heal fires healAfter hours later
+// (healAfter <= 0 means no scheduled heal), and the false-dead timer —
+// when configured — starts counting toward declaring the rack lost.
+// A rack already dark merges the new event into the ongoing outage:
+// reachability state and timers are left untouched (the random draws
+// were already consumed by the caller, so the stream stays aligned).
+func (st *runState) rackDown(now sim.Time, rack int, cause string, healAfter float64) {
+	if !st.net.SetRackUnreachable(rack, float64(now)) {
+		return // already dark; events merge into the ongoing outage
+	}
+	st.emit(trace.Event{Time: float64(now), Kind: trace.KindRackUnreachable,
+		Rack: rack, Detail: cause})
+	for id := rack; id < st.cl.NumDisks(); id += st.net.Racks() {
+		st.engine.HandleUnreachable(now, id)
+	}
+	// Epoch-guarded timers: if the rack heals and darkens again, the new
+	// outage carries a new epoch and these become stale no-ops.
+	epoch := st.net.Epoch(rack)
+	if healAfter > 0 {
+		st.eng.Schedule(now+sim.Time(healAfter), "rack-heal", func(hnow sim.Time) {
+			if st.net.RackUnreachable(rack) && st.net.Epoch(rack) == epoch {
+				st.rackHeal(hnow, rack)
+			}
+		})
+	}
+	if fd := st.net.FalseDeadHours(); fd > 0 {
+		st.eng.Schedule(now+sim.Time(fd), "false-dead", func(fnow sim.Time) {
+			if st.net.RackUnreachable(rack) && st.net.Epoch(rack) == epoch {
+				st.declareRackDead(fnow, rack)
+			}
+		})
+	}
+}
+
+// rackHeal returns a rack to the fabric and resumes every rebuild
+// parked against its disks.
+func (st *runState) rackHeal(now sim.Time, rack int) {
+	st.net.SetRackReachable(rack)
+	st.res.PartitionHeals++
+	st.sm.PartitionHeals.Inc()
+	st.emit(trace.Event{Time: float64(now), Kind: trace.KindPartitionHeal, Rack: rack})
+	for id := rack; id < st.cl.NumDisks(); id += st.net.Racks() {
+		st.engine.HandleReachable(now, id)
+	}
+}
+
+// declareRackDead is the false-dead timer firing: the rack has been
+// dark past the configured patience, so the control plane writes its
+// drives off and re-replicates — trading a rebuild storm (and, if the
+// outage was transient, wasted work) for a bounded window of
+// vulnerability. The underlying failure time is backdated to the
+// instant the rack went dark: that is when the data became
+// unavailable. The rack stays unreachable while its drives fail (so
+// re-sourcing flees it), then returns to the fabric empty.
+func (st *runState) declareRackDead(now sim.Time, rack int) {
+	since := sim.Time(st.net.UnreachableSince(rack))
+	st.res.FalseDeadRacks++
+	st.sm.FalseDeadRacks.Inc()
+	st.emit(trace.Event{Time: float64(now), Kind: trace.KindFalseDead, Rack: rack})
+	killed := 0
+	for id := rack; id < st.cl.NumDisks(); id += st.net.Racks() {
+		if st.cl.Disks[id].State == disk.Alive {
+			st.failDiskAt(now, id, since)
+			killed++
+		}
+	}
+	st.res.FalseDeadDisks += killed
+	st.sm.FalseDeadDisks.Add(uint64(killed))
+	st.net.SetRackReachable(rack)
+	for id := rack; id < st.cl.NumDisks(); id += st.net.Racks() {
+		st.engine.HandleReachable(now, id)
+	}
 }
 
 // maybeReplace applies the Figure 7 batch-replacement policy: once the

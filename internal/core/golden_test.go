@@ -52,6 +52,16 @@ func goldenConfigs() []struct {
 	zeroSlow.Faults.ScrubIntervalHours = 720
 	zeroSlow.Faults.BurstsPerYear = 1
 	zeroSlow.Faults.TransientReadProb = 0.05
+	// Fault injection and replacement enabled with the topology/network
+	// sub-config left at its zero value: pins that the network-fault-domain
+	// subsystem, dormant, cannot perturb any pre-existing path (flat
+	// placement, flat transfer rates, no unreachability checks).
+	nonet := base()
+	nonet.VintageScale = 2
+	nonet.ReplaceTrigger = 0.04
+	nonet.Faults.LSERatePerDiskHour = 1e-5
+	nonet.Faults.BurstsPerYear = 2
+	nonet.Faults.TransientReadProb = 0.05
 	return []struct {
 		name string
 		cfg  Config
@@ -63,6 +73,7 @@ func goldenConfigs() []struct {
 		{"farm-adaptive", adaptive},
 		{"farm-erasure-x2", erasure},
 		{"farm-faults-zeroslow", zeroSlow},
+		{"farm-faults-nonet", nonet},
 	}
 }
 

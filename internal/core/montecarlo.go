@@ -60,6 +60,18 @@ type Result struct {
 	// tail the fail-slow experiment reports.
 	WindowP50Hours metrics.Welford
 	WindowP99Hours metrics.Welford
+	// Network-fault aggregates (all zero when cfg.Topology and
+	// cfg.Faults.Network are disabled). MaxWindowHours aggregates each
+	// run's worst vulnerability window — the tail the false-dead timeout
+	// trades against rebuild-storm traffic.
+	SwitchFails        metrics.Welford
+	Partitions         metrics.Welford
+	FalseDeadRacks     metrics.Welford
+	FalseDeadDisks     metrics.Welford
+	ParkedTransfers    metrics.Welford
+	CrossRackTransfers metrics.Welford
+	CrossRackGB        metrics.Welford
+	MaxWindowHours     metrics.Welford
 	// Disks is the initial drive population (identical across runs).
 	Disks int
 }
@@ -270,6 +282,16 @@ func (r *Result) add(run *RunResult) {
 	if run.BlocksRebuilt > 0 {
 		r.WindowP50Hours.Add(run.WindowP50Hours)
 		r.WindowP99Hours.Add(run.WindowP99Hours)
+	}
+	r.SwitchFails.Add(float64(run.SwitchFails))
+	r.Partitions.Add(float64(run.Partitions))
+	r.FalseDeadRacks.Add(float64(run.FalseDeadRacks))
+	r.FalseDeadDisks.Add(float64(run.FalseDeadDisks))
+	r.ParkedTransfers.Add(float64(run.ParkedTransfers))
+	r.CrossRackTransfers.Add(float64(run.CrossRackTransfers))
+	r.CrossRackGB.Add(float64(run.CrossRackBytes) / 1e9)
+	if run.BlocksRebuilt > 0 {
+		r.MaxWindowHours.Add(run.MaxWindowHours)
 	}
 	r.Disks = run.Disks
 }

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// netConfig is the laptop-sized system on a 10-rack fabric under the
+// full correlated network-fault storm: frequent switch deaths, rack
+// power events, and long transient partitions, with a one-day
+// false-dead timer. Rates are far beyond any realistic fleet on
+// purpose — the acceptance criterion is graceful degradation.
+func netConfig() Config {
+	cfg := smallConfig()
+	cfg.VintageScale = 2
+	cfg.ReplaceTrigger = 0.04
+	cfg.Topology = topology.Config{
+		Racks:                 10,
+		UplinkMBps:            1000,
+		OversubscriptionRatio: 4,
+		FalseDeadHours:        24,
+	}
+	cfg.Faults.Network = faults.NetworkFaultConfig{
+		SwitchFailsPerYear:    2,
+		PowerEventsPerYear:    4,
+		PowerRestoreMeanHours: 8,
+		PartitionsPerYear:     50,
+		PartitionMeanHours:    12,
+	}
+	return cfg
+}
+
+// TestNetworkStormDeterministicAndCausal is the headline acceptance
+// test for the fault-domain layer: a run under the combined network
+// storm must terminate, fire every configured process, park rebuilds
+// instead of dropping them, reproduce exactly under the same seed, and
+// emit a causally ordered trace (every heal and false-dead declaration
+// follows a darkening of the same rack).
+func TestNetworkStormDeterministicAndCausal(t *testing.T) {
+	for _, farm := range []bool{true, false} {
+		name := "spare"
+		if farm {
+			name = "FARM"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := netConfig()
+			cfg.UseFARM = farm
+			cfg.Seed = 7
+			var events []trace.Event
+			cfg.Hook = func(e trace.Event) { events = append(events, e) }
+			res, err := runOnce(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SwitchFails == 0 || res.RackPowerEvents == 0 || res.Partitions == 0 {
+				t.Errorf("switch=%d power=%d partitions=%d: a configured process never fired",
+					res.SwitchFails, res.RackPowerEvents, res.Partitions)
+			}
+			if res.PartitionHeals == 0 {
+				t.Error("no rack ever healed across a 6-year horizon")
+			}
+			if res.FalseDeadRacks == 0 || res.FalseDeadDisks == 0 {
+				t.Errorf("false-dead racks=%d disks=%d: dead switches were never written off",
+					res.FalseDeadRacks, res.FalseDeadDisks)
+			}
+			if res.ParkedTransfers == 0 {
+				t.Error("no rebuild ever parked against a dark rack under the storm")
+			}
+			if res.CrossRackTransfers == 0 || res.CrossRackBytes == 0 {
+				t.Errorf("cross-rack transfers=%d bytes=%d on a 10-rack fabric",
+					res.CrossRackTransfers, res.CrossRackBytes)
+			}
+			if err := trace.CheckCausality(events); err != nil {
+				t.Fatal(err)
+			}
+			// Determinism: an identical run (fresh hook) reproduces exactly.
+			cfg2 := netConfig()
+			cfg2.UseFARM = farm
+			cfg2.Seed = 7
+			res2, err := runOnce(cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprintf("%+v", res) != fmt.Sprintf("%+v", res2) {
+				t.Fatalf("same seed diverged under network storm:\n%+v\n%+v", res, res2)
+			}
+		})
+	}
+}
+
+// TestNetworkStormTraceKinds: the storm's trace must contain the
+// network-fault event kinds so downstream tooling can see the paths.
+func TestNetworkStormTraceKinds(t *testing.T) {
+	cfg := netConfig()
+	cfg.Seed = 11
+	var events []trace.Event
+	cfg.Hook = func(e trace.Event) { events = append(events, e) }
+	if _, err := runOnce(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sum := trace.Summarize(events)
+	for _, k := range []trace.Kind{
+		trace.KindSwitchFail, trace.KindRackUnreachable,
+		trace.KindPartitionHeal, trace.KindFalseDead,
+	} {
+		if sum.Counts[k] == 0 {
+			t.Errorf("no %q events in the storm trace", k)
+		}
+	}
+}
+
+// TestFalseDeadBackdatesWindow: a rack written off by the false-dead
+// timer must account its blocks' vulnerability from the instant the
+// rack went dark, not the declaration instant — so the worst window is
+// at least the false-dead patience.
+func TestFalseDeadBackdatesWindow(t *testing.T) {
+	cfg := netConfig()
+	cfg.Faults.Network.PartitionsPerYear = 0
+	cfg.Faults.Network.PowerEventsPerYear = 0
+	cfg.Seed = 3
+	res, err := runOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalseDeadRacks == 0 {
+		t.Fatal("no rack was declared dead under switch failures alone")
+	}
+	if res.MaxWindowHours < cfg.Topology.FalseDeadHours {
+		t.Errorf("max window %.2fh below the %.0fh false-dead patience",
+			res.MaxWindowHours, cfg.Topology.FalseDeadHours)
+	}
+}
+
+// TestPartitionsAloneLoseNothing: transient partitions with no
+// false-dead timer park work and heal; with no disk ever failing
+// (VintageScale is irrelevant — failure processes are intact, so use
+// the partition-only storm) the partitions themselves must not destroy
+// data or leak rebuilds.
+func TestPartitionsAloneParkAndResume(t *testing.T) {
+	cfg := netConfig()
+	cfg.Topology.FalseDeadHours = 0 // infinite patience: never write off
+	cfg.Faults.Network.SwitchFailsPerYear = 0
+	cfg.Faults.Network.PowerEventsPerYear = 0
+	cfg.Seed = 7
+	res, err := runOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalseDeadRacks != 0 || res.FalseDeadDisks != 0 {
+		t.Errorf("false-dead fired with a disabled timer: racks=%d disks=%d",
+			res.FalseDeadRacks, res.FalseDeadDisks)
+	}
+	if res.Partitions == 0 || res.PartitionHeals == 0 {
+		t.Fatalf("partitions=%d heals=%d", res.Partitions, res.PartitionHeals)
+	}
+	if res.ParkedTransfers == 0 {
+		t.Error("no rebuild ever parked across the partition storm")
+	}
+}
+
+// TestRackAwarePlacementRuns: rack-aware spread must build and recover
+// on the small system (one block per rack per group throughout), and
+// stays deterministic.
+func TestRackAwarePlacementRuns(t *testing.T) {
+	cfg := netConfig()
+	cfg.Topology.RackAware = true
+	cfg.Seed = 42
+	res, err := runOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksRebuilt == 0 {
+		t.Error("no blocks rebuilt under rack-aware placement")
+	}
+	// Rack-aware targets always leave the failed block's rack, so every
+	// rebuild that completed crossed the fabric.
+	if res.CrossRackTransfers == 0 {
+		t.Error("rack-aware recovery reported no cross-rack transfers")
+	}
+}
+
+// TestNetworkMonteCarloWorkerInvariant: the campaign Result under the
+// network storm must be byte-identical for 1 and 4 workers — the
+// ordered fold erases scheduling nondeterminism even with topology on.
+func TestNetworkMonteCarloWorkerInvariant(t *testing.T) {
+	cfg := netConfig()
+	a, err := MonteCarlo(cfg, MonteCarloOptions{Runs: 6, Workers: 1, BaseSeed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(cfg, MonteCarloOptions{Runs: 6, Workers: 4, BaseSeed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("worker count changed the campaign result:\n1: %+v\n4: %+v", a, b)
+	}
+}
+
+// TestNetworkValidationCrossChecks: network faults without a fabric,
+// and rack-aware placement with fewer racks than the scheme width,
+// must fail validation with distinct messages.
+func TestNetworkValidationCrossChecks(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Faults.Network.PartitionsPerYear = 1
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("network faults without a topology accepted")
+	}
+	cfg2 := smallConfig()
+	cfg2.Topology = topology.Config{Racks: 1, RackAware: true}
+	err2 := cfg2.Validate()
+	if err2 == nil {
+		t.Fatal("rack-aware placement with one rack accepted")
+	}
+	if err.Error() == err2.Error() {
+		t.Fatalf("indistinct cross-check messages: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// TestExtNetworkTiny runs the network extension at toy scale: all three
+// tables must materialize with the expected shape.
+func TestExtNetworkTiny(t *testing.T) {
+	e, ok := Lookup("ext-network")
+	if !ok {
+		t.Fatal("ext-network not registered")
+	}
+	tabs, err := e.Run(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("ext-network emitted %d tables, want 3", len(tabs))
+	}
+	if got := len(tabs[0].Rows); got != 2 {
+		t.Fatalf("placement table has %d rows, want 2", got)
+	}
+	if got := len(tabs[1].Rows); got != 3 {
+		t.Fatalf("oversubscription table has %d rows, want 3", got)
+	}
+	if got := len(tabs[2].Rows); got != 3 {
+		t.Fatalf("false-dead table has %d rows, want 3", got)
+	}
+}
+
+// TestExtNetworkRackAwareBeatsFlat gates the headline claim: under
+// ToR-switch write-offs, rack-aware spread must lose strictly less
+// data than flat placement — flat lets both mirrors of a group share a
+// rack, so a single written-off rack destroys data.
+func TestExtNetworkRackAwareBeatsFlat(t *testing.T) {
+	opts := tinyOpts().withDefaults()
+	run := func(aware bool) core.Result {
+		cfg := opts.baseConfig()
+		cfg.Topology = netTopo(aware, 1250, 4, 24)
+		cfg.Faults.Network = faults.NetworkFaultConfig{SwitchFailsPerYear: 4}
+		res, err := opts.monteCarlo(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	flat, aware := run(false), run(true)
+	if flat.SwitchFails.Mean() == 0 {
+		t.Fatal("no switch ever failed; the comparison is vacuous")
+	}
+	if aware.PLoss >= flat.PLoss {
+		t.Errorf("rack-aware P(loss) %.3f not below flat %.3f", aware.PLoss, flat.PLoss)
+	}
+	if aware.LostGroups.Mean() >= flat.LostGroups.Mean() {
+		t.Errorf("rack-aware lost %.2f groups/run, flat %.2f — spread did not cap the blast radius",
+			aware.LostGroups.Mean(), flat.LostGroups.Mean())
+	}
+}
+
+// TestExtNetworkFalseDeadTradeoff gates the timeout's two directions:
+// short patience writes off transient partitions (more false-dead
+// drives re-replicated for nothing), long patience leaves dark racks'
+// data exposed longer (worse worst-case window under permanent switch
+// failures).
+func TestExtNetworkFalseDeadTradeoff(t *testing.T) {
+	opts := tinyOpts().withDefaults()
+	run := func(fd float64) core.Result {
+		cfg := netBase(opts)
+		cfg.Topology = netTopo(true, 1250, 4, fd)
+		cfg.Faults.Network = faults.NetworkFaultConfig{
+			SwitchFailsPerYear: 2,
+			PartitionsPerYear:  12,
+			PartitionMeanHours: 12,
+		}
+		res, err := opts.monteCarlo(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	short, long := run(6), run(96)
+	if short.FalseDeadDisks.Mean() <= long.FalseDeadDisks.Mean() {
+		t.Errorf("6 h patience wrote off %.1f disks/run, 96 h wrote off %.1f — "+
+			"short patience should re-replicate more transient outages",
+			short.FalseDeadDisks.Mean(), long.FalseDeadDisks.Mean())
+	}
+	if long.MaxWindowHours.Mean() <= short.MaxWindowHours.Mean() {
+		t.Errorf("96 h patience max window %.1fh not above 6 h patience %.1fh — "+
+			"long patience should stretch the worst window",
+			long.MaxWindowHours.Mean(), short.MaxWindowHours.Mean())
+	}
+}
+
+// TestExtNetworkWorkerInvariant: the ext-network Monte Carlo points
+// must be byte-identical for 1 and 4 workers.
+func TestExtNetworkWorkerInvariant(t *testing.T) {
+	opts := tinyOpts().withDefaults()
+	cfg := netBase(opts)
+	cfg.Topology = netTopo(true, 1250, 4, 24)
+	cfg.Faults.Network = faults.NetworkFaultConfig{
+		SwitchFailsPerYear: 2,
+		PartitionsPerYear:  12,
+		PartitionMeanHours: 12,
+	}
+	a, err := core.MonteCarlo(cfg, core.MonteCarloOptions{Runs: 6, Workers: 1, BaseSeed: opts.BaseSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.MonteCarlo(cfg, core.MonteCarloOptions{Runs: 6, Workers: 4, BaseSeed: opts.BaseSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("worker count changed ext-network results:\n1: %+v\n4: %+v", a, b)
+	}
+}

@@ -114,6 +114,10 @@ type Config struct {
 	// but deliver a fraction of their recovery bandwidth. The zero value
 	// disables it.
 	FailSlow FailSlowConfig
+	// Network configures correlated network faults — ToR switch deaths,
+	// rack power events, transient partitions — that dark whole rack
+	// domains (requires topology). The zero value disables it.
+	Network NetworkFaultConfig
 }
 
 // FailSlowConfig describes the fail-slow (gray failure) processes:
@@ -235,7 +239,8 @@ func CheckFinite(field string, v float64) error {
 // Enabled reports whether any fault process is configured.
 func (c Config) Enabled() bool {
 	return c.LSERatePerDiskHour > 0 || c.BurstsPerYear > 0 ||
-		c.TransientReadProb > 0 || c.SparePoolSize > 0 || c.FailSlow.Enabled()
+		c.TransientReadProb > 0 || c.SparePoolSize > 0 || c.FailSlow.Enabled() ||
+		c.Network.Enabled()
 }
 
 // Validate checks the configuration. Non-finite floats (NaN, ±Inf) are
@@ -261,6 +266,9 @@ func (c Config) Validate() error {
 		}
 	}
 	if err := c.FailSlow.Validate(); err != nil {
+		return err
+	}
+	if err := c.Network.Validate(); err != nil {
 		return err
 	}
 	switch {
@@ -316,6 +324,7 @@ func (c Config) withDefaults() Config {
 		c.SpareReplenishHours = 24
 	}
 	c.FailSlow = c.FailSlow.withDefaults()
+	c.Network = c.Network.withDefaults()
 	return c
 }
 
@@ -346,6 +355,10 @@ type Injector struct {
 	// from here, so enabling/disabling fail-slow never perturbs the LSE,
 	// burst, or transient-read draws and vice versa.
 	slow *rng.Source
+	// netr is the dedicated network-fault stream (switch-fail/power/
+	// partition gaps, dwell times, victim racks), isolated for the same
+	// reason.
+	netr *rng.Source
 	// latent maps (disk, group) to the damaged replica index; order
 	// preserves deterministic scrub iteration.
 	latent map[lseKey]int32
@@ -370,6 +383,7 @@ func NewInjector(cfg Config, seed uint64) (*Injector, error) {
 		cfg:    cfg.withDefaults(),
 		rng:    rng.New(seed),
 		slow:   rng.New(seed ^ 0x51c0_f1a5_10fd_d15c),
+		netr:   newNetStream(seed),
 		latent: make(map[lseKey]int32),
 		fm:     obs.NewFaultMetrics(obs.NewRegistry()),
 	}, nil

@@ -1,0 +1,144 @@
+package faults
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// NetworkFaultConfig describes the correlated network-fault processes
+// that dark whole rack domains at once: ToR switch failures (permanent
+// until the false-dead policy fences the rack), rack power events
+// (restored after an exponential dwell), and transient network
+// partitions (healed after an exponential dwell). All of them render a
+// rack's disks *unreachable* — the data is intact behind a dark switch,
+// distinct from dead — and all randomness comes from a dedicated stream
+// split off the injector seed, so enabling network faults never
+// perturbs the LSE/burst/transient/fail-slow draws and vice versa. The
+// zero value disables everything. Requires topology to be configured
+// (racks are the fault domain).
+type NetworkFaultConfig struct {
+	// SwitchFailsPerYear is the cluster-level Poisson rate of ToR switch
+	// failures. A failed switch never recovers on its own: the rack
+	// stays dark until the false-dead timeout declares its disks lost
+	// and the rack is fenced and repaired. Zero disables.
+	SwitchFailsPerYear float64
+	// PowerEventsPerYear is the cluster-level Poisson rate of rack
+	// power events (PDU trips, maintenance mistakes). Zero disables.
+	PowerEventsPerYear float64
+	// PowerRestoreMeanHours is the mean of the exponential dwell before
+	// power returns. Default 4 h.
+	PowerRestoreMeanHours float64
+	// PartitionsPerYear is the cluster-level Poisson rate of transient
+	// network partitions isolating one rack. Zero disables.
+	PartitionsPerYear float64
+	// PartitionMeanHours is the mean of the exponential dwell before a
+	// partition heals. Default 1 h.
+	PartitionMeanHours float64
+}
+
+// Enabled reports whether any network-fault process is configured.
+func (c NetworkFaultConfig) Enabled() bool {
+	return c.SwitchFailsPerYear > 0 || c.PowerEventsPerYear > 0 || c.PartitionsPerYear > 0
+}
+
+// Validate checks the network-fault configuration, rejecting NaN/±Inf
+// with field-distinct messages before sign checks (a NaN event rate
+// turns every exponential gap into NaN and stalls the event queue).
+func (c NetworkFaultConfig) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"SwitchFailsPerYear", c.SwitchFailsPerYear},
+		{"PowerEventsPerYear", c.PowerEventsPerYear},
+		{"PowerRestoreMeanHours", c.PowerRestoreMeanHours},
+		{"PartitionsPerYear", c.PartitionsPerYear},
+		{"PartitionMeanHours", c.PartitionMeanHours},
+	} {
+		if err := CheckFinite("faults: Network."+f.name, f.v); err != nil {
+			return err
+		}
+	}
+	switch {
+	case c.SwitchFailsPerYear < 0:
+		return errors.New("faults: negative switch-failure rate")
+	case c.PowerEventsPerYear < 0:
+		return errors.New("faults: negative power-event rate")
+	case c.PowerRestoreMeanHours < 0:
+		return errors.New("faults: negative power-restore mean")
+	case c.PartitionsPerYear < 0:
+		return errors.New("faults: negative partition rate")
+	case c.PartitionMeanHours < 0:
+		return errors.New("faults: negative partition heal mean")
+	}
+	return nil
+}
+
+// withDefaults fills the zero dwell means.
+func (c NetworkFaultConfig) withDefaults() NetworkFaultConfig {
+	if !c.Enabled() {
+		return c
+	}
+	if c.PowerEventsPerYear > 0 && c.PowerRestoreMeanHours == 0 {
+		c.PowerRestoreMeanHours = 4
+	}
+	if c.PartitionsPerYear > 0 && c.PartitionMeanHours == 0 {
+		c.PartitionMeanHours = 1
+	}
+	return c
+}
+
+// hoursPerYear converts the per-year rates of the network processes to
+// the simulator's hour clock.
+const hoursPerYear = 8760
+
+// NextSwitchFailGap draws the time (hours) to the next ToR switch
+// failure. Returns +Inf when disabled.
+func (in *Injector) NextSwitchFailGap() float64 {
+	if in.cfg.Network.SwitchFailsPerYear <= 0 {
+		return math.Inf(1)
+	}
+	return in.netr.Exp(in.cfg.Network.SwitchFailsPerYear / hoursPerYear)
+}
+
+// NextPowerEventGap draws the time (hours) to the next rack power
+// event. Returns +Inf when disabled.
+func (in *Injector) NextPowerEventGap() float64 {
+	if in.cfg.Network.PowerEventsPerYear <= 0 {
+		return math.Inf(1)
+	}
+	return in.netr.Exp(in.cfg.Network.PowerEventsPerYear / hoursPerYear)
+}
+
+// NextPartitionGap draws the time (hours) to the next transient
+// partition. Returns +Inf when disabled.
+func (in *Injector) NextPartitionGap() float64 {
+	if in.cfg.Network.PartitionsPerYear <= 0 {
+		return math.Inf(1)
+	}
+	return in.netr.Exp(in.cfg.Network.PartitionsPerYear / hoursPerYear)
+}
+
+// DrawPowerRestore draws the dwell (hours) until a darked rack's power
+// returns.
+func (in *Injector) DrawPowerRestore() float64 {
+	return in.netr.Exp(1 / in.cfg.Network.PowerRestoreMeanHours)
+}
+
+// DrawPartitionHeal draws the dwell (hours) until a partition heals.
+func (in *Injector) DrawPartitionHeal() float64 {
+	return in.netr.Exp(1 / in.cfg.Network.PartitionMeanHours)
+}
+
+// PickRack draws a uniform victim rack in [0, n) from the network
+// stream.
+func (in *Injector) PickRack(n int) int { return in.netr.Intn(n) }
+
+// netSeedSalt splits the network-fault stream off the injector seed
+// ("netfault" in ASCII); a dedicated stream keeps every other fault
+// process byte-identical whether or not network faults are enabled.
+const netSeedSalt = 0x6e65_7466_6175_6c74
+
+func newNetStream(seed uint64) *rng.Source { return rng.New(seed ^ netSeedSalt) }

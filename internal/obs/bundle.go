@@ -24,6 +24,10 @@ type RecoveryMetrics struct {
 	SpareWaits      *Counter
 	SparesUsed      *Counter
 
+	CrossRackTransfers *Counter
+	CrossRackBytes     *Counter
+	ParkedTransfers    *Counter
+
 	WindowHours       *Histogram
 	QueueWaitHours    *Histogram
 	TransferHours     *Histogram
@@ -48,6 +52,10 @@ func NewRecoveryMetrics(r *Registry) *RecoveryMetrics {
 		SlowEvicted:     r.Counter(MetricSlowEvicted),
 		SpareWaits:      r.Counter(MetricSpareWaits),
 		SparesUsed:      r.Counter(MetricSparesUsed),
+
+		CrossRackTransfers: r.Counter(MetricCrossRackTransfers),
+		CrossRackBytes:     r.Counter(MetricCrossRackBytes),
+		ParkedTransfers:    r.Counter(MetricParkedTransfers),
 
 		WindowHours:       r.Histogram(MetricWindowHours, PhaseBounds),
 		QueueWaitHours:    r.Histogram(MetricQueueWaitHours, PhaseBounds),
@@ -74,6 +82,12 @@ type SimMetrics struct {
 	FailSlowOnsets   *Counter
 	FailSlowRecovers *Counter
 	SlowBursts       *Counter
+	SwitchFails      *Counter
+	RackPowerEvents  *Counter
+	Partitions       *Counter
+	PartitionHeals   *Counter
+	FalseDeadRacks   *Counter
+	FalseDeadDisks   *Counter
 
 	ActiveRebuilds *Gauge
 	QueuedRebuilds *Gauge
@@ -104,6 +118,12 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 		FailSlowOnsets:   r.Counter(MetricFailSlowOnsets),
 		FailSlowRecovers: r.Counter(MetricFailSlowRecovers),
 		SlowBursts:       r.Counter(MetricSlowBursts),
+		SwitchFails:      r.Counter(MetricSwitchFails),
+		RackPowerEvents:  r.Counter(MetricRackPowerEvents),
+		Partitions:       r.Counter(MetricPartitions),
+		PartitionHeals:   r.Counter(MetricPartitionHeals),
+		FalseDeadRacks:   r.Counter(MetricFalseDeadRacks),
+		FalseDeadDisks:   r.Counter(MetricFalseDeadDisks),
 
 		ActiveRebuilds: r.Gauge(MetricActiveRebuilds),
 		QueuedRebuilds: r.Gauge(MetricQueuedRebuilds),

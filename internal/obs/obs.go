@@ -54,6 +54,14 @@ const (
 	MetricFailSlowRecovers Name = "failslow_recoveries_total"
 	MetricSlowBursts       Name = "slow_bursts_total"
 
+	// Network fault-domain counters (internal/core + internal/topology).
+	MetricSwitchFails     Name = "switch_fails_total"
+	MetricRackPowerEvents Name = "rack_power_events_total"
+	MetricPartitions      Name = "partitions_total"
+	MetricPartitionHeals  Name = "partition_heals_total"
+	MetricFalseDeadRacks  Name = "false_dead_racks_total"
+	MetricFalseDeadDisks  Name = "false_dead_disks_total"
+
 	// Recovery-engine counters (internal/recovery).
 	MetricBlocksRebuilt   Name = "blocks_rebuilt_total"
 	MetricRebuildsDropped Name = "rebuilds_dropped_total"
@@ -68,6 +76,11 @@ const (
 	MetricSlowEvicted     Name = "slow_evicted_total"
 	MetricSpareWaits      Name = "spare_waits_total"
 	MetricSparesUsed      Name = "spares_used_total"
+	// Topology-aware recovery counters: cross-rack repair traffic and
+	// transfers parked against dark racks.
+	MetricCrossRackTransfers Name = "cross_rack_transfers_total"
+	MetricCrossRackBytes     Name = "cross_rack_bytes_total"
+	MetricParkedTransfers    Name = "parked_transfers_total"
 
 	// Fault-injection probe counters (internal/faults).
 	MetricProbeReads     Name = "probe_reads_total"

@@ -1,0 +1,119 @@
+package placement
+
+import "testing"
+
+// modRacker is the round-robin disk→rack map the topology package uses.
+type modRacker int
+
+func (m modRacker) RackOf(id int) int { return id % int(m) }
+
+// rackSet adapts a rack-id set to Excluder for the spread tests.
+type rackSet map[int]bool
+
+func (r rackSet) Excluded(rack int) bool { return r[rack] }
+
+// TestPlaceGroupSpreadDistinctRacks pins the spread invariant: across
+// many groups, no two blocks of a group ever share a rack, and the
+// selection stays deterministic.
+func TestPlaceGroupSpreadDistinctRacks(t *testing.T) {
+	const numDisks, racks, n = 120, 12, 5
+	v := newFakeView(numDisks, 1<<40)
+	h := NewHasher(7)
+	rk := modRacker(racks)
+	var buf [n]int
+	for g := uint64(0); g < 200; g++ {
+		chosen, err := h.PlaceGroupSpreadInto(v, rk, g, n, 1<<30, buf[:0])
+		if err != nil {
+			t.Fatalf("group %d: %v", g, err)
+		}
+		seen := map[int]bool{}
+		for _, id := range chosen {
+			r := rk.RackOf(id)
+			if seen[r] {
+				t.Fatalf("group %d: two blocks in rack %d (%v)", g, r, chosen)
+			}
+			seen[r] = true
+			v.used[id] += 1 << 30
+		}
+		again, err := h.PlaceGroupSpreadInto(&fakeView{used: append([]int64(nil), v.used...), capacity: v.capacity, dead: map[int]bool{}}, rk, g, n, 1<<30, nil)
+		_ = again
+		if err != nil {
+			t.Fatalf("group %d replay: %v", g, err)
+		}
+	}
+}
+
+// TestPlaceGroupSpreadFailsWithoutRacks pins ErrNoCandidate when fewer
+// racks than blocks exist (the constraint is unsatisfiable).
+func TestPlaceGroupSpreadFailsWithoutRacks(t *testing.T) {
+	v := newFakeView(40, 1<<40)
+	h := NewHasher(1)
+	if _, err := h.PlaceGroupSpreadInto(v, modRacker(2), 3, 3, 1<<30, nil); err != ErrNoCandidate {
+		t.Fatalf("3 blocks over 2 racks: err = %v, want ErrNoCandidate", err)
+	}
+}
+
+// TestRecoveryTargetSpread pins that the rack exclusion holds during
+// recovery re-placement and that startTrial resumes the stream.
+func TestRecoveryTargetSpread(t *testing.T) {
+	const numDisks, racks = 60, 6
+	v := newFakeView(numDisks, 1<<40)
+	h := NewHasher(3)
+	rk := modRacker(racks)
+	excludeRacks := rackSet{0: true, 1: true, 2: true}
+	id, trial, err := h.RecoveryTargetSpread(v, rk, 9, 1, 1<<30, nil, excludeRacks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rk.RackOf(id); excludeRacks[r] {
+		t.Fatalf("target %d landed in excluded rack %d", id, r)
+	}
+	// Redirection: resuming past the found trial yields a different disk
+	// still outside the excluded racks.
+	id2, _, err := h.RecoveryTargetSpread(v, rk, 9, 1, 1<<30, nil, excludeRacks, trial+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatal("redirection returned the failed choice")
+	}
+	if r := rk.RackOf(id2); excludeRacks[r] {
+		t.Fatalf("redirected target %d landed in excluded rack %d", id2, r)
+	}
+	// Disk-level exclusion composes with the rack constraint.
+	id3, _, err := h.RecoveryTargetSpread(v, rk, 9, 1, 1<<30, MapExcluder{id: true}, excludeRacks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id {
+		t.Fatal("disk exclusion ignored")
+	}
+	// All racks excluded → no candidate.
+	all := rackSet{}
+	for r := 0; r < racks; r++ {
+		all[r] = true
+	}
+	if _, _, err := h.RecoveryTargetSpread(v, rk, 9, 1, 1<<30, nil, all, 0); err != ErrNoCandidate {
+		t.Fatalf("all racks excluded: err = %v, want ErrNoCandidate", err)
+	}
+}
+
+// TestRecoveryTargetSpreadMatchesFlatWhenUnconstrained pins that with
+// no rack exclusions the spread selector walks the same candidate
+// stream as RecoveryTarget (bit-identical ids), so enabling topology
+// without rack exclusions cannot perturb target choice.
+func TestRecoveryTargetSpreadMatchesFlatWhenUnconstrained(t *testing.T) {
+	v := newFakeView(80, 1<<40)
+	h := NewHasher(11)
+	rk := modRacker(8)
+	for g := uint64(0); g < 50; g++ {
+		flat, ft, err1 := h.RecoveryTarget(v, g, 0, 1<<30, nil, 0)
+		spread, st, err2 := h.RecoveryTargetSpread(v, rk, g, 0, 1<<30, nil, nil, 0)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("group %d: %v %v", g, err1, err2)
+		}
+		if flat != spread || ft != st {
+			t.Fatalf("group %d: flat (%d,%d) != spread (%d,%d)", g, flat, ft, spread, st)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -56,6 +57,13 @@ type Stats struct {
 	// allocation after newBase.
 	WindowP50 metrics.P2Quantile
 	WindowP99 metrics.P2Quantile
+	// Parked counts rebuilds parked against an unreachable endpoint (a
+	// dark rack) instead of being abandoned; CrossRackTransfers and
+	// CrossRackBytes tally completed transfers that crossed the rack
+	// fabric — the repair traffic the oversubscribed spine carries.
+	Parked             int
+	CrossRackTransfers int
+	CrossRackBytes     int64
 }
 
 // FaultModel is the injection surface the engines consult when a rebuild
@@ -111,6 +119,18 @@ type Engine interface {
 	// InFlight returns the number of tracked block rebuilds (read-only;
 	// feeds the state sampler).
 	InFlight() int
+	// SetTopology installs the run's network fabric: transfer durations
+	// become contention-shaped, unreachable endpoints park rebuilds, and
+	// re-sourcing prefers reachable racks. Nil (the default) keeps the
+	// flat model bit-for-bit.
+	SetTopology(net *topology.Network)
+	// HandleUnreachable reacts to diskID's rack going dark at now:
+	// rebuilds writing to it park, rebuilds reading from it re-source
+	// (or park when no reachable buddy exists).
+	HandleUnreachable(now sim.Time, diskID int)
+	// HandleReachable reacts to diskID's rack healing: rebuilds parked
+	// against the disk resubmit.
+	HandleReachable(now sim.Time, diskID int)
 }
 
 // DiskSpawner lets an engine add drives to the system; the simulator hooks
@@ -154,6 +174,10 @@ type rebuild struct {
 	spanDone     bool
 	retryArmedAt sim.Time
 	hedgeAt      sim.Time
+	// parked marks a rebuild suspended against an unreachable endpoint:
+	// its task is cancelled and its timers disarmed, but it stays in the
+	// disk indexes so heals (and endpoint deaths) find it.
+	parked bool
 }
 
 // base holds the machinery common to both engines.
@@ -205,6 +229,8 @@ type base struct {
 	spans *obs.SpanLog
 	// inFlight counts tracked rebuilds (read-only sampler feed).
 	inFlight int
+	// net, when non-nil, is the run's network fabric (SetTopology).
+	net *topology.Network
 }
 
 func newBase(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload.BandwidthModel) base {
@@ -300,6 +326,28 @@ func (b *base) track(r *rebuild) {
 //
 //farm:hotpath in-flight index removal, gated by TestTrackUntrackSteadyStateZeroAlloc
 func (b *base) untrack(r *rebuild) {
+	b.cancelTimers(r)
+	b.bySource[r.task.Source] = removeRebuild(b.bySource[r.task.Source], r)
+	b.byTarget[r.task.Target] = removeRebuild(b.byTarget[r.task.Target], r)
+	tg := b.perGroupTargets[r.task.Group]
+	for i, t := range tg {
+		if t == r.task.Target {
+			tg[i] = tg[len(tg)-1]
+			// Keep the emptied slice in the map: its backing array is
+			// reused by the next rebuild of this group.
+			b.perGroupTargets[r.task.Group] = tg[:len(tg)-1]
+			break
+		}
+	}
+	b.inFlight--
+}
+
+// cancelTimers disarms a rebuild's pending backed-off resubmission,
+// straggler timers, and in-flight hedge — shared by untrack and park
+// (which keeps the rebuild in the indexes but must quiesce it).
+//
+//farm:hotpath timer teardown on every untrack
+func (b *base) cancelTimers(r *rebuild) {
 	if r.retryEv.Valid() {
 		b.eng.Cancel(r.retryEv)
 		r.retryEv = sim.Handle{}
@@ -320,19 +368,6 @@ func (b *base) untrack(r *rebuild) {
 	if r.hedgeTask != nil {
 		b.cancelHedge(r)
 	}
-	b.bySource[r.task.Source] = removeRebuild(b.bySource[r.task.Source], r)
-	b.byTarget[r.task.Target] = removeRebuild(b.byTarget[r.task.Target], r)
-	tg := b.perGroupTargets[r.task.Group]
-	for i, t := range tg {
-		if t == r.task.Target {
-			tg[i] = tg[len(tg)-1]
-			// Keep the emptied slice in the map: its backing array is
-			// reused by the next rebuild of this group.
-			b.perGroupTargets[r.task.Group] = tg[:len(tg)-1]
-			break
-		}
-	}
-	b.inFlight--
 }
 
 func removeRebuild(list []*rebuild, r *rebuild) []*rebuild {
@@ -382,6 +417,7 @@ func (b *base) complete(now sim.Time, r *rebuild) {
 	b.cl.PlaceRecovered(r.task.Group, r.task.Rep, r.task.Target)
 	b.stats.BlocksRebuilt++
 	b.rm.BlocksRebuilt.Inc()
+	b.noteCrossRack(r.task.Source, r.task.Target)
 	w := float64(now - r.failedAt)
 	b.stats.Window.Add(w)
 	b.recordWindow(w)
@@ -422,10 +458,25 @@ func (b *base) resource(r *rebuild) {
 		src = b.cl.SourceFor(r.task.Group, r.task.Target)
 	}
 	if src < 0 {
-		// No intact block remains; with Available < m the group is
-		// already latched lost, so this is unreachable unless m == 0.
+		// No *reachable* intact block remains. Without topology that
+		// means no intact block at all (with Available < m the group is
+		// already latched lost, so this is unreachable unless m == 0).
+		// With topology, an intact buddy may merely sit behind a dark
+		// switch — park the rebuild until the rack heals instead of
+		// converting a partition into data abandonment.
+		if b.net != nil {
+			if alt := b.cl.AnySourceFor(r.task.Group, r.task.Target); alt >= 0 {
+				b.parkOnSource(r, alt)
+				return
+			}
+		}
 		b.abandon(r)
 		return
+	}
+	if b.net != nil && !b.net.SameRack(src, r.task.Source) {
+		// Topology-aware re-sourcing crossed the fabric to another rack
+		// (typically fleeing a dark or dead one).
+		b.observe(b.eng.Now(), trace.KindResourceCrossRack, r.task.Group, r.task.Rep, src)
 	}
 	b.sched.Cancel(r.task)
 	b.untrack(r)
@@ -512,6 +563,9 @@ func (b *base) retryOrResource(now sim.Time, r *rebuild) {
 //
 //farm:hotpath FARM redirection/targeting, gated by TestFARMPickTargetZeroAlloc
 func (b *base) pickTarget(group, rep, startTrial int) (target, trial int, ok bool) {
+	if b.net != nil && b.net.RackAware() {
+		return b.pickTargetSpread(group, rep, startTrial)
+	}
 	exclude := b.cl.BuddyExcludes(group)
 	for _, t := range b.perGroupTargets[group] {
 		exclude.Add(t)
@@ -526,6 +580,35 @@ func (b *base) pickTarget(group, rep, startTrial int) (target, trial int, ok boo
 		// Reserve; walk further down the stream.
 		t2, tr2, err2 := b.cl.Hasher().RecoveryTarget(
 			b.cl, uint64(group), rep, b.cl.BlockBytes, exclude, trial+1)
+		if err2 != nil || !b.cl.ReserveTarget(t2) {
+			return -1, 0, false
+		}
+		return t2, tr2, true
+	}
+	return target, trial, true
+}
+
+// pickTargetSpread is pickTarget under rack-aware placement: the
+// candidate's rack must hold neither an intact block of the group nor a
+// concurrent rebuild target's block, so a repaired group keeps the
+// one-block-per-rack invariant.
+//
+//farm:hotpath rack-aware redirection/targeting, gated by TestSingleRunAllocCeiling
+func (b *base) pickTargetSpread(group, rep, startTrial int) (target, trial int, ok bool) {
+	exclude := b.cl.BuddyExcludes(group)
+	rackEx := b.cl.BuddyRackExcludes(group)
+	for _, t := range b.perGroupTargets[group] {
+		exclude.Add(t)
+		rackEx.Add(b.net.RackOf(t))
+	}
+	target, trial, err := b.cl.Hasher().RecoveryTargetSpread(
+		b.cl, b.net, uint64(group), rep, b.cl.BlockBytes, exclude, rackEx, startTrial)
+	if err != nil {
+		return -1, 0, false
+	}
+	if !b.cl.ReserveTarget(target) {
+		t2, tr2, err2 := b.cl.Hasher().RecoveryTargetSpread(
+			b.cl, b.net, uint64(group), rep, b.cl.BlockBytes, exclude, rackEx, trial+1)
 		if err2 != nil || !b.cl.ReserveTarget(t2) {
 			return -1, 0, false
 		}

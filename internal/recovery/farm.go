@@ -48,6 +48,11 @@ func (f *FARM) startRebuild(failedAt sim.Time, group, rep int) {
 		return
 	}
 	src := f.cl.SourceFor(group, -1)
+	if src < 0 && f.net != nil {
+		// Every intact buddy is behind a dark switch; the rebuild will
+		// park against one (submitTracked's guard) instead of dropping.
+		src = f.cl.AnySourceFor(group, -1)
+	}
 	if src < 0 {
 		f.stats.DroppedLost++
 		f.rm.Dropped.Inc()
@@ -123,6 +128,9 @@ func (f *FARM) redirect(now sim.Time, r *rebuild) {
 	src := r.task.Source
 	if f.cl.Disks[src].State != disk.Alive || src == target {
 		src = f.cl.SourceFor(r.task.Group, target)
+		if src < 0 && f.net != nil {
+			src = f.cl.AnySourceFor(r.task.Group, target)
+		}
 		if src < 0 {
 			f.cl.ReleaseTarget(target)
 			f.stats.DroppedLost++

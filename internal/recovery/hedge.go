@@ -23,6 +23,14 @@ import (
 // contrast, scores only transfer durations — a busy healthy disk is
 // never *flagged* slow, it just gets hedged around.
 func (b *base) submitTracked(r *rebuild) {
+	// Unified dark-rack catch-all: an attempt headed at or out of an
+	// unreachable rack parks here whatever path produced it (initial
+	// submission, retry, re-source, redirection, heal resume).
+	if b.net != nil && (b.net.DiskUnreachable(r.task.Source) || b.net.DiskUnreachable(r.task.Target)) {
+		b.parkTracked(r)
+		return
+	}
+	r.parked = false
 	// A new attempt begins: re-arm the span latch so its end is
 	// accounted exactly once, and hand the span to the scheduler so the
 	// OnStart hook can mark the first transfer start.
@@ -236,6 +244,7 @@ func (b *base) hedgeComplete(now sim.Time, r *rebuild) {
 		return
 	}
 	b.cl.PlaceRecovered(ht.Group, ht.Rep, ht.Target)
+	b.noteCrossRack(ht.Source, ht.Target)
 	b.stats.BlocksRebuilt++
 	b.stats.HedgeWins++
 	b.rm.BlocksRebuilt.Inc()

@@ -53,6 +53,10 @@ type Task struct {
 	event    sim.Handle
 	onDone   func(now sim.Time, t *Task)
 	queuedOn int // disk queue currently holding the task, -1 if none
+	// shaped is the effective transfer time after the Shape hook
+	// (network contention) stretched Duration; equal to Duration when no
+	// hook is installed. Set at transfer start.
+	shaped sim.Time
 	// span, when non-nil, is the rebuild-lifecycle span this attempt
 	// belongs to; the scheduler marks its first transfer start.
 	span *obs.Span
@@ -81,6 +85,13 @@ type Scheduler struct {
 	// span layer hooks it to mark transfer starts. Strictly read-only
 	// with respect to scheduling decisions.
 	OnStart func(now sim.Time, t *Task)
+	// Shape, when set, maps a starting transfer's nominal Duration to
+	// its effective duration (network-contention stretch). Release is
+	// its paired teardown, fired exactly once per shaped transfer —
+	// at completion or at cancellation of a running task. Tasks that
+	// never started are never shaped and never released.
+	Shape   func(now sim.Time, t *Task) sim.Time
+	Release func(t *Task)
 }
 
 // NewScheduler returns a scheduler for numDisks disk slots.
@@ -170,13 +181,21 @@ func (s *Scheduler) start(t *Task) {
 	if s.OnStart != nil {
 		s.OnStart(t.StartedAt, t)
 	}
-	t.event = s.eng.After(t.Duration, "rebuild-done", func(now sim.Time) {
+	dur := t.Duration
+	if s.Shape != nil {
+		dur = s.Shape(t.StartedAt, t)
+	}
+	t.shaped = dur
+	t.event = s.eng.After(dur, "rebuild-done", func(now sim.Time) {
 		t.event = sim.Handle{}
 		t.state = taskDone
 		s.busy[t.Source] = false
 		s.busy[t.Target] = false
 		s.Completed++
-		s.BusyHours += 2 * float64(t.Duration)
+		if s.Release != nil {
+			s.Release(t)
+		}
+		s.BusyHours += 2 * float64(t.shaped)
 		done := t.onDone
 		if done != nil {
 			done(now, t)
@@ -214,6 +233,9 @@ func (s *Scheduler) Cancel(t *Task) bool {
 		t.state = taskCancelled
 		s.busy[t.Source] = false
 		s.busy[t.Target] = false
+		if s.Release != nil {
+			s.Release(t)
+		}
 		s.drain(t.Source)
 		s.drain(t.Target)
 		return true

@@ -183,6 +183,9 @@ func (s *SpareDisk) startRebuild(failedAt sim.Time, group, rep, spare int, sp *o
 		return
 	}
 	src := s.cl.SourceFor(group, spare)
+	if src < 0 && s.net != nil {
+		src = s.cl.AnySourceFor(group, spare)
+	}
 	if src < 0 {
 		s.stats.DroppedLost++
 		s.rm.Dropped.Inc()
@@ -244,6 +247,9 @@ func (s *SpareDisk) blockLoss(now sim.Time, failedAt sim.Time, diskID, group, re
 		target = t
 	}
 	src := s.cl.SourceFor(group, target)
+	if src < 0 && s.net != nil {
+		src = s.cl.AnySourceFor(group, target)
+	}
 	if src < 0 {
 		s.cl.ReleaseTarget(target)
 		s.stats.DroppedLost++

@@ -1,0 +1,181 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// valid is a baseline enabled config the table tests perturb.
+func valid() Config {
+	return Config{Racks: 8, RackAware: true, UplinkMBps: 1250, OversubscriptionRatio: 4, FalseDeadHours: 24}
+}
+
+// TestValidateRejectsNonFinite pins that every float field rejects NaN
+// and ±Inf with a message naming the field (the floatvalid contract:
+// distinct, diagnosable messages before any range check).
+func TestValidateRejectsNonFinite(t *testing.T) {
+	fields := []struct {
+		name string
+		set  func(*Config, float64)
+	}{
+		{"UplinkMBps", func(c *Config, v float64) { c.UplinkMBps = v }},
+		{"OversubscriptionRatio", func(c *Config, v float64) { c.OversubscriptionRatio = v }},
+		{"FalseDeadHours", func(c *Config, v float64) { c.FalseDeadHours = v }},
+	}
+	for _, f := range fields {
+		for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			cfg := valid()
+			f.set(&cfg, v)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("%s=%v accepted", f.name, v)
+			}
+			if !strings.Contains(err.Error(), f.name) {
+				t.Fatalf("%s=%v: message %q does not name the field", f.name, v, err)
+			}
+		}
+	}
+}
+
+// TestValidateRanges pins the distinct range-violation messages.
+func TestValidateRanges(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"negative racks", func(c *Config) { c.Racks = -1 }, "negative rack count"},
+		{"negative uplink", func(c *Config) { c.UplinkMBps = -1 }, "negative uplink bandwidth"},
+		{"negative ratio", func(c *Config) { c.OversubscriptionRatio = -2 }, "oversubscription ratio"},
+		{"fractional ratio", func(c *Config) { c.OversubscriptionRatio = 0.5 }, "oversubscription ratio"},
+		{"negative false-dead", func(c *Config) { c.FalseDeadHours = -1 }, "negative false-dead timeout"},
+		{"rack-aware without racks", func(c *Config) { c.Racks = 0 }, "rack-aware placement needs a rack count"},
+	}
+	for _, tc := range cases {
+		cfg := valid()
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: got %q, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+// TestNewNetworkDefaults pins the zero-field defaults and the nil
+// return for a disabled config.
+func TestNewNetworkDefaults(t *testing.T) {
+	n, err := NewNetwork(Config{})
+	if err != nil || n != nil {
+		t.Fatalf("zero config: got %v, %v; want nil, nil", n, err)
+	}
+	n, err = NewNetwork(Config{Racks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.cfg.UplinkMBps != 1250 || n.cfg.OversubscriptionRatio != 1 {
+		t.Fatalf("defaults not applied: %+v", n.cfg)
+	}
+	if n.spineMBps != 1250*4 {
+		t.Fatalf("non-blocking spine = %v, want %v", n.spineMBps, 1250.0*4)
+	}
+}
+
+// TestFairShare exercises the three bottlenecks of BeginFlow: source
+// uplink, destination downlink, and the oversubscribed spine.
+func TestFairShare(t *testing.T) {
+	n, err := NewNetwork(Config{Racks: 4, UplinkMBps: 1000, OversubscriptionRatio: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// spine = 1000*4/2 = 2000 MB/s.
+	if share, cross := n.BeginFlow(0, 0); cross || share != 0 {
+		t.Fatalf("intra-rack flow shaped: %v %v", share, cross)
+	}
+	// First cross flow rack0→rack1: uplink 1000, downlink 1000, spine 2000.
+	share, cross := n.BeginFlow(0, 1)
+	if !cross || share != 1000 {
+		t.Fatalf("flow 1: share %v, want 1000", share)
+	}
+	// Second flow from the same source rack: uplink now 1000/2 = 500.
+	if share, _ := n.BeginFlow(4, 2); share != 500 {
+		t.Fatalf("uplink contention: share %v, want 500", share)
+	}
+	// Third flow on disjoint racks: links free, but spine has 3 flows:
+	// 2000/3 < 1000.
+	if share, _ := n.BeginFlow(2, 3); share != 2000.0/3 {
+		t.Fatalf("spine contention: share %v, want %v", share, 2000.0/3)
+	}
+	// Downlink contention: second flow into rack 1 from a fresh source:
+	// downlink 1000/2 = 500 beats spine 2000/4.
+	if share, _ := n.BeginFlow(3, 1); share != 500 {
+		t.Fatalf("downlink contention: share %v, want 500", share)
+	}
+	for _, f := range [][2]int{{0, 1}, {4, 2}, {2, 3}, {3, 1}} {
+		n.EndFlow(f[0], f[1])
+	}
+	n.EndFlow(0, 0) // intra-rack: no-op
+	if n.CrossFlows() != 0 {
+		t.Fatalf("flows leaked: %d", n.CrossFlows())
+	}
+}
+
+// TestEndFlowUnderflowPanics pins the accounting invariant.
+func TestEndFlowUnderflowPanics(t *testing.T) {
+	n, err := NewNetwork(Config{Racks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndFlow without BeginFlow did not panic")
+		}
+	}()
+	n.EndFlow(0, 1)
+}
+
+// TestReachabilityEpochs pins the epoch discipline: transitions bump,
+// overlapping outages merge, heal invalidates.
+func TestReachabilityEpochs(t *testing.T) {
+	n, err := NewNetwork(Config{Racks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.DiskUnreachable(7) { // disk 7 → rack 1
+		t.Fatal("fresh network has dark racks")
+	}
+	if !n.SetRackUnreachable(1, 10) {
+		t.Fatal("first outage not registered")
+	}
+	e := n.Epoch(1)
+	if !n.RackUnreachable(1) || !n.DiskUnreachable(7) || n.DiskUnreachable(6) {
+		t.Fatal("reachability not scoped to rack 1")
+	}
+	if n.UnreachableSince(1) != 10 {
+		t.Fatalf("since = %v, want 10", n.UnreachableSince(1))
+	}
+	// Overlapping event on the dark rack merges: no epoch bump, since kept.
+	if n.SetRackUnreachable(1, 20) {
+		t.Fatal("overlapping outage not merged")
+	}
+	if n.Epoch(1) != e || n.UnreachableSince(1) != 10 {
+		t.Fatal("merge perturbed epoch or since")
+	}
+	n.SetRackReachable(1)
+	if n.RackUnreachable(1) || n.Epoch(1) == e {
+		t.Fatal("heal did not clear and bump")
+	}
+	n.SetRackReachable(1) // idempotent
+	if n.Epoch(1) != e+1 {
+		t.Fatal("redundant heal bumped the epoch")
+	}
+}

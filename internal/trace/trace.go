@@ -51,6 +51,14 @@ const (
 	// the obs stack stay byte-identical.
 	KindRebuildQueued Kind = "rebuild-queued" // a block rebuild's first attempt was queued
 	KindTransferStart Kind = "transfer-start" // a rebuild transfer began moving bytes
+
+	// Network fault-domain kinds (internal/topology + internal/faults).
+	// Rack-scoped events carry the rack in Event.Rack.
+	KindSwitchFail        Kind = "switch-fail"        // a ToR switch died (permanent until fenced)
+	KindRackUnreachable   Kind = "rack-unreachable"   // a rack went dark (Detail: cause)
+	KindPartitionHeal     Kind = "partition-heal"     // a dark rack became reachable again
+	KindResourceCrossRack Kind = "resource-crossrack" // a rebuild re-sourced to another rack
+	KindFalseDead         Kind = "false-dead"         // a dark rack's disks were declared lost
 )
 
 // Event is one timestamped simulator occurrence. Times are simulation
@@ -61,6 +69,7 @@ type Event struct {
 	Disk   int     `json:"disk,omitempty"`
 	Group  int     `json:"group,omitempty"`
 	Rep    int     `json:"rep,omitempty"`
+	Rack   int     `json:"rack,omitempty"`
 	Detail string  `json:"detail,omitempty"`
 }
 
@@ -117,6 +126,12 @@ var clusterWide = map[Kind]bool{
 	KindBurst:      true,
 	KindSlowBurst:  true,
 	KindBatchAdded: true,
+	// Rack-scoped network events: identity lives in Rack, not Disk
+	// (resource-crossrack keeps a real disk — the new source).
+	KindSwitchFail:      true,
+	KindRackUnreachable: true,
+	KindPartitionHeal:   true,
+	KindFalseDead:       true,
 }
 
 // Summary aggregates an event stream.
@@ -198,7 +213,12 @@ func (s Summary) WriteSummary(w io.Writer) error {
 //     appeared — rebuilds are always *re*actions;
 //   - a hedge win follows a hedge launch for the same (group, rep);
 //   - a discovered latent error (lse-detect) follows the arrival of a
-//     latent error on the same (disk, group).
+//     latent error on the same (disk, group);
+//   - a partition heal follows a rack-unreachable on the same rack
+//     (racks only heal out of an outage);
+//   - a false-dead declaration follows a rack-unreachable on the same
+//     rack no earlier than the configured timeout after it (the policy
+//     never fences a reachable or freshly-dark rack).
 //
 // Returns the first violation found.
 func CheckCausality(events []Event) error {
@@ -208,6 +228,7 @@ func CheckCausality(events []Event) error {
 	failedAt := map[int]float64{}
 	hedged := map[gr]bool{}
 	latent := map[dg]bool{}
+	darkAt := map[int]float64{}
 	triggerSeen := false
 	for i, e := range events {
 		if e.Time < last {
@@ -251,6 +272,22 @@ func CheckCausality(events []Event) error {
 			if !hedged[gr{e.Group, e.Rep}] {
 				return fmt.Errorf("trace: hedge-win on group %d rep %d without a prior hedge", e.Group, e.Rep)
 			}
+		case KindRackUnreachable:
+			darkAt[e.Rack] = e.Time
+		case KindPartitionHeal:
+			if _, dark := darkAt[e.Rack]; !dark {
+				return fmt.Errorf("trace: partition-heal of rack %d without a prior rack-unreachable", e.Rack)
+			}
+			delete(darkAt, e.Rack)
+		case KindFalseDead:
+			at, dark := darkAt[e.Rack]
+			if !dark {
+				return fmt.Errorf("trace: false-dead of rack %d without a prior rack-unreachable", e.Rack)
+			}
+			if e.Time <= at {
+				return fmt.Errorf("trace: false-dead of rack %d at %v not after unreachable at %v", e.Rack, e.Time, at)
+			}
+			delete(darkAt, e.Rack)
 		}
 	}
 	return nil

@@ -152,6 +152,30 @@ func TestCheckCausalityViolations(t *testing.T) {
 		{"scrub-repair without lse", []Event{
 			{Time: 2, Kind: KindScrubRepair, Disk: 4, Group: 9, Rep: 1},
 		}},
+		{"partition-heal without rack-unreachable", []Event{
+			{Time: 2, Kind: KindPartitionHeal, Rack: 3},
+		}},
+		{"partition-heal for a different rack", []Event{
+			{Time: 2, Kind: KindRackUnreachable, Rack: 1},
+			{Time: 3, Kind: KindPartitionHeal, Rack: 3},
+		}},
+		{"partition-heal after the outage already healed", []Event{
+			{Time: 2, Kind: KindRackUnreachable, Rack: 1},
+			{Time: 3, Kind: KindPartitionHeal, Rack: 1},
+			{Time: 4, Kind: KindPartitionHeal, Rack: 1},
+		}},
+		{"false-dead without rack-unreachable", []Event{
+			{Time: 2, Kind: KindFalseDead, Rack: 3},
+		}},
+		{"false-dead at the unreachable instant", []Event{
+			{Time: 2, Kind: KindRackUnreachable, Rack: 3},
+			{Time: 2, Kind: KindFalseDead, Rack: 3},
+		}},
+		{"false-dead after the partition healed", []Event{
+			{Time: 2, Kind: KindRackUnreachable, Rack: 3},
+			{Time: 3, Kind: KindPartitionHeal, Rack: 3},
+			{Time: 4, Kind: KindFalseDead, Rack: 3},
+		}},
 	}
 	for _, tc := range cases {
 		if err := CheckCausality(tc.events); err == nil {
@@ -166,6 +190,14 @@ func TestCheckCausalityViolations(t *testing.T) {
 		{Time: 3, Kind: KindLSEDetect, Disk: 4, Group: 9, Rep: 1},
 		{Time: 3.5, Kind: KindHedge, Group: 3, Rep: 0, Disk: 8},
 		{Time: 4, Kind: KindHedgeWin, Group: 3, Rep: 0, Disk: 8},
+		{Time: 5, Kind: KindSwitchFail, Rack: 2},
+		{Time: 5, Kind: KindRackUnreachable, Rack: 2, Detail: "switch-fail"},
+		{Time: 6, Kind: KindRackUnreachable, Rack: 4, Detail: "partition"},
+		{Time: 7, Kind: KindPartitionHeal, Rack: 4},
+		{Time: 29, Kind: KindFalseDead, Rack: 2},
+		// A rack may go dark again after healing or fencing.
+		{Time: 30, Kind: KindRackUnreachable, Rack: 4, Detail: "power"},
+		{Time: 31, Kind: KindPartitionHeal, Rack: 4},
 	}
 	if err := CheckCausality(good); err != nil {
 		t.Fatalf("legal trace rejected: %v", err)
