@@ -22,6 +22,29 @@
 //	             /metrics (Prometheus text), /debug/pprof/. Read-only —
 //	             results stay byte-identical with telemetry on or off.
 //
+// Living-fleet overrides (all off by default; each replaces the matching
+// piece of every data point's config, so any paper figure can be re-run
+// under foreground load, a throttle policy, or a maintenance schedule):
+//
+//	-load F        mean user share of disk bandwidth 0..1
+//	-bursts F      demand burst episodes per day
+//	-burstshare F  mean extra user share during a burst episode
+//	-rackskew F    per-rack demand skew 0..1 (needs a rack topology)
+//	-throttle P    recovery throttle policy: fixed, aimd, or deadline
+//	               (needs a demand model: -load and/or -bursts)
+//	-floor M       throttle floor in MB/s (default 16)
+//	-maxrate M     adaptive throttle ceiling in MB/s (default 64)
+//	-vintage F     starting-vintage AFR scale (0 = experiment default)
+//	-drainevery H  planned-drain period in hours
+//	-draindisks N  disks evacuated per drain window
+//	-upgradeevery H  rolling-upgrade period in hours (needs racks)
+//	-upgradehours H  upgrade window duration in hours
+//	-growevery H   batch-growth period in hours
+//	-growdisks N   disks added per growth batch
+//	-growafr F     AFR factor compounded per growth vintage
+//	-growcap F     capacity factor compounded per growth vintage
+//	-growbw F      bandwidth factor compounded per growth vintage
+//
 // Examples:
 //
 //	farmsim run table1
@@ -35,8 +58,10 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -88,6 +113,23 @@ func runExperiments(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV")
 	verbose := fs.Bool("v", false, "log per-point progress")
 	telemetry := fs.String("telemetry", "", "serve live telemetry on this HTTP address (empty = off)")
+	load := fs.Float64("load", 0, "mean user share of disk bandwidth 0..1")
+	bursts := fs.Float64("bursts", 0, "demand burst episodes per day")
+	burstShare := fs.Float64("burstshare", 0, "mean extra user share during a burst episode")
+	rackSkew := fs.Float64("rackskew", 0, "per-rack demand skew 0..1")
+	throttle := fs.String("throttle", "", "recovery throttle policy: fixed, aimd, or deadline")
+	floor := fs.Float64("floor", 0, "throttle floor in MB/s (0 = policy default)")
+	maxRate := fs.Float64("maxrate", 0, "adaptive throttle ceiling in MB/s (0 = policy default)")
+	vintage := fs.Float64("vintage", 0, "starting-vintage AFR scale (0 = experiment default)")
+	drainEvery := fs.Float64("drainevery", 0, "planned-drain period in hours (0 = off)")
+	drainDisks := fs.Int("draindisks", 0, "disks evacuated per drain window")
+	upgradeEvery := fs.Float64("upgradeevery", 0, "rolling-upgrade period in hours (0 = off)")
+	upgradeHours := fs.Float64("upgradehours", 0, "upgrade window duration in hours")
+	growEvery := fs.Float64("growevery", 0, "batch-growth period in hours (0 = off)")
+	growDisks := fs.Int("growdisks", 0, "disks added per growth batch")
+	growAFR := fs.Float64("growafr", 0, "AFR factor compounded per growth vintage")
+	growCap := fs.Float64("growcap", 0, "capacity factor compounded per growth vintage")
+	growBW := fs.Float64("growbw", 0, "bandwidth factor compounded per growth vintage")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,10 +145,40 @@ func runExperiments(args []string) error {
 	}
 
 	opts := experiment.Options{
-		Runs:     *runs,
-		BaseSeed: *seed,
-		Workers:  *workers,
-		Scale:    *scale,
+		Runs:         *runs,
+		BaseSeed:     *seed,
+		Workers:      *workers,
+		Scale:        *scale,
+		VintageScale: *vintage,
+	}
+	if *load > 0 || *bursts > 0 {
+		opts.Demand = &workload.DemandConfig{
+			BaseShare:    *load,
+			BurstsPerDay: *bursts,
+			BurstShare:   *burstShare,
+			RackSkew:     *rackSkew,
+		}
+	}
+	if *throttle != "" {
+		opts.Throttle = &workload.ThrottleConfig{
+			Policy:    *throttle,
+			FloorMBps: *floor,
+			MaxMBps:   *maxRate,
+		}
+	}
+	maint := core.MaintenanceConfig{
+		DrainEveryHours:      *drainEvery,
+		DrainDisks:           *drainDisks,
+		UpgradeEveryHours:    *upgradeEvery,
+		UpgradeDurationHours: *upgradeHours,
+		GrowEveryHours:       *growEvery,
+		GrowDisks:            *growDisks,
+		GrowAFRFactor:        *growAFR,
+		GrowCapacityFactor:   *growCap,
+		GrowBandwidthFactor:  *growBW,
+	}
+	if maint.Enabled() {
+		opts.Maintenance = &maint
 	}
 	if *verbose {
 		opts.Log = func(format string, a ...any) {

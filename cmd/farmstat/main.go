@@ -1,8 +1,8 @@
 // Command farmstat aggregates the flight-recorder artifacts written by
 // farmtrace (and by any program using internal/obs) into human-readable
-// tables: per-kind event rates from a trace, per-phase rebuild latency
-// breakdowns from a span log, and system-state summaries from a sampled
-// time series.
+// tables: per-kind event rates and a degraded-read latency breakdown
+// from a trace, per-phase rebuild latency breakdowns from a span log,
+// and system-state summaries from a sampled time series.
 //
 // Usage:
 //
@@ -61,6 +61,9 @@ func run(w io.Writer, traceFile, spansFile, seriesFile string, csv bool) error {
 			return err
 		}
 		tables = append(tables, traceTable(events))
+		if dt := degradedTable(events); dt != nil {
+			tables = append(tables, dt)
+		}
 	}
 	if spansFile != "" {
 		spans, err := readInto(spansFile, obs.ReadSpanJSONL)

@@ -45,6 +45,97 @@ func traceTable(events []trace.Event) *report.Table {
 	return t
 }
 
+// degradedTable renders the user-visible price of rebuild windows from
+// one trace stream. Each degraded-reads event summarizes the
+// reconstruction-served reads of one closed window of vulnerability
+// (Detail: "n=N mean=M max=X", latencies in ms); demand-burst events
+// carry the episode duration, so windows are split by whether they
+// closed inside a burst — the table shows where the latency tail lives.
+// Returns nil when the trace has no degraded-read events (an idle fleet
+// or a trace from before the foreground-load model).
+func degradedTable(events []trace.Event) *report.Table {
+	type window struct {
+		at        float64
+		n         int
+		mean, max float64
+	}
+	type episode struct{ start, end float64 }
+	var wins []window
+	var eps []episode
+	throttleSteps := 0
+	lastMBps := 0.0
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindDegradedReads:
+			var n int
+			var mean, max float64
+			if _, err := fmt.Sscanf(e.Detail, "n=%d mean=%f max=%f", &n, &mean, &max); err == nil && n > 0 {
+				wins = append(wins, window{e.Time, n, mean, max})
+			}
+		case trace.KindDemandBurst:
+			var hours, amp float64
+			if _, err := fmt.Sscanf(e.Detail, "hours=%f amp=%f", &hours, &amp); err == nil {
+				eps = append(eps, episode{e.Time, e.Time + hours})
+			}
+		case trace.KindThrottle:
+			throttleSteps++
+			var mbps, share float64
+			if _, err := fmt.Sscanf(e.Detail, "mbps=%f share=%f", &mbps, &share); err == nil {
+				lastMBps = mbps
+			}
+		}
+	}
+	if len(wins) == 0 {
+		return nil
+	}
+	inBurst := func(at float64) bool {
+		for _, ep := range eps {
+			if at >= ep.start && at <= ep.end {
+				return true
+			}
+		}
+		return false
+	}
+	t := report.NewTable("Degraded-read latency by rebuild window (ms)",
+		"window class", "windows", "reads", "mean", "p50", "p90", "p99", "max")
+	row := func(name string, keep func(window) bool) {
+		var means []float64
+		var sum, max float64
+		reads := 0
+		for _, w := range wins {
+			if !keep(w) {
+				continue
+			}
+			reads += w.n
+			sum += w.mean * float64(w.n)
+			means = append(means, w.mean)
+			if w.max > max {
+				max = w.max
+			}
+		}
+		if reads == 0 {
+			t.AddRow(name, "0", "0", "-", "-", "-", "-", "-")
+			return
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%d", len(means)),
+			fmt.Sprintf("%d", reads),
+			report.F(sum/float64(reads)),
+			report.F(metrics.Quantile(means, 0.50)),
+			report.F(metrics.Quantile(means, 0.90)),
+			report.F(metrics.Quantile(means, 0.99)),
+			report.F(max))
+	}
+	row("all windows", func(window) bool { return true })
+	row("in demand burst", func(w window) bool { return inBurst(w.at) })
+	row("outside bursts", func(w window) bool { return !inBurst(w.at) })
+	t.AddNote("windows are classified by close time; quantiles are over per-window mean latency")
+	if throttleSteps > 0 {
+		t.AddNote("%d throttle steps; final recovery rate %.1f MB/s", throttleSteps, lastMBps)
+	}
+	return t
+}
+
 // phaseRow aggregates one named phase's per-span hours.
 func phaseRow(t *report.Table, name string, xs []float64) {
 	if len(xs) == 0 {

@@ -31,6 +31,28 @@
 //	-powerfails R  rack power events per year (self-restoring)
 //	-partitions R  transient network partitions per year (self-healing)
 //
+// Living-fleet flags (all off by default; leaving them off keeps the
+// seed behaviour byte-identical):
+//
+//	-load F        mean user share of disk bandwidth 0..1 (0 = idle fleet)
+//	-bursts F      demand burst episodes per day (flash crowds, batch jobs)
+//	-burstshare F  mean extra user share during a burst episode
+//	-rackskew F    per-rack demand skew 0..1 (needs -racks)
+//	-throttle P    recovery throttle policy: fixed, aimd, or deadline
+//	               (empty = the paper's static reservation; needs -load)
+//	-floor M       throttle floor in MB/s (default 16)
+//	-maxrate M     adaptive throttle ceiling in MB/s (default 64)
+//	-vintage F     AFR scale of the starting drive vintage (default 1)
+//	-drainevery H  planned-drain period in hours (0 = off)
+//	-draindisks N  disks evacuated per drain window
+//	-upgradeevery H  rolling-upgrade period in hours (0 = off; needs -racks)
+//	-upgradehours H  upgrade window duration in hours
+//	-growevery H   batch-growth period in hours (0 = off)
+//	-growdisks N   disks added per growth batch
+//	-growafr F     AFR factor compounded per growth vintage
+//	-growcap F     capacity factor compounded per growth vintage
+//	-growbw F      bandwidth factor compounded per growth vintage
+//
 // Flight-recorder flags (all off by default; attaching them never
 // changes the simulation — the trace gains only the two span-lifecycle
 // kinds when -spans is set):
@@ -56,6 +78,7 @@ import (
 	"repro/internal/redundancy"
 	"repro/internal/topology"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // writeFile writes one JSONL artifact through a buffered writer.
@@ -101,6 +124,23 @@ func run() error {
 	switchFails := flag.Float64("switchfails", 0, "ToR switch failures per year")
 	powerFails := flag.Float64("powerfails", 0, "rack power events per year (8 h mean restore)")
 	partitions := flag.Float64("partitions", 0, "transient partitions per year (12 h mean heal)")
+	load := flag.Float64("load", 0, "mean user share of disk bandwidth 0..1 (0 = idle fleet)")
+	bursts := flag.Float64("bursts", 0, "demand burst episodes per day")
+	burstShare := flag.Float64("burstshare", 0, "mean extra user share during a burst episode")
+	rackSkew := flag.Float64("rackskew", 0, "per-rack demand skew 0..1")
+	throttle := flag.String("throttle", "", "recovery throttle policy: fixed, aimd, or deadline")
+	floor := flag.Float64("floor", 0, "throttle floor in MB/s (0 = policy default)")
+	maxRate := flag.Float64("maxrate", 0, "adaptive throttle ceiling in MB/s (0 = policy default)")
+	vintage := flag.Float64("vintage", 1, "AFR scale of the starting drive vintage")
+	drainEvery := flag.Float64("drainevery", 0, "planned-drain period in hours (0 = off)")
+	drainDisks := flag.Int("draindisks", 0, "disks evacuated per drain window")
+	upgradeEvery := flag.Float64("upgradeevery", 0, "rolling-upgrade period in hours (0 = off)")
+	upgradeHours := flag.Float64("upgradehours", 0, "upgrade window duration in hours")
+	growEvery := flag.Float64("growevery", 0, "batch-growth period in hours (0 = off)")
+	growDisks := flag.Int("growdisks", 0, "disks added per growth batch")
+	growAFR := flag.Float64("growafr", 0, "AFR factor compounded per growth vintage")
+	growCap := flag.Float64("growcap", 0, "capacity factor compounded per growth vintage")
+	growBW := flag.Float64("growbw", 0, "bandwidth factor compounded per growth vintage")
 	spansPath := flag.String("spans", "", "write rebuild-lifecycle spans (JSONL) to this file")
 	seriesPath := flag.String("series", "", "write system-state samples (JSONL) to this file")
 	sampleHours := flag.Float64("sample", 24, "sampling cadence in simulated hours")
@@ -136,6 +176,34 @@ func run() error {
 			PartitionsPerYear:     *partitions,
 			PartitionMeanHours:    12,
 		}
+	}
+
+	cfg.VintageScale = *vintage
+	if *load > 0 || *bursts > 0 {
+		cfg.Demand = workload.DemandConfig{
+			BaseShare:    *load,
+			BurstsPerDay: *bursts,
+			BurstShare:   *burstShare,
+			RackSkew:     *rackSkew,
+		}
+	}
+	if *throttle != "" {
+		cfg.Throttle = workload.ThrottleConfig{
+			Policy:    *throttle,
+			FloorMBps: *floor,
+			MaxMBps:   *maxRate,
+		}
+	}
+	cfg.Maintenance = core.MaintenanceConfig{
+		DrainEveryHours:      *drainEvery,
+		DrainDisks:           *drainDisks,
+		UpgradeEveryHours:    *upgradeEvery,
+		UpgradeDurationHours: *upgradeHours,
+		GrowEveryHours:       *growEvery,
+		GrowDisks:            *growDisks,
+		GrowAFRFactor:        *growAFR,
+		GrowCapacityFactor:   *growCap,
+		GrowBandwidthFactor:  *growBW,
 	}
 
 	rec := trace.NewRecorder()

@@ -118,6 +118,12 @@ type Cluster struct {
 	// to fail; suspects are excluded from placement and recovery-target
 	// choice and are typically being drained. One bit per disk slot.
 	suspect []uint64
+	// readOnly flags drives fenced for writes by an operator (a rolling-
+	// upgrade window): they still serve reads — rebuild sources, user
+	// traffic — but accept no new data until the fence lifts. Allocated
+	// lazily; nil until the first fence, so the zero-maintenance config
+	// costs nothing.
+	readOnly []uint64
 	// excl is the reusable epoch-stamped exclusion scratch handed to
 	// recovery-target selection; resetting it is O(1) and refilling it
 	// allocates nothing, so steady-state rebuild targeting produces no
@@ -294,10 +300,11 @@ func (c *Cluster) releaseState(group int32) {
 func (c *Cluster) NumDisks() int { return len(c.Disks) }
 
 // Eligible reports whether disk id can accept size more bytes: alive,
-// reachable, not suspected of imminent failure, and with space.
+// reachable, writable, not suspected of imminent failure, and with space.
 func (c *Cluster) Eligible(id int, size int64) bool {
 	d := c.Disks[id]
-	return d.State == disk.Alive && c.reachable(id) && !c.isSuspect(id) && d.FreeBytes() >= size
+	return d.State == disk.Alive && c.reachable(id) && !c.isReadOnly(id) &&
+		!c.isSuspect(id) && d.FreeBytes() >= size
 }
 
 // reachable reports whether the disk's rack is currently reachable;
@@ -324,6 +331,35 @@ func (c *Cluster) MarkSuspect(id int) {
 
 // IsSuspect reports whether a drive carries a health warning.
 func (c *Cluster) IsSuspect(id int) bool { return c.isSuspect(id) }
+
+// isReadOnly tests the write fence without bounds surprises; nil-safe so
+// the zero-maintenance config pays one nil check.
+//
+//farm:hotpath consulted by Eligible on every target choice
+func (c *Cluster) isReadOnly(id int) bool {
+	w := id >> 6
+	return w < len(c.readOnly) && c.readOnly[w]&(1<<(uint(id)&63)) != 0
+}
+
+// MarkReadOnly raises or lowers a drive's write fence (rolling-upgrade
+// window). A fenced drive keeps serving reads but is excluded from
+// placement, recovery-target, and migration choice until unfenced.
+func (c *Cluster) MarkReadOnly(id int, fenced bool) {
+	w := id >> 6
+	if fenced {
+		for w >= len(c.readOnly) {
+			c.readOnly = append(c.readOnly, 0)
+		}
+		c.readOnly[w] |= 1 << (uint(id) & 63)
+		return
+	}
+	if w < len(c.readOnly) {
+		c.readOnly[w] &^= 1 << (uint(id) & 63)
+	}
+}
+
+// ReadOnly reports whether a drive is currently write-fenced.
+func (c *Cluster) ReadOnly(id int) bool { return c.isReadOnly(id) }
 
 // UsedBytes returns bytes stored on disk id.
 func (c *Cluster) UsedBytes(id int) int64 { return c.Disks[id].UsedBytes }
@@ -534,10 +570,18 @@ func (c *Cluster) BuddyRackExcludes(group int) *placement.ExcludeSet {
 // AddDisks appends fresh drives entering service at bornAt (a replacement
 // batch) and returns their IDs.
 func (c *Cluster) AddDisks(count int, bornAt float64) []int {
+	return c.AddDisksModel(count, bornAt, c.Cfg.DiskModel)
+}
+
+// AddDisksModel is AddDisks with an explicit drive model — a growth batch
+// of a newer vintage (different capacity, bandwidth, or hazard) entering
+// a fleet of older drives. Failure sampling and placement consult each
+// drive's own model, so mixed-vintage fleets need no other plumbing.
+func (c *Cluster) AddDisksModel(count int, bornAt float64, model disk.Model) []int {
 	ids := make([]int, 0, count)
 	for i := 0; i < count; i++ {
 		id := len(c.Disks)
-		c.Disks = append(c.Disks, disk.NewDrive(id, c.Cfg.DiskModel, bornAt))
+		c.Disks = append(c.Disks, disk.NewDrive(id, model, bornAt))
 		c.byDisk = append(c.byDisk, nil)
 		c.aliveCount++
 		ids = append(ids, id)

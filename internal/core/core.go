@@ -106,6 +106,27 @@ type Config struct {
 	// disables the fabric entirely and leaves every experiment
 	// byte-identical.
 	Topology topology.Config
+	// Demand configures the foreground user-I/O model (§2.4's fluctuating
+	// user requests): a diurnal base load, Poisson burst episodes, and
+	// per-rack skew, all drawn on a dedicated stream salted off the run
+	// seed. With demand configured, rebuild transfers stretch by the
+	// contention of the moment and user reads landing on lost blocks are
+	// priced as degraded (k-way reconstruction) latencies. The zero value
+	// constructs no model and leaves every experiment byte-identical.
+	Demand workload.DemandConfig
+	// Throttle selects the recovery QoS policy governing how much
+	// bandwidth rebuilds may take from users: the paper's fixed floor, a
+	// load-adaptive AIMD with hysteresis, or the deadline-aware variant
+	// floored at the minimum repair rate that clears the backlog before
+	// the next expected failure. Requires Demand (the policy reacts to
+	// the fleet user share). The zero value keeps the static
+	// RecoveryMBps / AdaptiveRecovery bandwidth model.
+	Throttle workload.ThrottleConfig
+	// Maintenance schedules planned fleet operations: periodic proactive
+	// drains, rolling-upgrade windows that hold one rack read-only at a
+	// time (requires Topology), and scheduled capacity growth with
+	// heterogeneous drive vintages. The zero value schedules nothing.
+	Maintenance MaintenanceConfig
 	// Seed drives all randomness of the run.
 	Seed uint64
 	// CollectUtilization records per-disk used bytes at build time and
@@ -202,6 +223,21 @@ func (c Config) Validate() error {
 	}
 	if err := c.Topology.Validate(); err != nil {
 		return err
+	}
+	if err := c.Demand.Validate(); err != nil {
+		return err
+	}
+	if err := c.Throttle.Validate(); err != nil {
+		return err
+	}
+	if err := c.Maintenance.Validate(); err != nil {
+		return err
+	}
+	if c.Throttle.Enabled() && !c.Demand.Enabled() {
+		return errors.New("core: throttle policy needs a demand model (set Demand.BaseShare)")
+	}
+	if c.Maintenance.UpgradeEveryHours > 0 && !c.Topology.Enabled() {
+		return errors.New("core: rolling upgrades need a topology (set Topology.Racks)")
 	}
 	if c.Faults.Network.Enabled() && !c.Topology.Enabled() {
 		return errors.New("core: network faults need a topology (set Topology.Racks)")
@@ -331,6 +367,34 @@ type RunResult struct {
 	ParkedTransfers    int
 	CrossRackTransfers int
 	CrossRackBytes     int64
+	// Foreground-coexistence accounting (zero unless cfg.Demand is
+	// enabled). DemandBursts counts burst episodes that began within the
+	// horizon; DegradedReads counts user reads served by reconstruction
+	// during a window of vulnerability, with mean/median/p99/max latency
+	// in milliseconds and the counterfactual healthy-read p99 sampled at
+	// the same instants.
+	DemandBursts       int
+	DegradedReads      int
+	DegradedReadMeanMs float64
+	DegradedReadP50Ms  float64
+	DegradedReadP99Ms  float64
+	DegradedReadMaxMs  float64
+	HealthyReadP99Ms   float64
+	// QoS accounting (zero unless cfg.Throttle is enabled). ThrottleSteps
+	// counts recovery-rate changes the policy made; ThrottleMeanMBps is
+	// the mean rate granted across decision points.
+	ThrottleSteps    int
+	ThrottleMeanMBps float64
+	// Maintenance accounting (zero unless cfg.Maintenance schedules
+	// anything). PlannedDrains counts drives sent through the proactive
+	// drain exit; UpgradeWindows counts rolling-upgrade rack windows;
+	// FencedParks counts rebuilds parked against a write-fenced target;
+	// GrowthBatches/GrowthDisksAdded tally scheduled capacity growth.
+	PlannedDrains    int
+	UpgradeWindows   int
+	FencedParks      int
+	GrowthBatches    int
+	GrowthDisksAdded int
 	// InitialUsedBytes and FinalUsedBytes are per-disk-slot utilization
 	// snapshots, present only when CollectUtilization is set. Final
 	// covers all slots ever provisioned (0 for dead drives).
@@ -445,6 +509,36 @@ func runOnce(cfg Config) (RunResult, error) {
 		st.net = net
 		st.engine.SetTopology(net)
 	}
+	demand, derr := workload.NewDemand(cfg.Demand, cfg.SimHours, cfg.Topology.Racks, cfg.Seed)
+	if derr != nil {
+		return RunResult{}, derr
+	}
+	if demand != nil {
+		st.demand = demand
+		pol, terr := workload.NewThrottle(cfg.Throttle)
+		if terr != nil {
+			return RunResult{}, terr
+		}
+		// Cross-rack reconstruction pays the oversubscribed spine: the
+		// degraded-read stretch is the oversubscription ratio itself.
+		cross := 1.0
+		if cfg.Topology.Enabled() && cfg.Topology.OversubscriptionRatio > 1 {
+			cross = cfg.Topology.OversubscriptionRatio
+		}
+		st.engine.SetForeground(&workload.Foreground{
+			Demand:          demand,
+			Policy:          pol,
+			Reads:           rng.New(cfg.Seed ^ degradedReadSalt),
+			DiskMBps:        cfg.DiskBandwidthMBps,
+			KFactor:         float64(cfg.Scheme.M),
+			CrossRackFactor: cross,
+			MTTFHours:       fleetMTTFHours(cfg.VintageScale, cl.NumDisks()),
+		})
+		st.scheduleDemandBurst(0)
+	}
+	if cfg.Maintenance.Enabled() {
+		st.scheduleMaintenance()
+	}
 	if o := cfg.Obs; o != nil {
 		if o.Registry != nil {
 			st.sm = o.SimMetrics()
@@ -465,6 +559,12 @@ func runOnce(cfg Config) (RunResult, error) {
 			cfg.Hook(trace.Event{
 				Time: float64(now), Kind: kind,
 				Group: group, Rep: rep, Disk: diskID,
+			})
+		})
+		st.engine.SetDetailObserver(func(now sim.Time, kind trace.Kind, group, rep, diskID int, detail string) {
+			cfg.Hook(trace.Event{
+				Time: float64(now), Kind: kind,
+				Group: group, Rep: rep, Disk: diskID, Detail: detail,
 			})
 		})
 	}
@@ -556,6 +656,21 @@ func runOnce(cfg Config) (RunResult, error) {
 	res.ParkedTransfers = es.Parked
 	res.CrossRackTransfers = es.CrossRackTransfers
 	res.CrossRackBytes = es.CrossRackBytes
+	res.DegradedReads = es.DegradedReads
+	res.DegradedReadMeanMs = es.DegradedMs.Mean()
+	res.DegradedReadMaxMs = es.DegradedMs.Max()
+	res.DegradedReadP50Ms = es.DegradedP50.Value()
+	res.DegradedReadP99Ms = es.DegradedP99.Value()
+	res.HealthyReadP99Ms = es.HealthyP99.Value()
+	res.ThrottleSteps = es.ThrottleSteps
+	res.ThrottleMeanMBps = es.ThrottleMBps.Mean()
+	res.FencedParks = es.FencedParks
+	if cfg.Obs != nil && cfg.Obs.Registry != nil {
+		st.sm.ThrottleMBps.Set(res.ThrottleMeanMBps)
+		if st.demand != nil {
+			st.sm.UserLoadShare.Set(st.demand.FleetShare(cfg.SimHours))
+		}
+	}
 	if cfg.CollectUtilization {
 		res.FinalUsedBytes = cl.UsedBytesAll()
 	}
@@ -587,6 +702,21 @@ type runState struct {
 	// net, when non-nil, is the run's network fabric (cfg.Topology
 	// enabled); rack outages and heals route through it.
 	net *topology.Network
+	// demand, when non-nil, is the run's foreground-load model
+	// (cfg.Demand enabled); its burst schedule drives the marker events
+	// and the horizon gauge.
+	demand *workload.Demand
+	// Maintenance cursors: the round-robin drain position, and the
+	// upgrade/growth window counts (the next upgrade rack and the vintage
+	// compounding exponent).
+	drainCursor  int
+	upgradeCount int
+	growthCount  int
+	// plannedDrain marks drives sent through a maintenance drain window,
+	// whose eventual retirement counts toward the replacement batch (a
+	// planned drain is the front half of a drive swap). Nil until the
+	// first window opens.
+	plannedDrain map[int]bool
 }
 
 // scheduleSample arms the next read-only system-state snapshot. The
@@ -726,6 +856,16 @@ func (st *runState) drainStep(now sim.Time, id int) {
 		// Fully drained: retire the drive before it fails in service.
 		st.cl.RetireDisk(id)
 		st.emit(trace.Event{Time: float64(now), Kind: trace.KindDrained, Disk: id})
+		// A maintenance-planned drain is the front half of a drive swap:
+		// the retirement counts toward the replacement batch exactly like
+		// a failure, or repeated drain windows would starve the fleet of
+		// capacity. S.M.A.R.T. drains keep the seed semantics (only real
+		// failures count) — they retire moribund drives, not healthy ones,
+		// so they cannot shrink the fleet faster than failures would.
+		if st.plannedDrain[id] {
+			delete(st.plannedDrain, id)
+			st.maybeReplace(now)
+		}
 		return
 	}
 	ref := blocks[0]

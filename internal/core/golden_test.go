@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/redundancy"
+	"repro/internal/topology"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -62,6 +63,24 @@ func goldenConfigs() []struct {
 	nonet.Faults.LSERatePerDiskHour = 1e-5
 	nonet.Faults.BurstsPerYear = 2
 	nonet.Faults.TransientReadProb = 0.05
+	// Fault injection, replacement, and a configured rack fabric with the
+	// foreground-traffic, recovery-QoS, and maintenance sub-configs left
+	// at their zero values: pins that the living-fleet subsystem, dormant,
+	// cannot perturb any pre-existing path (no demand contention, no
+	// throttle policy, no read-only fences, no planned drains or growth).
+	noload := base()
+	noload.VintageScale = 2
+	noload.ReplaceTrigger = 0.04
+	noload.Faults.LSERatePerDiskHour = 1e-5
+	noload.Faults.BurstsPerYear = 2
+	noload.Faults.TransientReadProb = 0.05
+	noload.Topology = topology.Config{
+		Racks:                 12,
+		RackAware:             true,
+		UplinkMBps:            1250,
+		OversubscriptionRatio: 4,
+		FalseDeadHours:        24,
+	}
 	return []struct {
 		name string
 		cfg  Config
@@ -74,6 +93,7 @@ func goldenConfigs() []struct {
 		{"farm-erasure-x2", erasure},
 		{"farm-faults-zeroslow", zeroSlow},
 		{"farm-faults-nonet", nonet},
+		{"farm-faults-noload", noload},
 	}
 }
 

@@ -72,6 +72,23 @@ type Result struct {
 	CrossRackTransfers metrics.Welford
 	CrossRackGB        metrics.Welford
 	MaxWindowHours     metrics.Welford
+	// Living-fleet aggregates (all zero when cfg.Demand, cfg.Throttle,
+	// and cfg.Maintenance are disabled). The degraded-read latency
+	// quantiles fold only runs that sampled at least one degraded read;
+	// the throttle mean folds only runs with at least one QoS decision.
+	DemandBursts      metrics.Welford
+	DegradedReads     metrics.Welford
+	DegradedReadP50Ms metrics.Welford
+	DegradedReadP99Ms metrics.Welford
+	DegradedReadMaxMs metrics.Welford
+	HealthyReadP99Ms  metrics.Welford
+	ThrottleSteps     metrics.Welford
+	ThrottleMeanMBps  metrics.Welford
+	PlannedDrains     metrics.Welford
+	UpgradeWindows    metrics.Welford
+	FencedParks       metrics.Welford
+	GrowthBatches     metrics.Welford
+	GrowthDisksAdded  metrics.Welford
 	// Disks is the initial drive population (identical across runs).
 	Disks int
 }
@@ -293,6 +310,23 @@ func (r *Result) add(run *RunResult) {
 	if run.BlocksRebuilt > 0 {
 		r.MaxWindowHours.Add(run.MaxWindowHours)
 	}
+	r.DemandBursts.Add(float64(run.DemandBursts))
+	r.DegradedReads.Add(float64(run.DegradedReads))
+	if run.DegradedReads > 0 {
+		r.DegradedReadP50Ms.Add(run.DegradedReadP50Ms)
+		r.DegradedReadP99Ms.Add(run.DegradedReadP99Ms)
+		r.DegradedReadMaxMs.Add(run.DegradedReadMaxMs)
+		r.HealthyReadP99Ms.Add(run.HealthyReadP99Ms)
+	}
+	r.ThrottleSteps.Add(float64(run.ThrottleSteps))
+	if run.ThrottleMeanMBps > 0 {
+		r.ThrottleMeanMBps.Add(run.ThrottleMeanMBps)
+	}
+	r.PlannedDrains.Add(float64(run.PlannedDrains))
+	r.UpgradeWindows.Add(float64(run.UpgradeWindows))
+	r.FencedParks.Add(float64(run.FencedParks))
+	r.GrowthBatches.Add(float64(run.GrowthBatches))
+	r.GrowthDisksAdded.Add(float64(run.GrowthDisksAdded))
 	r.Disks = run.Disks
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/workload"
 )
 
 // Options tunes an experiment run.
@@ -40,6 +41,40 @@ type Options struct {
 	// a telemetry hub bypass the in-process memoization cache so their
 	// progress counters stay truthful; results remain byte-identical.
 	Telemetry *obs.Campaign
+	// Demand, when non-nil, replaces the foreground demand model of
+	// every data point (cmd/farmsim's -load/-bursts/-burstshare/-rackskew
+	// flags): any paper figure can be re-run under user load. Nil leaves
+	// each experiment's own configuration untouched.
+	Demand *workload.DemandConfig
+	// Throttle, when non-nil, replaces the recovery throttle policy of
+	// every data point. A policy needs a demand model — the experiment's
+	// own or a Demand override.
+	Throttle *workload.ThrottleConfig
+	// Maintenance, when non-nil, replaces the maintenance schedule
+	// (drains, rolling upgrades, batch growth) of every data point.
+	Maintenance *core.MaintenanceConfig
+	// VintageScale, when positive, replaces the starting-vintage AFR
+	// scale of every data point.
+	VintageScale float64
+}
+
+// applyOverrides layers the CLI-level fleet overrides onto one data
+// point's config. Called before the memoization key is computed, so
+// cached results are keyed by what actually ran.
+func (o Options) applyOverrides(cfg core.Config) core.Config {
+	if o.Demand != nil {
+		cfg.Demand = *o.Demand
+	}
+	if o.Throttle != nil {
+		cfg.Throttle = *o.Throttle
+	}
+	if o.Maintenance != nil {
+		cfg.Maintenance = *o.Maintenance
+	}
+	if o.VintageScale > 0 {
+		cfg.VintageScale = o.VintageScale
+	}
+	return cfg
 }
 
 // withDefaults fills zero fields.
@@ -82,6 +117,7 @@ var mcCache sync.Map // string -> core.Result
 func (o Options) monteCarlo(cfg core.Config) (core.Result, error) {
 	cfg.Hook = nil // hooks are never set on experiment configs; be safe
 	cfg.Obs = nil  // per-run observers cannot span a campaign
+	cfg = o.applyOverrides(cfg)
 	key := fmt.Sprintf("%+v|runs=%d|seed=%d", cfg, o.Runs, o.BaseSeed)
 	if o.Telemetry == nil {
 		if v, ok := mcCache.Load(key); ok {
@@ -156,7 +192,7 @@ func All() []Experiment {
 // paperOrder sorts experiments as they appear in the paper; extensions
 // (ext-*) follow in lexical order.
 func paperOrder(id string) int {
-	order := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5", "fig6", "table3", "fig7", "fig8a", "fig8b", "ext-adaptive", "ext-bigfleet", "ext-failslow", "ext-faults", "ext-network", "ext-smart"}
+	order := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5", "fig6", "table3", "fig7", "fig8a", "fig8b", "ext-adaptive", "ext-bigfleet", "ext-elastic", "ext-failslow", "ext-faults", "ext-network", "ext-smart"}
 	for i, v := range order {
 		if v == id {
 			return i

@@ -3,6 +3,9 @@ package experiment
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 // tinyOpts shrinks every experiment to seconds for the test suite.
@@ -13,7 +16,7 @@ func tinyOpts() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig3", "fig4a", "fig4b",
 		"fig5", "fig6", "table3", "fig7", "fig8a", "fig8b",
-		"ext-adaptive", "ext-bigfleet", "ext-failslow", "ext-faults", "ext-network", "ext-smart"}
+		"ext-adaptive", "ext-bigfleet", "ext-elastic", "ext-failslow", "ext-faults", "ext-network", "ext-smart"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -190,6 +193,36 @@ func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
 	if o.Runs != 100 || o.Scale != 1 || o.BaseSeed != 1 {
 		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+// TestLivingFleetOverrides pins the farmsim -load/-throttle/-drainevery
+// plumbing: Options overrides must reach every data point's config.
+func TestLivingFleetOverrides(t *testing.T) {
+	opts := tinyOpts().withDefaults()
+	cfg := opts.baseConfig()
+	plain, err := opts.monteCarlo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := opts
+	loaded.Demand = &workload.DemandConfig{BaseShare: 0.5}
+	res, err := loaded.monteCarlo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WindowHours.Mean() <= plain.WindowHours.Mean() {
+		t.Errorf("demand override did not stretch windows: %.3f h loaded vs %.3f h idle",
+			res.WindowHours.Mean(), plain.WindowHours.Mean())
+	}
+	maint := opts
+	maint.Maintenance = &core.MaintenanceConfig{DrainEveryHours: 720, DrainDisks: 2}
+	mres, err := maint.monteCarlo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.PlannedDrains.Mean() == 0 {
+		t.Error("maintenance override never planned a drain")
 	}
 }
 

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/workload"
+)
+
+// TestExtElasticTiny runs the living-fleet extension at toy scale: all
+// three tables must materialize with the expected shape.
+func TestExtElasticTiny(t *testing.T) {
+	e, ok := Lookup("ext-elastic")
+	if !ok {
+		t.Fatal("ext-elastic not registered")
+	}
+	tabs, err := e.Run(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("ext-elastic emitted %d tables, want 3", len(tabs))
+	}
+	if got := len(tabs[0].Rows); got != 4 {
+		t.Fatalf("degraded-read table has %d rows, want 4", got)
+	}
+	if got := len(tabs[1].Rows); got != 4 {
+		t.Fatalf("QoS table has %d rows, want 4", got)
+	}
+	if got := len(tabs[2].Rows); got != 5 {
+		t.Fatalf("maintenance table has %d rows, want 5", got)
+	}
+}
+
+// TestAdaptiveQoSBeatsFixedFloor gates the QoS headline: against the
+// paper's fixed 16 MB/s reservation, the adaptive policy must deliver a
+// lower degraded-read p99 (it backs recovery off below the static floor
+// during the storms where the tail lives) at equal-or-better P(loss)
+// (its night-time surplus shortens windows).
+func TestAdaptiveQoSBeatsFixedFloor(t *testing.T) {
+	opts := tinyOpts().withDefaults()
+	run := func(tc workload.ThrottleConfig) core.Result {
+		cfg := elasticBase(opts)
+		cfg.Demand = stormDemand()
+		cfg.Throttle = tc
+		res, err := opts.monteCarlo(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fixed := run(workload.ThrottleConfig{Policy: workload.PolicyFixed, FloorMBps: 16})
+	aimd := run(workload.ThrottleConfig{Policy: workload.PolicyAIMD, FloorMBps: 8, MaxMBps: 16})
+	if fixed.DegradedReads.Mean() == 0 || aimd.DegradedReads.Mean() == 0 {
+		t.Fatal("no degraded reads sampled; the comparison is vacuous")
+	}
+	if aimd.ThrottleSteps.Mean() == 0 {
+		t.Fatal("the adaptive policy never changed rate; the comparison is vacuous")
+	}
+	if aimd.DegradedReadP99Ms.Mean() >= fixed.DegradedReadP99Ms.Mean() {
+		t.Errorf("adaptive degraded p99 %.1f ms not below fixed floor %.1f ms",
+			aimd.DegradedReadP99Ms.Mean(), fixed.DegradedReadP99Ms.Mean())
+	}
+	if aimd.PLoss > fixed.PLoss {
+		t.Errorf("adaptive P(loss) %.3f above fixed floor %.3f — the latency win "+
+			"must not be bought with loss probability", aimd.PLoss, fixed.PLoss)
+	}
+}
+
+// TestUpgradeWindowDuringBurstRecovers gates the maintenance headline:
+// rolling-upgrade windows overlapping correlated failure bursts must
+// park rebuild writes against the fenced rack (fenced parks observed)
+// and resume them at the unfence, without converting the parked work
+// into extra data loss relative to the same storm with no upgrades.
+func TestUpgradeWindowDuringBurstRecovers(t *testing.T) {
+	opts := tinyOpts().withDefaults()
+	base := elasticBase(opts)
+	base.Demand = stormDemand()
+	base.Faults.BurstsPerYear = 26
+	base.Faults.BurstMeanSize = 8
+	upgraded := base
+	upgraded.Maintenance = core.MaintenanceConfig{
+		UpgradeEveryHours:    72,
+		UpgradeDurationHours: 48,
+	}
+	plain, err := opts.monteCarlo(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opts.monteCarlo(upgraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpgradeWindows.Mean() == 0 {
+		t.Fatal("no upgrade window ever opened; the test is vacuous")
+	}
+	if res.FencedParks.Mean() == 0 {
+		t.Fatal("no rebuild ever parked against a fenced rack; the test is vacuous")
+	}
+	if res.BlocksRebuilt.Mean() == 0 {
+		t.Fatal("nothing was rebuilt; the test is vacuous")
+	}
+	if res.PLoss > plain.PLoss {
+		t.Errorf("upgrades raised P(loss) from %.3f to %.3f — parked work converted into loss",
+			plain.PLoss, res.PLoss)
+	}
+}
+
+// TestExtElasticWorkerInvariant: the ext-elastic Monte Carlo points must
+// be byte-identical for 1 and 4 workers, demand model, throttle policy,
+// maintenance schedule, and all.
+func TestExtElasticWorkerInvariant(t *testing.T) {
+	opts := tinyOpts().withDefaults()
+	cfg := elasticBase(opts)
+	cfg.Demand = stormDemand()
+	cfg.Throttle = workload.ThrottleConfig{Policy: workload.PolicyDeadline, FloorMBps: 8, MaxMBps: 32}
+	cfg.Maintenance = core.MaintenanceConfig{
+		DrainEveryHours:      720,
+		UpgradeEveryHours:    168,
+		UpgradeDurationHours: 12,
+		GrowEveryHours:       4380,
+		GrowAFRFactor:        1.2,
+	}
+	cfg.Faults = faults.Config{BurstsPerYear: 4, BurstMeanSize: 4}
+	a, err := core.MonteCarlo(cfg, core.MonteCarloOptions{Runs: 6, Workers: 1, BaseSeed: opts.BaseSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.MonteCarlo(cfg, core.MonteCarloOptions{Runs: 6, Workers: 4, BaseSeed: opts.BaseSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("worker count changed ext-elastic results:\n1: %+v\n4: %+v", a, b)
+	}
+}

@@ -22,7 +22,7 @@ var FloatValid = &Analyzer{
 
 // floatValidPkgs are the package-path base names carrying validated
 // config structs.
-var floatValidPkgs = map[string]bool{"core": true, "faults": true, "recovery": true, "topology": true}
+var floatValidPkgs = map[string]bool{"core": true, "faults": true, "recovery": true, "topology": true, "workload": true}
 
 func runFloatValid(pass *Pass) error {
 	if !floatValidPkgs[pkgPathBase(pass.Pkg.Path())] {

@@ -28,12 +28,16 @@ type RecoveryMetrics struct {
 	CrossRackBytes     *Counter
 	ParkedTransfers    *Counter
 
+	DegradedReads *Counter
+	ThrottleSteps *Counter
+
 	WindowHours       *Histogram
 	QueueWaitHours    *Histogram
 	TransferHours     *Histogram
 	RetryWaitHours    *Histogram
 	HedgeOverlapHours *Histogram
 	DetectWaitHours   *Histogram
+	DegradedLatencyMs *Histogram
 }
 
 // NewRecoveryMetrics resolves the recovery-engine handles on r.
@@ -57,12 +61,16 @@ func NewRecoveryMetrics(r *Registry) *RecoveryMetrics {
 		CrossRackBytes:     r.Counter(MetricCrossRackBytes),
 		ParkedTransfers:    r.Counter(MetricParkedTransfers),
 
+		DegradedReads: r.Counter(MetricDegradedReads),
+		ThrottleSteps: r.Counter(MetricThrottleSteps),
+
 		WindowHours:       r.Histogram(MetricWindowHours, PhaseBounds),
 		QueueWaitHours:    r.Histogram(MetricQueueWaitHours, PhaseBounds),
 		TransferHours:     r.Histogram(MetricTransferHours, PhaseBounds),
 		RetryWaitHours:    r.Histogram(MetricRetryWaitHours, PhaseBounds),
 		HedgeOverlapHours: r.Histogram(MetricHedgeOverlapHours, PhaseBounds),
 		DetectWaitHours:   r.Histogram(MetricDetectWaitHours, PhaseBounds),
+		DegradedLatencyMs: r.Histogram(MetricDegradedLatency, LatencyBounds),
 	}
 }
 
@@ -89,6 +97,12 @@ type SimMetrics struct {
 	FalseDeadRacks   *Counter
 	FalseDeadDisks   *Counter
 
+	DemandBursts  *Counter
+	DrainsPlanned *Counter
+	UpgradeWins   *Counter
+	GrowthBatches *Counter
+	GrowthDisks   *Counter
+
 	ActiveRebuilds *Gauge
 	QueuedRebuilds *Gauge
 	BusyDisks      *Gauge
@@ -99,6 +113,8 @@ type SimMetrics struct {
 	AliveDisks     *Gauge
 	SlowDisks      *Gauge
 	SuspectDisks   *Gauge
+	UserLoadShare  *Gauge
+	ThrottleMBps   *Gauge
 }
 
 // NewSimMetrics resolves the simulator-level handles on r.
@@ -125,6 +141,12 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 		FalseDeadRacks:   r.Counter(MetricFalseDeadRacks),
 		FalseDeadDisks:   r.Counter(MetricFalseDeadDisks),
 
+		DemandBursts:  r.Counter(MetricDemandBursts),
+		DrainsPlanned: r.Counter(MetricDrainsPlanned),
+		UpgradeWins:   r.Counter(MetricUpgradeWins),
+		GrowthBatches: r.Counter(MetricGrowthBatches),
+		GrowthDisks:   r.Counter(MetricGrowthDisks),
+
 		ActiveRebuilds: r.Gauge(MetricActiveRebuilds),
 		QueuedRebuilds: r.Gauge(MetricQueuedRebuilds),
 		BusyDisks:      r.Gauge(MetricBusyDisks),
@@ -135,6 +157,8 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 		AliveDisks:     r.Gauge(MetricAliveDisks),
 		SlowDisks:      r.Gauge(MetricSlowDisks),
 		SuspectDisks:   r.Gauge(MetricSuspectDisks),
+		UserLoadShare:  r.Gauge(MetricUserLoadShare),
+		ThrottleMBps:   r.Gauge(MetricThrottleMBps),
 	}
 }
 

@@ -82,6 +82,16 @@ const (
 	MetricCrossRackBytes     Name = "cross_rack_bytes_total"
 	MetricParkedTransfers    Name = "parked_transfers_total"
 
+	// Living-fleet counters: foreground-traffic coexistence
+	// (internal/recovery) and planned maintenance (internal/core).
+	MetricDegradedReads Name = "degraded_reads_total"
+	MetricThrottleSteps Name = "throttle_steps_total"
+	MetricDemandBursts  Name = "demand_bursts_total"
+	MetricDrainsPlanned Name = "drains_planned_total"
+	MetricUpgradeWins   Name = "upgrade_windows_total"
+	MetricGrowthBatches Name = "growth_batches_total"
+	MetricGrowthDisks   Name = "growth_disks_total"
+
 	// Fault-injection probe counters (internal/faults).
 	MetricProbeReads     Name = "probe_reads_total"
 	MetricProbeTransient Name = "probe_transient_total"
@@ -106,6 +116,8 @@ const (
 	MetricAliveDisks     Name = "alive_disks"
 	MetricSlowDisks      Name = "slow_disks"
 	MetricSuspectDisks   Name = "suspect_disks"
+	MetricUserLoadShare  Name = "user_load_share"
+	MetricThrottleMBps   Name = "throttle_mbps"
 )
 
 // Metric catalogue — histograms (per-rebuild phase breakdowns, hours).
@@ -116,6 +128,7 @@ const (
 	MetricRetryWaitHours    Name = "rebuild_retry_wait_hours"
 	MetricHedgeOverlapHours Name = "rebuild_hedge_overlap_hours"
 	MetricDetectWaitHours   Name = "rebuild_detect_wait_hours"
+	MetricDegradedLatency   Name = "degraded_read_latency_ms"
 )
 
 // PhaseBounds are the default histogram bucket upper bounds for the
@@ -123,4 +136,11 @@ const (
 // An implicit +Inf bucket catches the rest.
 var PhaseBounds = []float64{
 	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000,
+}
+
+// LatencyBounds are the histogram bucket upper bounds for read-latency
+// metrics, in milliseconds: exponential from a healthy seek to a
+// pathological multi-second reconstruction. Implicit +Inf catches worse.
+var LatencyBounds = []float64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
 }

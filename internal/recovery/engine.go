@@ -64,6 +64,24 @@ type Stats struct {
 	Parked             int
 	CrossRackTransfers int
 	CrossRackBytes     int64
+	// DegradedReads counts user reads served by k-way reconstruction
+	// during a block's window of vulnerability; DegradedMs accumulates
+	// their latencies (milliseconds) and DegradedP50/DegradedP99 are the
+	// streaming quantiles of the same samples. HealthyP99 is the tail of
+	// the counterfactual healthy-read latencies sampled at the same
+	// instants — the user-visible cost of the window is the gap.
+	DegradedReads int
+	DegradedMs    metrics.Welford
+	DegradedP50   metrics.P2Quantile
+	DegradedP99   metrics.P2Quantile
+	HealthyP99    metrics.P2Quantile
+	// ThrottleSteps counts recovery-rate changes the QoS policy made;
+	// ThrottleMBps accumulates the rate granted at each decision point.
+	ThrottleSteps int
+	ThrottleMBps  metrics.Welford
+	// FencedParks counts rebuilds parked against a write-fenced
+	// (read-only, mid-upgrade) target.
+	FencedParks int
 }
 
 // FaultModel is the injection surface the engines consult when a rebuild
@@ -131,6 +149,22 @@ type Engine interface {
 	// HandleReachable reacts to diskID's rack healing: rebuilds parked
 	// against the disk resubmit.
 	HandleReachable(now sim.Time, diskID int)
+	// SetForeground installs the run's foreground-traffic bundle: rebuild
+	// transfers contend with user load, the throttle policy governs the
+	// recovery rate, and completed windows sample degraded-read latency.
+	// Nil (the default) keeps every fast path bit-for-bit.
+	SetForeground(fg *workload.Foreground)
+	// SetDetailObserver installs the detail-bearing observer for
+	// foreground events (degraded-read samples, throttle steps), which
+	// carry a payload the positional observer cannot express.
+	SetDetailObserver(fn func(now sim.Time, kind trace.Kind, group, rep, diskID int, detail string))
+	// HandleWriteFence reacts to diskID turning read-only at now (a
+	// rolling-upgrade window): rebuilds writing to it park. Reads are
+	// unaffected — a fenced disk still serves as a rebuild source.
+	HandleWriteFence(now sim.Time, diskID int)
+	// HandleWriteUnfence reacts to diskID's write fence lifting: rebuilds
+	// parked against it resubmit.
+	HandleWriteUnfence(now sim.Time, diskID int)
 }
 
 // DiskSpawner lets an engine add drives to the system; the simulator hooks
@@ -231,6 +265,17 @@ type base struct {
 	inFlight int
 	// net, when non-nil, is the run's network fabric (SetTopology).
 	net *topology.Network
+	// fg, when non-nil, is the run's foreground-traffic bundle
+	// (SetForeground): demand contention, throttle policy, degraded-read
+	// sampling. activeTargets counts distinct disks with in-flight
+	// rebuild writes — the parallel-stream estimate the deadline policy's
+	// repair bound divides the backlog by. lastThrottle is the previous
+	// policy grant, for throttle-step detection.
+	fg            *workload.Foreground
+	activeTargets int
+	lastThrottle  float64
+	// detailObserver, when set, sees foreground events with a payload.
+	detailObserver func(now sim.Time, kind trace.Kind, group, rep, diskID int, detail string)
 }
 
 func newBase(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload.BandwidthModel) base {
@@ -248,6 +293,9 @@ func newBase(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload
 	}
 	b.stats.WindowP50 = metrics.NewP2(0.5)
 	b.stats.WindowP99 = metrics.NewP2(0.99)
+	b.stats.DegradedP50 = metrics.NewP2(0.5)
+	b.stats.DegradedP99 = metrics.NewP2(0.99)
+	b.stats.HealthyP99 = metrics.NewP2(0.99)
 	b.rm = obs.NewRecoveryMetrics(obs.NewRegistry())
 	return b
 }
@@ -285,23 +333,42 @@ func (b *base) observe(now sim.Time, kind trace.Kind, group, rep, diskID int) {
 }
 
 // blockDuration is the healthy-model transfer time of one block rebuild
-// requested now — the expectation deadlines are measured against.
+// requested now — the expectation deadlines are measured against. Under
+// a throttle policy the policy's grant replaces the bandwidth model's
+// curve (the policy *is* the recovery-rate decision).
 func (b *base) blockDuration() sim.Time {
-	mbps := b.bw.RecoveryMBps(float64(b.eng.Now()))
+	var mbps float64
+	if b.fg != nil && b.fg.Policy != nil {
+		mbps = b.throttleMBps(float64(b.eng.Now()))
+	} else {
+		mbps = b.bw.RecoveryMBps(float64(b.eng.Now()))
+	}
 	return sim.Time(disk.RebuildHours(b.cl.BlockBytes, mbps))
 }
 
 // effDuration scales a healthy-model duration by the worse of the two
-// endpoints' fail-slow factors. With no per-disk model, or with both
-// endpoints healthy, it returns baseDur bit-for-bit unchanged (no float
-// operation), so a disabled fail-slow layer cannot perturb schedules.
+// endpoints' fail-slow factors and, when a demand model is installed, by
+// the contention stretch of the busier endpoint's user share. With
+// neither layer installed it returns baseDur bit-for-bit unchanged (no
+// float operation), so the disabled layers cannot perturb schedules.
 func (b *base) effDuration(baseDur sim.Time, src, tgt int) sim.Time {
-	if b.pd == nil {
+	if b.pd == nil && b.fg == nil {
 		return baseDur
 	}
-	f := b.pd.SlowdownFactor(src)
-	if g := b.pd.SlowdownFactor(tgt); g > f {
-		f = g
+	f := 1.0
+	if b.pd != nil {
+		f = b.pd.SlowdownFactor(src)
+		if g := b.pd.SlowdownFactor(tgt); g > f {
+			f = g
+		}
+	}
+	if b.fg != nil {
+		now := float64(b.eng.Now())
+		s := b.fg.Demand.Share(now, src)
+		if t := b.fg.Demand.Share(now, tgt); t > s {
+			s = t
+		}
+		f *= workload.ContentionFactor(s)
 	}
 	if f <= 1 {
 		return baseDur
@@ -314,6 +381,9 @@ func (b *base) effDuration(baseDur sim.Time, src, tgt int) sim.Time {
 //farm:hotpath in-flight index insert, gated by TestTrackUntrackSteadyStateZeroAlloc
 func (b *base) track(r *rebuild) {
 	b.bySource[r.task.Source] = append(b.bySource[r.task.Source], r)
+	if len(b.byTarget[r.task.Target]) == 0 {
+		b.activeTargets++
+	}
 	b.byTarget[r.task.Target] = append(b.byTarget[r.task.Target], r)
 	b.perGroupTargets[r.task.Group] = append(b.perGroupTargets[r.task.Group], r.task.Target)
 	b.inFlight++
@@ -328,7 +398,11 @@ func (b *base) track(r *rebuild) {
 func (b *base) untrack(r *rebuild) {
 	b.cancelTimers(r)
 	b.bySource[r.task.Source] = removeRebuild(b.bySource[r.task.Source], r)
-	b.byTarget[r.task.Target] = removeRebuild(b.byTarget[r.task.Target], r)
+	tl := removeRebuild(b.byTarget[r.task.Target], r)
+	if len(tl) == 0 && len(b.byTarget[r.task.Target]) > 0 {
+		b.activeTargets--
+	}
+	b.byTarget[r.task.Target] = tl
 	tg := b.perGroupTargets[r.task.Group]
 	for i, t := range tg {
 		if t == r.task.Target {
@@ -421,6 +495,7 @@ func (b *base) complete(now sim.Time, r *rebuild) {
 	w := float64(now - r.failedAt)
 	b.stats.Window.Add(w)
 	b.recordWindow(w)
+	b.sampleDegradedReads(now, r, r.task, w)
 	b.spanFinish(r, now, obs.OutcomeDone)
 	b.noteTransfer(now, r.task)
 	b.observe(now, trace.KindRebuilt, r.task.Group, r.task.Rep, r.task.Target)

@@ -30,6 +30,14 @@ func (b *base) submitTracked(r *rebuild) {
 		b.parkTracked(r)
 		return
 	}
+	// Write-fence catch-all: an attempt writing to a read-only target (a
+	// rolling-upgrade window) parks until the fence lifts. Sources are
+	// exempt — a fenced disk still serves reads.
+	if b.cl.ReadOnly(r.task.Target) {
+		b.stats.FencedParks++
+		b.parkTracked(r)
+		return
+	}
 	r.parked = false
 	// A new attempt begins: re-arm the span latch so its end is
 	// accounted exactly once, and hand the span to the scheduler so the
@@ -255,6 +263,7 @@ func (b *base) hedgeComplete(now sim.Time, r *rebuild) {
 	w := float64(now - r.failedAt)
 	b.stats.Window.Add(w)
 	b.recordWindow(w)
+	b.sampleDegradedReads(now, r, ht, w)
 	b.spanFinish(r, now, obs.OutcomeDone)
 	b.noteTransfer(now, ht)
 	b.observe(now, trace.KindHedgeWin, ht.Group, ht.Rep, ht.Target)

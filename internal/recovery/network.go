@@ -186,11 +186,14 @@ func (b *base) resumeParked(now sim.Time, r *rebuild) {
 		b.abandon(r)
 		return
 	}
-	if b.net.DiskUnreachable(r.task.Target) {
+	if b.net != nil && b.net.DiskUnreachable(r.task.Target) {
 		return // target's rack still dark; keep waiting
 	}
+	if b.cl.ReadOnly(r.task.Target) {
+		return // target still write-fenced; keep waiting for the unfence
+	}
 	src := r.task.Source
-	if b.net.DiskUnreachable(src) {
+	if b.net != nil && b.net.DiskUnreachable(src) {
 		// Healed on the target side only: try to flee the dark source.
 		src = b.cl.SourceForExcluding(r.task.Group, r.task.Source, r.task.Target)
 		if src < 0 {
@@ -205,7 +208,7 @@ func (b *base) resumeParked(now sim.Time, r *rebuild) {
 		if r.span != nil {
 			r.span.Resourcings++
 		}
-		if !b.net.SameRack(src, r.task.Source) {
+		if b.net != nil && !b.net.SameRack(src, r.task.Source) {
 			b.observe(now, trace.KindResourceCrossRack, r.task.Group, r.task.Rep, src)
 		}
 	}

@@ -59,6 +59,16 @@ const (
 	KindPartitionHeal     Kind = "partition-heal"     // a dark rack became reachable again
 	KindResourceCrossRack Kind = "resource-crossrack" // a rebuild re-sourced to another rack
 	KindFalseDead         Kind = "false-dead"         // a dark rack's disks were declared lost
+
+	// Living-fleet kinds (foreground traffic, recovery QoS, and planned
+	// maintenance in internal/workload + internal/core).
+	KindDemandBurst   Kind = "demand-burst"   // a foreground burst episode began (Detail: share, hours)
+	KindDegradedReads Kind = "degraded-reads" // a closed window's degraded reads (Detail: n, mean/max ms)
+	KindThrottle      Kind = "throttle-step"  // the QoS policy changed the recovery rate (Detail: mbps)
+	KindDrainPlanned  Kind = "drain-planned"  // an operator scheduled a drive evacuation
+	KindUpgradeBegin  Kind = "upgrade-begin"  // a rack's rolling-upgrade window opened (read-only)
+	KindUpgradeEnd    Kind = "upgrade-end"    // the upgrade window closed (writes unfenced)
+	KindGrowth        Kind = "growth-batch"   // a scheduled growth batch arrived (Detail: disks, vintage)
 )
 
 // Event is one timestamped simulator occurrence. Times are simulation
@@ -132,6 +142,15 @@ var clusterWide = map[Kind]bool{
 	KindRackUnreachable: true,
 	KindPartitionHeal:   true,
 	KindFalseDead:       true,
+	// Living-fleet cluster-scope events: demand episodes, throttle steps,
+	// and growth batches have no drive identity; upgrade windows are
+	// rack-scoped like the network events (degraded-reads and
+	// drain-planned keep a real disk — the read source / drained drive).
+	KindDemandBurst:  true,
+	KindThrottle:     true,
+	KindUpgradeBegin: true,
+	KindUpgradeEnd:   true,
+	KindGrowth:       true,
 }
 
 // Summary aggregates an event stream.
@@ -218,7 +237,11 @@ func (s Summary) WriteSummary(w io.Writer) error {
 //     (racks only heal out of an outage);
 //   - a false-dead declaration follows a rack-unreachable on the same
 //     rack no earlier than the configured timeout after it (the policy
-//     never fences a reachable or freshly-dark rack).
+//     never fences a reachable or freshly-dark rack);
+//   - degraded reads are sampled only when a window of vulnerability
+//     closes, so like rebuilds they require a prior repair trigger;
+//   - an upgrade-end follows an upgrade-begin on the same rack (windows
+//     only close after they open).
 //
 // Returns the first violation found.
 func CheckCausality(events []Event) error {
@@ -229,6 +252,7 @@ func CheckCausality(events []Event) error {
 	hedged := map[gr]bool{}
 	latent := map[dg]bool{}
 	darkAt := map[int]float64{}
+	upgrading := map[int]bool{}
 	triggerSeen := false
 	for i, e := range events {
 		if e.Time < last {
@@ -288,6 +312,17 @@ func CheckCausality(events []Event) error {
 				return fmt.Errorf("trace: false-dead of rack %d at %v not after unreachable at %v", e.Rack, e.Time, at)
 			}
 			delete(darkAt, e.Rack)
+		case KindDegradedReads:
+			if !triggerSeen {
+				return fmt.Errorf("trace: degraded-reads on group %d before any repair trigger", e.Group)
+			}
+		case KindUpgradeBegin:
+			upgrading[e.Rack] = true
+		case KindUpgradeEnd:
+			if !upgrading[e.Rack] {
+				return fmt.Errorf("trace: upgrade-end of rack %d without a prior upgrade-begin", e.Rack)
+			}
+			delete(upgrading, e.Rack)
 		}
 	}
 	return nil

@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Recovery QoS: how much bandwidth may recovery take from the users?
+// The paper's base experiments reserve a fixed 16 MB/s (20% of a drive)
+// regardless of load; Luby's repair-rate bounds (PAPERS.md) show a fleet
+// must also sustain a *minimum* repair rate to clear its rebuild backlog
+// before the next expected failure. The three policies here span that
+// trade-off:
+//
+//   - fixed-floor: the paper's reservation — never yields to users,
+//     never exploits idle time.
+//   - aimd: load-adaptive with hysteresis — multiplicative decrease when
+//     fleet user share crosses HighLoad, additive increase when it drops
+//     below LowLoad, hold in the deadband between (oscillation-free).
+//   - deadline: aimd, but floored at the Luby-style minimum repair rate
+//     needed to rebuild the current backlog within the fleet's expected
+//     time-to-next-failure — it refuses to be polite when politeness
+//     would convert the backlog into a second-failure loss window.
+//
+// Policies are consulted at deterministic points (transfer submission)
+// with deterministic inputs (sim time, precomputed demand, engine
+// backlog), so runs remain byte-identical for a given seed.
+
+// Throttle policy names accepted by ThrottleConfig.Policy.
+const (
+	PolicyFixed    = "fixed"
+	PolicyAIMD     = "aimd"
+	PolicyDeadline = "deadline"
+)
+
+// ThrottleConfig selects and parameterizes a recovery throttle policy.
+// The zero value (empty Policy) disables throttling entirely.
+type ThrottleConfig struct {
+	// Policy is one of "", "fixed", "aimd", "deadline".
+	Policy string
+	// FloorMBps is the minimum recovery rate (default 16, the paper's
+	// guaranteed 20% of an 80 MB/s drive). The fixed policy always runs
+	// at exactly this rate.
+	FloorMBps float64
+	// MaxMBps is the adaptive ceiling (default 64 — the night-time
+	// headroom of the paper's drive). Ignored by the fixed policy.
+	MaxMBps float64
+	// IncreaseMBps is the additive-increase step per decision when the
+	// fleet is quiet (default 4).
+	IncreaseMBps float64
+	// DecreaseFactor multiplies the rate when the fleet is busy
+	// (0..1, default 0.5).
+	DecreaseFactor float64
+	// HighLoad is the fleet user share above which the rate decreases
+	// (default 0.6). LowLoad is the share below which it increases
+	// (default 0.3). The gap between them is the hysteresis deadband.
+	HighLoad float64
+	LowLoad  float64
+}
+
+// Enabled reports whether a throttle policy is configured.
+func (c ThrottleConfig) Enabled() bool { return c.Policy != "" }
+
+// Validate rejects unknown policies, NaN/Inf, and inverted bands.
+func (c ThrottleConfig) Validate() error {
+	switch c.Policy {
+	case "", PolicyFixed, PolicyAIMD, PolicyDeadline:
+	default:
+		return errors.New("workload: unknown throttle policy " + c.Policy)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"FloorMBps", c.FloorMBps},
+		{"MaxMBps", c.MaxMBps},
+		{"IncreaseMBps", c.IncreaseMBps},
+		{"DecreaseFactor", c.DecreaseFactor},
+		{"HighLoad", c.HighLoad},
+		{"LowLoad", c.LowLoad},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return errors.New("workload: throttle " + f.name + " is NaN or Inf")
+		}
+	}
+	switch {
+	case c.FloorMBps < 0:
+		return errors.New("workload: negative throttle floor")
+	case c.MaxMBps < 0:
+		return errors.New("workload: negative throttle ceiling")
+	case c.MaxMBps > 0 && c.FloorMBps > c.MaxMBps:
+		return errors.New("workload: throttle floor exceeds ceiling")
+	case c.IncreaseMBps < 0:
+		return errors.New("workload: negative throttle increase step")
+	case c.DecreaseFactor < 0 || c.DecreaseFactor > 1:
+		return errors.New("workload: throttle decrease factor out of [0,1]")
+	case c.HighLoad < 0 || c.HighLoad > 1 || c.LowLoad < 0 || c.LowLoad > 1:
+		return errors.New("workload: throttle load band out of [0,1]")
+	case c.Enabled() && c.HighLoad > 0 && c.LowLoad > c.HighLoad:
+		return errors.New("workload: throttle low-load band above high-load band")
+	}
+	return nil
+}
+
+// withDefaults fills the zero knobs of an enabled config.
+func (c ThrottleConfig) withDefaults() ThrottleConfig {
+	if c.FloorMBps == 0 {
+		c.FloorMBps = 16
+	}
+	if c.MaxMBps == 0 {
+		c.MaxMBps = 64
+	}
+	if c.IncreaseMBps == 0 {
+		c.IncreaseMBps = 4
+	}
+	if c.DecreaseFactor == 0 {
+		c.DecreaseFactor = 0.5
+	}
+	if c.HighLoad == 0 {
+		c.HighLoad = 0.6
+	}
+	if c.LowLoad == 0 {
+		c.LowLoad = 0.3
+	}
+	return c
+}
+
+// Backlog is the recovery engine's view of its outstanding work, fed to
+// deadline-aware policies.
+type Backlog struct {
+	// PendingBytes is the total data still awaiting rebuild.
+	PendingBytes int64
+	// Streams is the number of rebuild streams that can make progress in
+	// parallel (at least 1 when there is any backlog).
+	Streams int
+	// MTTFHours is the fleet's expected time to the next disk failure.
+	MTTFHours float64
+}
+
+// ThrottlePolicy decides the per-stream recovery rate at a decision
+// point. Implementations are deterministic state machines.
+type ThrottlePolicy interface {
+	// RecoveryMBps returns the rate a rebuild stream may use given the
+	// current fleet user share and recovery backlog.
+	RecoveryMBps(nowHours, fleetShare float64, backlog Backlog) float64
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// NewThrottle builds the configured policy, or nil when disabled.
+func NewThrottle(cfg ThrottleConfig) (ThrottlePolicy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	cfg = cfg.withDefaults()
+	switch cfg.Policy {
+	case PolicyFixed:
+		return &fixedFloor{cfg: cfg}, nil
+	case PolicyAIMD:
+		return &aimd{cfg: cfg, cur: cfg.FloorMBps}, nil
+	default:
+		return &deadline{aimd: aimd{cfg: cfg, cur: cfg.FloorMBps}}, nil
+	}
+}
+
+// fixedFloor is the paper's reservation: FloorMBps, always.
+type fixedFloor struct{ cfg ThrottleConfig }
+
+//farm:hotpath runs per transfer submission
+func (p *fixedFloor) RecoveryMBps(float64, float64, Backlog) float64 { return p.cfg.FloorMBps }
+
+func (p *fixedFloor) Name() string { return PolicyFixed }
+
+// aimd adapts the rate to the fleet user share with hysteresis: decrease
+// multiplicatively above HighLoad, increase additively below LowLoad,
+// hold in between. The deadband plus the bounded step sizes make the
+// trajectory oscillation-free: the rate only moves when the load signal
+// has crossed out of the band, never chatters inside it.
+type aimd struct {
+	cfg ThrottleConfig
+	cur float64
+}
+
+//farm:hotpath runs per transfer submission
+func (p *aimd) RecoveryMBps(_ float64, fleetShare float64, _ Backlog) float64 {
+	switch {
+	case fleetShare > p.cfg.HighLoad:
+		p.cur *= p.cfg.DecreaseFactor
+		if p.cur < p.cfg.FloorMBps {
+			p.cur = p.cfg.FloorMBps
+		}
+	case fleetShare < p.cfg.LowLoad:
+		p.cur += p.cfg.IncreaseMBps
+		if p.cur > p.cfg.MaxMBps {
+			p.cur = p.cfg.MaxMBps
+		}
+	}
+	return p.cur
+}
+
+func (p *aimd) Name() string { return PolicyAIMD }
+
+// deadline is aimd floored at the Luby-style minimum repair rate: the
+// per-stream rate that clears the current backlog within the fleet's
+// expected time to the next failure. Below that rate the backlog outruns
+// the failure process and every yield to users buys latency with loss
+// probability.
+type deadline struct {
+	aimd
+}
+
+//farm:hotpath runs per transfer submission
+func (p *deadline) RecoveryMBps(nowHours, fleetShare float64, backlog Backlog) float64 {
+	rate := p.aimd.RecoveryMBps(nowHours, fleetShare, backlog)
+	if min := MinRepairMBps(backlog); min > rate {
+		if min > p.cfg.MaxMBps {
+			min = p.cfg.MaxMBps
+		}
+		if min > rate {
+			rate = min
+		}
+	}
+	return rate
+}
+
+func (p *deadline) Name() string { return PolicyDeadline }
+
+// MinRepairMBps is the Luby-style repair-rate lower bound: the
+// per-stream rate at which the pending backlog, spread across the
+// available parallel streams, completes within the fleet's expected
+// time to the next failure. Zero when there is no backlog or no
+// deadline pressure.
+//
+//farm:hotpath runs per deadline-policy decision
+func MinRepairMBps(b Backlog) float64 {
+	if b.PendingBytes <= 0 || b.MTTFHours <= 0 {
+		return 0
+	}
+	streams := b.Streams
+	if streams < 1 {
+		streams = 1
+	}
+	perStream := float64(b.PendingBytes) / float64(streams)
+	return perStream / (b.MTTFHours * 3600 * 1e6)
+}
+
+// Foreground bundles everything the recovery engines need to coexist
+// with users: the demand model, the throttle policy, a private RNG
+// stream for degraded-read sampling, and the latency-model constants.
+// A nil *Foreground (the zero config) leaves every engine fast path
+// untouched.
+type Foreground struct {
+	// Demand is the user-load model (never nil in an enabled bundle).
+	Demand *Demand
+	// Policy is the recovery throttle, or nil for unthrottled.
+	Policy ThrottlePolicy
+	// Reads is the private stream degraded-read arrivals are drawn from.
+	Reads *rng.Source
+	// DiskMBps is the drive's sustainable bandwidth, for converting
+	// recovery rates into shares.
+	DiskMBps float64
+	// KFactor is the reconstruction fan-in: a degraded read touches this
+	// many surviving blocks instead of one (the scheme's m).
+	KFactor float64
+	// CrossRackFactor stretches degraded reads whose reconstruction
+	// crosses the oversubscribed fabric (1 = flat network).
+	CrossRackFactor float64
+	// MTTFHours is the fleet's expected time to next failure, feeding
+	// deadline-aware policies.
+	MTTFHours float64
+}

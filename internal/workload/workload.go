@@ -186,12 +186,18 @@ func EndpointFactor(m BandwidthModel, src, tgt int) float64 {
 }
 
 // MeanRecoveryMBps integrates the model over one day (trapezoid rule),
-// for reporting.
+// for reporting. The endpoints at hour 0 and 24 each carry half weight;
+// for a 24-hour-periodic model they coincide, so the result matches the
+// periodic average exactly.
 func MeanRecoveryMBps(m BandwidthModel) float64 {
 	const steps = 24 * 60
+	const h = 24.0 / steps
 	sum := 0.0
-	for i := 0; i < steps; i++ {
-		sum += m.RecoveryMBps(float64(i) / 60)
+	prev := m.RecoveryMBps(0)
+	for i := 1; i <= steps; i++ {
+		cur := m.RecoveryMBps(float64(i) * h)
+		sum += (prev + cur) / 2
+		prev = cur
 	}
-	return sum / steps
+	return sum * h / 24
 }

@@ -102,6 +102,29 @@ func TestMeanRecoveryMBps(t *testing.T) {
 	if got := MeanRecoveryMBps(f); math.Abs(got-16) > 1e-9 {
 		t.Fatalf("fixed mean = %v", got)
 	}
+	// Closed form: the trapezoid rule integrates a constant exactly, so
+	// the mean of Fixed must equal the constant to the last ULP (the old
+	// left-rectangle loop already had this property; the trapezoid keeps
+	// it while also weighting the endpoints correctly).
+	for _, mbps := range []float64{1, 16.25, 37.5, 80} {
+		c, _ := NewFixed(mbps)
+		if got := MeanRecoveryMBps(c); got != mbps {
+			t.Fatalf("fixed %v mean = %v, want exact", mbps, got)
+		}
+	}
+	// Closed form: a raised cosine over a full period averages to its
+	// midline. With the floor below the trough, Diurnal is exactly
+	// DiskMBps·(1 - share/2 + share/2·cos), whose day-mean is
+	// DiskMBps·(1 - share/2); the trapezoid on a periodic function is
+	// spectrally accurate, so the numeric mean must agree to float noise.
+	dNoFloor, err := NewDiurnal(80, 1e-9, 0.5, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 80 * (1 - 0.5/2)
+	if got := MeanRecoveryMBps(dNoFloor); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("cosine mean = %v, want %v", got, want)
+	}
 	d, _ := NewDiurnal(80, 16, 0.8, 14)
 	mean := MeanRecoveryMBps(d)
 	// Average user share is 0.4, so mean free bandwidth is 48; the floor
