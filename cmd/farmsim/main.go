@@ -50,6 +50,8 @@
 //	farmsim run table1
 //	farmsim run -runs 200 -scale 0.25 fig3
 //	farmsim run -runs 60 -scale 0.1 -v all
+
+//farm:factsink farmsim's import closure spans the full simulator, so farmlint's whole-program aggregations (dead config knobs, dead trace kinds) are decidable here and only here
 package main
 
 import (

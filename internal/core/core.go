@@ -128,7 +128,7 @@ type Config struct {
 	// heterogeneous drive vintages. The zero value schedules nothing.
 	Maintenance MaintenanceConfig
 	// Seed drives all randomness of the run.
-	Seed uint64
+	Seed uint64 //farm:anyvalue every uint64 is a valid seed; runs differ, none misbehave
 	// CollectUtilization records per-disk used bytes at build time and
 	// at the horizon (Figure 6 / Table 3); costs two []int64 copies.
 	CollectUtilization bool
@@ -424,6 +424,21 @@ func (s *Simulator) Run(seed uint64) (RunResult, error) {
 	return runOnce(cfg)
 }
 
+// Stream-isolation salts. Every subsystem that draws randomness derives
+// its own stream as cfg.Seed XOR a private salt, so enabling one
+// subsystem never perturbs another's draws (the property the golden
+// transcripts pin). farmlint's rngsalt analyzer proves no two salts in
+// the import closure collide; see also degradedReadSalt (maintenance.go),
+// demandSeedSalt (workload), and netSeedSalt (faults).
+const (
+	// placementSeedSalt isolates rendezvous placement from the failure
+	// process.
+	placementSeedSalt = 0xfa57_feed_c0de_f00d
+	// faultSeedSalt isolates fault injection, so the zero Faults config
+	// leaves the base simulation's draws untouched.
+	faultSeedSalt = 0xbad5_ec70_bad5_ec70
+)
+
 func runOnce(cfg Config) (RunResult, error) {
 	model, err := cfg.diskModel()
 	if err != nil {
@@ -439,7 +454,7 @@ func runOnce(cfg Config) (RunResult, error) {
 		NumGroups:          cfg.NumGroups(),
 		DiskModel:          model,
 		InitialUtilization: cfg.InitialUtilization,
-		PlacementSeed:      cfg.Seed ^ 0xfa57_feed_c0de_f00d,
+		PlacementSeed:      cfg.Seed ^ placementSeedSalt,
 		Net:                net,
 	}
 	cl, err := cluster.New(ccfg)
@@ -581,7 +596,7 @@ func runOnce(cfg Config) (RunResult, error) {
 	// Fault injection rides on its own stream split off the run seed, so
 	// the zero config leaves the base simulation untouched.
 	if cfg.Faults.Enabled() {
-		inj, ierr := faults.NewInjector(cfg.Faults, cfg.Seed^0xbad5ec70bad5ec70)
+		inj, ierr := faults.NewInjector(cfg.Faults, cfg.Seed^faultSeedSalt)
 		if ierr != nil {
 			return RunResult{}, ierr
 		}

@@ -373,6 +373,12 @@ type Injector struct {
 	fm *obs.FaultMetrics
 }
 
+// failSlowSeedSalt splits the fail-slow (degraded-performance) stream
+// off the injector's seed, so enabling fail-slow events never perturbs
+// the fail-stop, latent-error, or network draws. Registered with
+// farmlint's cross-package salt registry (rngsalt).
+const failSlowSeedSalt = 0x51c0_f1a5_10fd_d15c
+
 // NewInjector validates cfg, applies policy defaults, and seeds the
 // injector's private random streams.
 func NewInjector(cfg Config, seed uint64) (*Injector, error) {
@@ -382,7 +388,7 @@ func NewInjector(cfg Config, seed uint64) (*Injector, error) {
 	return &Injector{
 		cfg:    cfg.withDefaults(),
 		rng:    rng.New(seed),
-		slow:   rng.New(seed ^ 0x51c0_f1a5_10fd_d15c),
+		slow:   rng.New(seed ^ failSlowSeedSalt),
 		netr:   newNetStream(seed),
 		latent: make(map[lseKey]int32),
 		fm:     obs.NewFaultMetrics(obs.NewRegistry()),

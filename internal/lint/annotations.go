@@ -19,6 +19,22 @@ const (
 	// dirWallClock justifies a wall-clock read (reporting-only timing
 	// outside the simulation's virtual clock).
 	dirWallClock = "farm:wallclock"
+	// dirUnitless justifies arithmetic mixing unit-suffixed quantities
+	// (e.g. a deliberate dimension change the naming can't express).
+	dirUnitless = "farm:unitless"
+	// dirNoCausality justifies a trace.Kind with no CheckCausality rule
+	// (a pure marker event with no ordering contract).
+	dirNoCausality = "farm:nocausality"
+	// dirAnyValue justifies a numeric config field whose whole domain is
+	// valid, exempting it from the Validate-coverage requirement.
+	dirAnyValue = "farm:anyvalue"
+	// dirReserved justifies a config field that is declared and validated
+	// but intentionally not yet read (a forward-looking knob).
+	dirReserved = "farm:reserved"
+	// dirFactSink marks a package whose import closure spans the full
+	// simulator; whole-program fact aggregations (configflow's dead-knob
+	// check, kindflow's dead-kind check) fire only in sink packages.
+	dirFactSink = "farm:factsink"
 )
 
 // annotations indexes every //farm:* directive of one package by file and
@@ -85,6 +101,24 @@ func cutDirective(text, name string) (string, bool) {
 		return "", false // e.g. farm:hotpathological
 	}
 	return strings.TrimSpace(rest), true
+}
+
+// packageHasDirective reports whether any non-test file of the package
+// carries the named directive anywhere (used for package-scoped markers
+// like //farm:factsink).
+func (p *Pass) packageHasDirective(name string) bool {
+	a := p.annotationsOf()
+	for file, lines := range a.byLine { //farm:orderinvariant existence check only; no order-dependent effects
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		for _, text := range lines { //farm:orderinvariant existence check only; no order-dependent effects
+			if _, ok := cutDirective(text, name); ok {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // funcHasDirective reports whether the function declaration's doc comment

@@ -36,10 +36,19 @@ func TestFloatValidFixtures(t *testing.T) { testAnalyzerFixtures(t, FloatValid) 
 func TestTraceKindFixtures(t *testing.T)  { testAnalyzerFixtures(t, TraceKind) }
 func TestMetricNameFixtures(t *testing.T) { testAnalyzerFixtures(t, MetricName) }
 func TestSeqTieFixtures(t *testing.T)     { testAnalyzerFixtures(t, SeqTie) }
+func TestRngSaltFixtures(t *testing.T)    { testAnalyzerFixtures(t, RngSalt) }
+func TestUnitCheckFixtures(t *testing.T)  { testAnalyzerFixtures(t, UnitCheck) }
+func TestConfigFlowFixtures(t *testing.T) { testAnalyzerFixtures(t, ConfigFlow) }
+func TestKindFlowFixtures(t *testing.T)   { testAnalyzerFixtures(t, KindFlow) }
 
 // testAnalyzerFixtures loads every fixture package under
-// testdata/<analyzer>/src and checks the analyzer's diagnostics against
-// the `// want` expectations embedded in the sources.
+// testdata/<analyzer>/src, runs the analyzer over them in dependency
+// order with facts threaded between packages (the same discipline as
+// lint.Run), and checks the aggregated diagnostics against the `// want`
+// expectations embedded in the sources. Aggregation matters for the
+// fact-based analyzers: a cross-package collision is discovered while
+// analyzing the importer but reported at a declaration in a dependency,
+// so expectations can only be matched against the whole fixture tree.
 func testAnalyzerFixtures(t *testing.T, a *Analyzer) {
 	srcRoot := filepath.Join("testdata", a.Name, "src")
 	paths := fixturePackagePaths(t, srcRoot)
@@ -47,23 +56,113 @@ func testAnalyzerFixtures(t *testing.T, a *Analyzer) {
 		t.Fatalf("no fixture packages under %s", srcRoot)
 	}
 	loader := newFixtureLoader(t, srcRoot)
-	totalWants := 0
+	pkgs := make([]*Package, 0, len(paths))
 	for _, path := range paths {
 		pkg, err := loader.load(path)
 		if err != nil {
 			t.Fatalf("load fixture %s: %v", path, err)
 		}
-		diags, err := RunAnalyzers(pkg, []*Analyzer{a})
-		if err != nil {
-			t.Fatalf("run %s on fixture %s: %v", a.Name, path, err)
-		}
-		totalWants += checkWants(t, pkg, diags)
+		pkgs = append(pkgs, pkg)
 	}
+	deps := fixtureDeps(pkgs)
+
+	facts := make(map[string]FactSet, len(pkgs))
+	var diags []Diagnostic
+	analyzed := make(map[string]bool, len(pkgs))
+	for len(analyzed) < len(pkgs) {
+		progressed := false
+		for _, pkg := range pkgs { // paths are sorted, so the order is deterministic
+			if analyzed[pkg.Path] {
+				continue
+			}
+			ready := true
+			for _, d := range deps[pkg.Path] {
+				if !analyzed[d] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			depFacts := make(map[string]FactSet)
+			for _, d := range deps[pkg.Path] {
+				if fs, ok := facts[d]; ok {
+					depFacts[d] = fs
+				}
+			}
+			ds, exported, err := RunAnalyzers(pkg, []*Analyzer{a}, depFacts)
+			if err != nil {
+				t.Fatalf("run %s on fixture %s: %v", a.Name, pkg.Path, err)
+			}
+			facts[pkg.Path] = exported
+			diags = append(diags, ds...)
+			analyzed[pkg.Path] = true
+			progressed = true
+		}
+		if !progressed {
+			t.Fatalf("import cycle among %s fixtures", a.Name)
+		}
+	}
+	sortDiagnostics(diags)
+	diags = dedupeDiagnostics(diags)
+
 	// The acceptance contract: every analyzer has at least one failing
 	// fixture proving it fires.
-	if totalWants == 0 {
+	if totalWants := checkWants(t, pkgs, diags); totalWants == 0 {
 		t.Fatalf("%s fixtures declare no // want expectations: the analyzer is never shown to fire", a.Name)
 	}
+}
+
+// fixtureDeps maps each fixture package to its transitive sibling-fixture
+// dependencies, derived from the parsed import declarations.
+func fixtureDeps(pkgs []*Package) map[string][]string {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	direct := make(map[string][]string, len(pkgs))
+	for _, pkg := range pkgs {
+		seen := map[string]bool{}
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				p := importPath(imp)
+				if _, sibling := byPath[p]; sibling && !seen[p] {
+					seen[p] = true
+					direct[pkg.Path] = append(direct[pkg.Path], p)
+				}
+			}
+		}
+	}
+	trans := make(map[string][]string, len(pkgs))
+	var closure func(path string) []string
+	closure = func(path string) []string {
+		if c, ok := trans[path]; ok {
+			return c
+		}
+		trans[path] = nil // break cycles defensively; typecheck already rejects them
+		seen := map[string]bool{}
+		var out []string
+		for _, d := range direct[path] {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+			for _, dd := range closure(d) {
+				if !seen[dd] {
+					seen[dd] = true
+					out = append(out, dd)
+				}
+			}
+		}
+		sort.Strings(out)
+		trans[path] = out
+		return out
+	}
+	for _, pkg := range pkgs {
+		closure(pkg.Path)
+	}
+	return trans
 }
 
 // fixturePackagePaths returns the slash-separated import paths of every
@@ -274,10 +373,12 @@ func resolveStdExports(t *testing.T, paths []string) map[string]string {
 }
 
 // wantRe matches the trailing `want` clause of a fixture comment;
-// wantArgRe extracts each quoted regexp from the clause.
+// wantArgRe extracts each quoted regexp from the clause — either a Go
+// interpreted string or a backquoted raw string (handy when the pattern
+// needs backslash escapes like `\(Ms\)`).
 var (
 	wantRe    = regexp.MustCompile(`//\s*want\s+(.+)$`)
-	wantArgRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+	wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 )
 
 type wantExpectation struct {
@@ -286,36 +387,16 @@ type wantExpectation struct {
 	matched bool
 }
 
-// checkWants matches diagnostics against `// want` comments and reports
-// both unmatched expectations and unexpected diagnostics. It returns the
+// checkWants matches the aggregated diagnostics of a fixture tree
+// against the `// want` comments in all of its packages, reporting both
+// unmatched expectations and unexpected diagnostics. It returns the
 // number of expectations declared.
-func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) int {
+func checkWants(t *testing.T, pkgs []*Package, diags []Diagnostic) int {
 	t.Helper()
 	expect := map[string][]*wantExpectation{} // "file:line" -> expectations
 	total := 0
-	for _, file := range pkg.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				for _, q := range wantArgRe.FindAllString(m[1], -1) {
-					raw, err := strconv.Unquote(q)
-					if err != nil {
-						t.Fatalf("%s: bad want string %s: %v", key, q, err)
-					}
-					re, err := regexp.Compile(raw)
-					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
-					}
-					expect[key] = append(expect[key], &wantExpectation{re: re, raw: raw})
-					total++
-				}
-			}
-		}
+	for _, pkg := range pkgs {
+		total += collectWants(t, pkg, expect)
 	}
 
 	for _, d := range diags {
@@ -341,6 +422,37 @@ func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) int {
 		for _, w := range expect[k] {
 			if !w.matched {
 				t.Errorf("%s: no diagnostic matching %q", k, w.raw)
+			}
+		}
+	}
+	return total
+}
+
+// collectWants parses one package's `// want` comments into expect.
+func collectWants(t *testing.T, pkg *Package, expect map[string][]*wantExpectation) int {
+	t.Helper()
+	total := 0
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantArgRe.FindAllString(m[1], -1) {
+					raw, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
+					}
+					expect[key] = append(expect[key], &wantExpectation{re: re, raw: raw})
+					total++
+				}
 			}
 		}
 	}

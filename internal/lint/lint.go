@@ -26,6 +26,26 @@
 //     explicit sequence number, so simultaneous events pop in a
 //     deterministic order.
 //
+// The v2 analyzers are cross-package: each package exports *facts*
+// (see facts.go) that flow along import edges, so contracts spanning
+// the whole module are checked mechanically:
+//
+//   - rngsalt: every XOR-derived RNG stream seed uses a named
+//     *Salt/*Seed package constant — no inline magic salts — and no two
+//     packages in an import closure share a salt value;
+//   - unitcheck: quantities named by the repo's unit suffixes (*Hours,
+//     *Ms, *MBps, *Bytes, *Ratio, *PerHour) are never added, compared,
+//     or assigned across units, and cross-unit multiply/divide must be
+//     a recognized conversion (annotate exceptions //farm:unitless);
+//   - configflow: every exported field of a Config/Policy struct in
+//     core/faults/recovery/topology/workload is validated (numeric
+//     fields referenced by Validate; //farm:anyvalue exempts) and read
+//     outside Validate somewhere in the simulator's import closure
+//     (//farm:reserved exempts) — the dead-knob detector;
+//   - kindflow: every trace.Kind constant carries a CheckCausality rule
+//     or //farm:nocausality, and is actually used outside internal/trace
+//     somewhere in the simulator — the dead-kind detector.
+//
 // The suite is framework-compatible in spirit with
 // golang.org/x/tools/go/analysis but deliberately depends only on the
 // standard library (go/ast, go/types, go/importer), so the repo builds
@@ -62,6 +82,15 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// DepFacts maps each dependency import path (transitively) to the
+	// FactSet its analyzers exported. Nil when the package has no
+	// in-module dependencies.
+	DepFacts map[string]FactSet
+
+	// exported collects the facts this package's analyzers export; the
+	// driver shares one set across the whole suite for the package.
+	exported FactSet
 
 	// ann is the lazily built //farm:* annotation index for the package.
 	ann *annotations
@@ -106,13 +135,20 @@ func Analyzers() []*Analyzer {
 		TraceKind,
 		MetricName,
 		SeqTie,
+		RngSalt,
+		UnitCheck,
+		ConfigFlow,
+		KindFlow,
 	}
 }
 
-// RunAnalyzers applies every analyzer in the suite to one loaded package
-// and returns the findings sorted by position.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// RunAnalyzers applies every analyzer in the suite to one loaded
+// package, with deps carrying the facts of its (transitive) in-module
+// dependencies, and returns the findings sorted by position plus the
+// FactSet the package's analyzers exported.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, deps map[string]FactSet) ([]Diagnostic, FactSet, error) {
 	var out []Diagnostic
+	exported := make(FactSet)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -120,12 +156,20 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			DepFacts:  deps,
+			exported:  exported,
 			report:    func(d Diagnostic) { out = append(out, d) },
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 		}
 	}
+	sortDiagnostics(out)
+	return out, exported, nil
+}
+
+// sortDiagnostics orders findings by position, then analyzer name.
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -137,9 +181,25 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out, nil
+}
+
+// dedupeDiagnostics removes exact duplicates from a sorted slice.
+// Cross-package analyzers report a collision between two dependencies
+// from every package that imports both; the finding is one finding.
+func dedupeDiagnostics(in []Diagnostic) []Diagnostic {
+	out := in[:0]
+	for i, d := range in {
+		if i > 0 && d == in[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // pkgPathBase returns the last segment of an import path, with any

@@ -23,6 +23,9 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Deps lists the package's transitive dependencies (import paths),
+	// used by the standalone driver to thread facts in dependency order.
+	Deps []string
 }
 
 // listedPkg is the subset of `go list -json` output the loader needs.
@@ -31,6 +34,7 @@ type listedPkg struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Deps       []string
 	Standard   bool
 	Module     *struct{ Path string }
 	Error      *struct{ Err string }
@@ -46,7 +50,7 @@ type listedPkg struct {
 func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 	args := append([]string{
 		"list", "-e", "-export",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,Module,Error",
+		"-json=ImportPath,Dir,Export,GoFiles,Deps,Standard,Module,Error",
 		"-deps",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -79,17 +83,59 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, &cp)
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	sorted, err := topoSort(targets)
+	if err != nil {
+		return nil, err
+	}
 
 	fset := token.NewFileSet()
 	imp := newExportImporter(fset, exports)
 	var out []*Package
-	for _, t := range targets {
+	for _, t := range sorted {
 		pkg, err := typecheckFiles(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
 		if err != nil {
 			return nil, err
 		}
+		pkg.Deps = t.Deps
 		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// topoSort orders the analysis targets so every in-module dependency
+// precedes its dependents (alphabetical among ready packages, so the
+// order — and hence fact-dependent diagnostics — is deterministic).
+// Facts can then be threaded through one in-memory map.
+func topoSort(targets []*listedPkg) ([]*listedPkg, error) {
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	inModule := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		inModule[t.ImportPath] = true
+	}
+	done := make(map[string]bool, len(targets))
+	out := make([]*listedPkg, 0, len(targets))
+	for len(out) < len(targets) {
+		progressed := false
+		for _, t := range targets {
+			if done[t.ImportPath] {
+				continue
+			}
+			ready := true
+			for _, d := range t.Deps {
+				if inModule[d] && !done[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				done[t.ImportPath] = true
+				out = append(out, t)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("lint: import cycle among analysis targets")
+		}
 	}
 	return out, nil
 }
@@ -147,20 +193,31 @@ func typecheckFiles(fset *token.FileSet, imp types.Importer, path, dir string, g
 }
 
 // Run loads patterns from dir and applies the full analyzer suite,
-// returning all findings.
+// threading facts between packages in dependency order, returning all
+// findings (position-sorted, deduplicated — a cross-package collision
+// is reported once even when many packages can see it).
 func Run(dir string, patterns ...string) ([]Diagnostic, error) {
 	pkgs, err := LoadPackages(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
 	analyzers := Analyzers()
+	facts := make(map[string]FactSet, len(pkgs))
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		ds, err := RunAnalyzers(pkg, analyzers)
+		deps := make(map[string]FactSet)
+		for _, d := range pkg.Deps {
+			if fs, ok := facts[d]; ok {
+				deps[d] = fs
+			}
+		}
+		ds, exported, err := RunAnalyzers(pkg, analyzers, deps)
 		if err != nil {
 			return nil, err
 		}
+		facts[cleanPkgPath(pkg.Path)] = exported
 		out = append(out, ds...)
 	}
-	return out, nil
+	sortDiagnostics(out)
+	return dedupeDiagnostics(out), nil
 }

@@ -1,0 +1,20 @@
+// Package consumer is a configflow fixture reading (and writing) the
+// core fixture's knobs from outside its Validate: these reads are
+// exported as facts and satisfy the sink's dead-knob check for the
+// fields they load.
+package consumer
+
+import "core"
+
+// Build consumes the knobs.
+func Build(cfg core.Config) int {
+	n := cfg.Replicas + cfg.Unchecked // reads: Replicas, Unchecked
+	if cfg.Seed != 0 {                // read: Seed
+		n++
+	}
+	n += int(cfg.Rate) // read: Rate
+
+	// A bare store is not a read: WriteOnly stays dead.
+	cfg.WriteOnly = n
+	return n
+}

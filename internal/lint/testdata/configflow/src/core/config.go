@@ -1,0 +1,43 @@
+// Package core is a configflow fixture standing in for a watched
+// simulator package (path base core): every exported integer field of a
+// Config/Policy struct must be referenced by Validate, and every
+// exported field must be read outside Validate somewhere in the import
+// closure (checked in the sink fixture).
+package core
+
+import "errors"
+
+var errBad = errors.New("bad config")
+
+// Config is audited on both axes.
+type Config struct {
+	// Replicas is validated here and read by the consumer fixture: clean.
+	Replicas int
+	// Unchecked is read by the consumer but missing from Validate.
+	Unchecked int // want "never referenced by Validate"
+	// Seed is exempt from validation (whole domain valid) and read: clean.
+	Seed uint64 //farm:anyvalue any seed is valid
+	// DeadKnob is validated but nothing anywhere reads it.
+	DeadKnob int // want "dead knob"
+	// WriteOnly is validated and assigned by the consumer, but a store is
+	// not a read: still dead.
+	WriteOnly int // want "dead knob"
+	// Future is validated and deliberately dormant: exempt.
+	Future int //farm:reserved wired up by the planned follow-up experiment
+	// Rate is a float (floatvalid's axis, not ours) and read: clean here.
+	Rate float64
+	// hidden is unexported: exempt.
+	hidden int
+}
+
+// Validate covers every integer knob except Unchecked.
+func (c *Config) Validate() error {
+	if c.Replicas <= 0 || c.DeadKnob < 0 || c.WriteOnly < 0 || c.Future < 0 {
+		return errBad
+	}
+	_ = c.hidden
+	return nil
+}
+
+// localRead consumes Rate in the declaring package itself.
+func (c *Config) localRead() float64 { return c.Rate }

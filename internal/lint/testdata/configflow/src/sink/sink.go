@@ -1,0 +1,20 @@
+// Package sink is the configflow aggregation point: its import closure
+// spans the whole fixture "simulator", so the dead-knob check is
+// decidable here. Findings land at the declarations in core and faults.
+
+//farm:factsink the fixture's import closure converges here
+package sink
+
+import (
+	"consumer"
+	"core"
+	"faults"
+)
+
+// Main ties the closure together.
+func Main() int {
+	var cfg core.Config
+	var p faults.InjectPolicy
+	_ = p
+	return consumer.Build(cfg)
+}

@@ -1,0 +1,16 @@
+// Package emitter is a kindflow fixture emitting part of the trace
+// fixture's vocabulary; its used-kind set flows to the sink as a fact.
+package emitter
+
+import "trace"
+
+// Emit produces the live kinds. KindDead and KindFuture are deliberately
+// absent.
+func Emit() []trace.Event {
+	return []trace.Event{
+		{Kind: trace.KindFail},
+		{Kind: trace.KindDetect},
+		{Kind: trace.KindMarker},
+		{Kind: trace.KindNoRule},
+	}
+}

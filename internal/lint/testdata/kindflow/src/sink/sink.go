@@ -1,0 +1,13 @@
+// Package sink is the kindflow aggregation point: the emitters' used
+// kinds and the trace fixture's declared kinds meet here, and declared
+// kinds nothing emits are reported dead at their declarations.
+
+//farm:factsink the fixture's import closure converges here
+package sink
+
+import "emitter"
+
+// Main ties the closure together.
+func Main() int {
+	return len(emitter.Emit())
+}

@@ -1,0 +1,24 @@
+// Package consumer is an rngsalt fixture importing lib: its salt
+// registry is checked pairwise against every dependency's, so the
+// value shared with lib.otherSalt is a collision even though both
+// packages are individually consistent. The diagnostic lands on lib's
+// declaration (the deterministic reporting side).
+package consumer
+
+import "lib"
+
+// consumerSeedSalt shares 0x222 with lib.otherSalt.
+const consumerSeedSalt = 0x222
+
+// privateSalt is unique across the closure: clean.
+const privateSalt = 0x333
+
+// Stream splits a private stream off the run seed.
+func Stream(run uint64) uint64 {
+	return lib.Seed(run) ^ consumerSeedSalt
+}
+
+// Other draws on the unique salt: clean.
+func Other(run uint64) uint64 {
+	return run ^ privateSalt
+}

@@ -1,0 +1,31 @@
+// Package lib is an rngsalt fixture declaring a salt registry: named
+// *Salt/*Seed constants must be unique within the package, and the
+// registry is exported as a fact for cross-package collision checks
+// (see the consumer fixture, which collides with otherSalt below).
+package lib
+
+// demandSeedSalt isolates the demand stream: clean.
+const demandSeedSalt = 0x111
+
+// otherSalt collides with a salt declared in the consumer fixture; the
+// collision is discovered while analyzing consumer (whose fact view
+// holds both registries) and reported here, at the lexicographically
+// last declaration.
+const otherSalt = 0x222 // want "collides with consumer.consumerSeedSalt"
+
+// dupSalt repeats demandSeedSalt's value within one package.
+const dupSalt = 0x111 // want "duplicates the value of demandSeedSalt"
+
+// plainMask is an ordinary constant; XORing with it below is a finding
+// because the registry cannot audit stream separations that are not
+// named *Salt/*Seed.
+const plainMask = 7
+
+// Seed derives subsystem streams from the run seed.
+func Seed(run uint64) uint64 {
+	a := run ^ demandSeedSalt // named salt: clean
+	b := run ^ 0xbad          // want "inline RNG salt"
+	c := run ^ plainMask      // want "XOR with constant plainMask"
+	d := a ^ b                // no constant operand: clean
+	return c ^ d
+}

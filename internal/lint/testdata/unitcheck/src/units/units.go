@@ -1,0 +1,70 @@
+// Package units is a unitcheck fixture: quantities carry their unit in
+// the name suffix (*Hours, *Ms, *MBps, *Bytes, *Ratio, *PerHour), and
+// the analyzer rejects direct cross-unit arithmetic while accepting the
+// recognized conversions and anything it cannot name a unit for.
+package units
+
+// Cfg carries unit-suffixed fields for the keyed-literal check.
+type Cfg struct {
+	DetectHours float64
+	WindowMs    float64
+}
+
+func mix(windowMs, detectHours, limitHours float64) float64 {
+	sum := windowMs + detectHours  // want "mixing units"
+	if limitHours < windowMs {     // want "mixing units"
+		sum++
+	}
+	var xHours float64
+	xHours = windowMs // want `assigning windowMs \(Ms\) to xHours \(Hours\)`
+	return sum + xHours
+}
+
+func products(rateMBps, spanHours, failPerHour, scaleRatio, xBytes float64) float64 {
+	a := rateMBps * spanHours  // want "cross-unit product"
+	b := failPerHour * spanHours // rate × time: clean
+	c := scaleRatio * xBytes     // dimensionless scaling: clean
+	d := xBytes / rateMBps       // want "cross-unit quotient"
+	e := xBytes / scaleRatio     // de-scaling: clean
+	f := xBytes / c              // c carries no inferred unit: clean
+	return a + b + c + d + e + f
+}
+
+// scaling pins the constant-scaling propagation: a quantity scaled by a
+// bare number keeps its dimension family, so the mixed quotient is
+// still visible through the parentheses.
+func scaling(pendingBytes, mttfHours float64) float64 {
+	g := pendingBytes / (mttfHours * 3600 * 1e6) // want "cross-unit quotient"
+	//farm:unitless deliberate bytes-per-second conversion for the fixture
+	h := pendingBytes / (mttfHours * 3600)
+	return g + h
+}
+
+// conversions keep the unit: float64(nBytes) is still bytes.
+func converted(nBytes int64, windowMs float64) float64 {
+	return float64(nBytes) + windowMs // want "mixing units"
+}
+
+// wait names its parameter's unit; arguments must match it.
+func wait(hours float64) float64 { return hours }
+
+func calls(windowMs, spanHours float64) float64 {
+	a := wait(windowMs) // want `passing windowMs \(Ms\) to parameter hours`
+	b := wait(spanHours) // matching unit: clean
+	return a + b
+}
+
+func literals(windowMs, spanHours float64) Cfg {
+	return Cfg{
+		DetectHours: windowMs, // want `assigning windowMs \(Ms\) to field DetectHours`
+		WindowMs:    windowMs, // matching unit: clean
+	}
+}
+
+// shallow pins the deliberate limit: arithmetic between same-unit
+// operands has no inferred unit, so downstream mixing is not reported.
+// Every finding points at a direct use of two named quantities.
+func shallow(aBytes, bBytes, spanHours float64) float64 {
+	opaque := aBytes - bBytes // same unit: clean
+	return opaque + spanHours // opaque has no unit: clean
+}

@@ -19,8 +19,12 @@ import (
 //   - `farmlint -flags` prints the JSON list of analyzer flags (none);
 //   - `farmlint <unit>.cfg` analyzes one package unit described by the
 //     JSON config the go command writes, prints findings in
-//     file:line:col form, writes the (empty — farmlint is fact-free)
-//     .vetx facts file, and exits 2 when there are findings.
+//     file:line:col form, writes the unit's .vetx facts file (the
+//     merged facts of the unit and its import closure — see facts.go),
+//     and exits 2 when there are findings. Dependency units arrive with
+//     VetxOnly set: the suite still runs to compute facts, but
+//     diagnostics are suppressed (they surface when the dependency is
+//     itself a vet target).
 
 // vetConfig mirrors the JSON the go command hands a vet tool for each
 // package unit. Unknown fields are ignored.
@@ -59,16 +63,41 @@ func RunVetUnit(cfgPath string, stderr io.Writer) int {
 		return 1
 	}
 
-	// Always write the facts file first: the go command caches it as the
-	// action's output even for fact-free tools.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	// writeVetx persists facts as the unit's cached action output. The
+	// go command demands the file exist even when there is nothing to
+	// say, so failures to produce facts still write an empty payload.
+	writeVetx := func(packages map[string]FactSet) bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		payload, err := encodeFacts(packages)
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, payload, 0o666)
+		}
+		if err != nil {
 			fmt.Fprintf(stderr, "farmlint: %v\n", err)
+			return false
+		}
+		return true
+	}
+
+	// Standard-library units carry no farmlint facts; skip the (large)
+	// typecheck instead of analyzing the stdlib on every vet run.
+	if cfg.Standard[cfg.ImportPath] {
+		if !writeVetx(nil) {
 			return 1
 		}
+		return 0
 	}
-	if cfg.VetxOnly {
-		return 0 // dependency unit: facts only, no diagnostics wanted
+
+	// Merge the facts of every dependency's .vetx. Each file already
+	// holds its unit's whole import closure, so the union is the
+	// transitive fact view for this unit.
+	depFacts := make(map[string]FactSet)
+	for _, vetx := range cfg.PackageVetx { //farm:orderinvariant keyed merge; consumers sort before use
+		for path, fs := range decodeFactsFile(vetx) { //farm:orderinvariant keyed merge; consumers sort before use
+			depFacts[path] = fs
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -88,18 +117,28 @@ func RunVetUnit(cfgPath string, stderr io.Writer) int {
 
 	pkg, err := typecheckFiles(fset, imp, cfg.ImportPath, "", cfg.GoFiles)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
+		if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+			// Pass dependency facts through so a broken leaf does not
+			// sever fact flow for the rest of the graph.
+			if !writeVetx(depFacts) {
+				return 1
+			}
 			return 0
 		}
 		fmt.Fprintf(stderr, "farmlint: %v\n", err)
 		return 1
 	}
-	diags, err := RunAnalyzers(pkg, Analyzers())
+	diags, exported, err := RunAnalyzers(pkg, Analyzers(), depFacts)
 	if err != nil {
 		fmt.Fprintf(stderr, "farmlint: %v\n", err)
 		return 1
 	}
-	if len(diags) == 0 {
+	merged := depFacts
+	merged[cleanPkgPath(cfg.ImportPath)] = exported
+	if !writeVetx(merged) {
+		return 1
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
 	}
 	for _, d := range diags {
@@ -117,8 +156,10 @@ func PrintVersion(w io.Writer) {
 
 // Version identifies the analyzer suite for the go command's cache.
 // Bump it whenever an analyzer's behavior changes, or stale clean
-// results may be served from the vet action cache.
-const Version = "1.0.0"
+// results may be served from the vet action cache. 2.0.0 is the
+// fact-exporting suite: the .vetx payload format is keyed on this
+// string too, so older cached facts read as empty rather than lying.
+const Version = "2.0.0"
 
 // PrintFlags implements the -flags handshake: the JSON list of
 // analyzer flags this tool accepts (none — the suite is not

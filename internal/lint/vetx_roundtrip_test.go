@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetxFactRoundTrip proves facts survive the full `go vet -vettool`
+// protocol: a two-package module where package a exports its salt
+// registry into a .vetx file and package b's unit — whose fact view the
+// go command assembles from that file — discovers the cross-package
+// collision. The same module is then analyzed by the standalone driver
+// (lint.Run), which threads facts in-process, and both paths must agree
+// on the finding.
+func TestVetxFactRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool binary and shells out to go vet")
+	}
+
+	// The fixture module: b imports a, and both name a salt with the
+	// same value, so the collision is only visible to an analyzer whose
+	// facts crossed the package boundary.
+	mod := t.TempDir()
+	writeFile(t, filepath.Join(mod, "go.mod"), "module vetxfix\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(mod, "a", "a.go"), `// Package a exports its salt registry as a farmlint fact.
+package a
+
+// AlphaSeedSalt isolates a's stream.
+const AlphaSeedSalt = 0x5eed
+
+// Seed derives a's stream.
+func Seed(run uint64) uint64 { return run ^ AlphaSeedSalt }
+`)
+	writeFile(t, filepath.Join(mod, "b", "b.go"), `// Package b collides with a's salt; only a's imported fact reveals it.
+package b
+
+import "vetxfix/a"
+
+// betaSeedSalt accidentally repeats a.AlphaSeedSalt's value.
+const betaSeedSalt = 0x5eed
+
+// Seed derives b's stream on top of a's.
+func Seed(run uint64) uint64 { return a.Seed(run) ^ betaSeedSalt }
+`)
+
+	// Leg 1: the unitchecker protocol. go vet writes a's .vetx, hands it
+	// to b's unit via PackageVetx, and the tool must exit 2 with the
+	// collision on stderr.
+	bin := filepath.Join(t.TempDir(), "farmlint")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/farmlint")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building farmlint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool succeeded; want the cross-package collision\n%s", out)
+	}
+	if !strings.Contains(string(out), "collides with vetxfix/a.AlphaSeedSalt") {
+		t.Fatalf("go vet -vettool output missing the collision finding:\n%s", out)
+	}
+
+	// Leg 2: the standalone driver over the same module must reach the
+	// identical conclusion with its in-process fact threading.
+	diags, err := Run(mod, "./...")
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	var collisions []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "rngsalt" && strings.Contains(d.Message, "collides with vetxfix/a.AlphaSeedSalt") {
+			collisions = append(collisions, d)
+		}
+	}
+	if len(collisions) != 1 {
+		t.Fatalf("standalone driver: want exactly one collision finding, got %d in:\n%v", len(collisions), diags)
+	}
+	if base := filepath.Base(collisions[0].Pos.Filename); base != "b.go" {
+		t.Errorf("collision reported in %s; want b.go (the lexicographically-last declaration)", base)
+	}
+}
+
+// writeFile creates path (and parents) with contents.
+func writeFile(t *testing.T, path, contents string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(contents), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// repoRoot resolves the module root from the test's working directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}

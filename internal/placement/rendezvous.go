@@ -13,6 +13,8 @@ package placement
 import (
 	"math"
 	"sort"
+
+	"repro/internal/rng"
 )
 
 // SubCluster is one batch of disks added to the system together,
@@ -72,7 +74,7 @@ func (r *Rendezvous) NumSubClusters() int { return len(r.clusters) }
 // (0,1). The sub-cluster with the highest score wins; this realizes
 // sampling proportional to weights with minimal movement on growth.
 func (r *Rendezvous) score(key uint64, clusterIdx int) float64 {
-	h := mix64(r.seed ^ key*0x9e3779b97f4a7c15 ^ uint64(clusterIdx)*0xd1b54a32d192ed03)
+	h := rng.Mix64(r.seed ^ key*rng.SplitmixGamma ^ uint64(clusterIdx)*0xd1b54a32d192ed03)
 	// Map to (0,1); add 1 to avoid zero.
 	u := (float64(h>>11) + 1) / (1 << 53)
 	return r.clusters[clusterIdx].Weight / -math.Log(u)
@@ -92,7 +94,7 @@ func (r *Rendezvous) Locate(key uint64, trial int) int {
 		}
 	}
 	c := r.clusters[best]
-	h := mix64(r.seed ^ key*0x8cb92ba72f3d8dd7 ^ uint64(trial)*0x9e3779b97f4a7c15)
+	h := rng.Mix64(r.seed ^ key*0x8cb92ba72f3d8dd7 ^ uint64(trial)*rng.SplitmixGamma)
 	return c.FirstDisk + int(h%uint64(c.Disks))
 }
 

@@ -60,7 +60,7 @@ type StragglerPolicy struct {
 	// EvictAfterFlags evicts a disk — marks it suspect and drains it via
 	// the S.M.A.R.T. path — after this many *consecutive* slow scores
 	// (default 4; negative disables eviction).
-	EvictAfterFlags int
+	EvictAfterFlags int //farm:anyvalue negative disables, zero takes the default, positive is the threshold
 }
 
 // Validate checks the policy, rejecting NaN/±Inf floats with

@@ -18,6 +18,33 @@ type Source struct {
 	s0, s1, s2, s3 uint64
 }
 
+// The splitmix64 constants (Vigna's splitmix64.c, derived from Steele,
+// Lea & Flood's SplittableRandom). This is their one home in the repo:
+// every consumer of the mixer — stream seeding here, placement hashing
+// in internal/placement — references these, so a typo'd digit cannot
+// silently fork the two into different hash functions.
+const (
+	// SplitmixGamma is the golden-ratio increment of the splitmix64
+	// state walk (2^64 / φ, rounded to odd).
+	SplitmixGamma = 0x9e3779b97f4a7c15
+	// splitmixMul1 and splitmixMul2 are the finalizer's two
+	// multiply-xorshift constants.
+	splitmixMul1 = 0xbf58476d1ce4e5b9
+	splitmixMul2 = 0x94d049bb133111eb
+)
+
+// Mix64 is the splitmix64 finalizer: a fast, well-distributed,
+// bijective 64-bit mixer. Exported for deterministic hashing elsewhere
+// in the simulator (internal/placement derives candidate streams from
+// it); any change here changes every transcript.
+//
+//farm:hotpath pure-arithmetic mixer on placement and seeding paths
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * splitmixMul1
+	z = (z ^ (z >> 27)) * splitmixMul2
+	return z ^ (z >> 31)
+}
+
 // New returns a Source seeded from seed via splitmix64, so that nearby
 // seeds (0, 1, 2, ...) still yield well-separated streams.
 func New(seed uint64) *Source {
@@ -30,17 +57,14 @@ func New(seed uint64) *Source {
 func (r *Source) Reseed(seed uint64) {
 	sm := seed
 	next := func() uint64 {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
+		sm += SplitmixGamma
+		return Mix64(sm)
 	}
 	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
 	// All-zero state is the one invalid state for xoshiro; splitmix64
 	// cannot produce four zero outputs in a row, but guard regardless.
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
-		r.s3 = 0x9e3779b97f4a7c15
+		r.s3 = SplitmixGamma
 	}
 }
 

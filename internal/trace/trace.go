@@ -15,60 +15,64 @@ import (
 // Kind labels an event.
 type Kind string
 
-// Event kinds emitted by the simulator.
+// Event kinds emitted by the simulator. Kinds whose ordering is part of
+// the trace contract appear in CheckCausality below; pure markers with
+// no ordering semantics carry //farm:nocausality with the reason
+// (farmlint's kindflow analyzer enforces that every kind does one or
+// the other, and that every kind is emitted somewhere).
 const (
 	KindDiskFail   Kind = "disk-fail"   // a drive died
 	KindDetect     Kind = "detect"      // the death was noticed
 	KindRebuilt    Kind = "rebuilt"     // one block reconstruction completed
-	KindDropped    Kind = "dropped"     // a rebuild was abandoned (group lost)
-	KindDataLoss   Kind = "data-loss"   // group(s) crossed into data loss
-	KindSmartWarn  Kind = "smart-warn"  // a health monitor flagged a drive
-	KindDrained    Kind = "drained"     // a suspect drive was fully drained
-	KindBatchAdded Kind = "batch-added" // a replacement batch arrived
+	KindDropped    Kind = "dropped"     //farm:nocausality a rebuild was abandoned; abandonment may follow any rung of the retry ladder, not one fixed predecessor
+	KindDataLoss   Kind = "data-loss"   //farm:nocausality group(s) crossed into data loss; losses from bursts or false-dead write-offs need no prior detection
+	KindSmartWarn  Kind = "smart-warn"  //farm:nocausality the health monitor fires from its own draw, not from a prior event
+	KindDrained    Kind = "drained"     //farm:nocausality a drain completes from warn, plan, or eviction paths; no single required predecessor
+	KindBatchAdded Kind = "batch-added" //farm:nocausality replacement batches trigger on cumulative failure counts, a threshold not visible per event
 
 	// Fault-injection kinds (internal/faults).
 	KindLSE         Kind = "lse"          // a latent sector error arrived (undiscovered)
 	KindLSEDetect   Kind = "lse-detect"   // a rebuild read discovered a latent error
-	KindScrub       Kind = "scrub"        // a scrub pass ran (Detail: found=N)
+	KindScrub       Kind = "scrub"        //farm:nocausality scrub passes run on a fixed period independent of other events
 	KindScrubRepair Kind = "scrub-repair" // the scrubber queued a damaged replica for repair
-	KindBurst       Kind = "burst"        // a correlated failure burst fired (Detail: kills=N)
-	KindRetry       Kind = "retry"        // a rebuild read faulted transiently and was retried
-	KindSpareQueued Kind = "spare-queued" // recovery work queued for an exhausted spare pool
+	KindBurst       Kind = "burst"        //farm:nocausality correlated bursts arrive from their own Poisson process; no predecessor
+	KindRetry       Kind = "retry"        //farm:nocausality transient read faults can hit the very first transfer of a rebuild
+	KindSpareQueued Kind = "spare-queued" //farm:nocausality queueing is a pool-capacity marker; exhaustion depends on counts, not one event
 
 	// Fail-slow / straggler-mitigation kinds (gray failures and the
 	// hedging layer in internal/recovery).
 	KindFailSlowOnset   Kind = "failslow-onset"   // a drive degraded (Detail: factor)
 	KindFailSlowRecover Kind = "failslow-recover" // a degraded drive recovered
-	KindFailSlowDetect  Kind = "failslow-detect"  // the peer-comparison detector flagged a drive
+	KindFailSlowDetect  Kind = "failslow-detect"  //farm:nocausality the peer-comparison detector scores observed service times, which lag onsets arbitrarily and survive recoveries
 	KindHedge           Kind = "hedge"            // a duplicate transfer was launched
 	KindHedgeWin        Kind = "hedge-win"        // the duplicate finished before the primary
-	KindEvictSlow       Kind = "evict-slow"       // the detector condemned a persistent straggler
-	KindRebuildTimeout  Kind = "rebuild-timeout"  // a rebuild overstayed its timeout multiple
-	KindSlowBurst       Kind = "slow-burst"       // a correlated slow-burst fired (Detail: hits=N)
+	KindEvictSlow       Kind = "evict-slow"       //farm:nocausality eviction needs consecutive slow scores, a detector-internal streak not visible in the trace
+	KindRebuildTimeout  Kind = "rebuild-timeout"  //farm:nocausality timeouts fire against expected duration; the rebuild's queue event predates the recorder when spans are off
+	KindSlowBurst       Kind = "slow-burst"       //farm:nocausality correlated slow-bursts arrive from their own Poisson process; no predecessor
 
 	// Span-lifecycle kinds, emitted only when the flight recorder's
 	// rebuild-lifecycle spans are enabled — transcripts recorded without
 	// the obs stack stay byte-identical.
-	KindRebuildQueued Kind = "rebuild-queued" // a block rebuild's first attempt was queued
-	KindTransferStart Kind = "transfer-start" // a rebuild transfer began moving bytes
+	KindRebuildQueued Kind = "rebuild-queued" //farm:nocausality span marker, present only when span recording is on; rebuilds elsewhere in the trace have no queued event to order against
+	KindTransferStart Kind = "transfer-start" //farm:nocausality span marker, present only when span recording is on (see rebuild-queued)
 
 	// Network fault-domain kinds (internal/topology + internal/faults).
 	// Rack-scoped events carry the rack in Event.Rack.
-	KindSwitchFail        Kind = "switch-fail"        // a ToR switch died (permanent until fenced)
+	KindSwitchFail        Kind = "switch-fail"        //farm:nocausality ToR switch deaths arrive from their own failure process; no predecessor
 	KindRackUnreachable   Kind = "rack-unreachable"   // a rack went dark (Detail: cause)
 	KindPartitionHeal     Kind = "partition-heal"     // a dark rack became reachable again
-	KindResourceCrossRack Kind = "resource-crossrack" // a rebuild re-sourced to another rack
+	KindResourceCrossRack Kind = "resource-crossrack" //farm:nocausality re-sourcing reacts to source-rack state at transfer time, not to one prior trace event
 	KindFalseDead         Kind = "false-dead"         // a dark rack's disks were declared lost
 
 	// Living-fleet kinds (foreground traffic, recovery QoS, and planned
 	// maintenance in internal/workload + internal/core).
-	KindDemandBurst   Kind = "demand-burst"   // a foreground burst episode began (Detail: share, hours)
+	KindDemandBurst   Kind = "demand-burst"   //farm:nocausality foreground bursts arrive from the workload's own stream; no predecessor
 	KindDegradedReads Kind = "degraded-reads" // a closed window's degraded reads (Detail: n, mean/max ms)
-	KindThrottle      Kind = "throttle-step"  // the QoS policy changed the recovery rate (Detail: mbps)
-	KindDrainPlanned  Kind = "drain-planned"  // an operator scheduled a drive evacuation
+	KindThrottle      Kind = "throttle-step"  //farm:nocausality QoS steps track utilization thresholds, which move with load as well as events
+	KindDrainPlanned  Kind = "drain-planned"  //farm:nocausality operator-scheduled; planned work has no in-trace cause
 	KindUpgradeBegin  Kind = "upgrade-begin"  // a rack's rolling-upgrade window opened (read-only)
 	KindUpgradeEnd    Kind = "upgrade-end"    // the upgrade window closed (writes unfenced)
-	KindGrowth        Kind = "growth-batch"   // a scheduled growth batch arrived (Detail: disks, vintage)
+	KindGrowth        Kind = "growth-batch"   //farm:nocausality operator-scheduled; planned work has no in-trace cause
 )
 
 // Event is one timestamped simulator occurrence. Times are simulation
@@ -233,6 +237,8 @@ func (s Summary) WriteSummary(w io.Writer) error {
 //   - a hedge win follows a hedge launch for the same (group, rep);
 //   - a discovered latent error (lse-detect) follows the arrival of a
 //     latent error on the same (disk, group);
+//   - a fail-slow recovery follows a fail-slow onset on the same disk
+//     (an episode must begin before it can end);
 //   - a partition heal follows a rack-unreachable on the same rack
 //     (racks only heal out of an outage);
 //   - a false-dead declaration follows a rack-unreachable on the same
@@ -252,6 +258,7 @@ func CheckCausality(events []Event) error {
 	hedged := map[gr]bool{}
 	latent := map[dg]bool{}
 	darkAt := map[int]float64{}
+	slow := map[int]bool{}
 	upgrading := map[int]bool{}
 	triggerSeen := false
 	for i, e := range events {
@@ -296,6 +303,13 @@ func CheckCausality(events []Event) error {
 			if !hedged[gr{e.Group, e.Rep}] {
 				return fmt.Errorf("trace: hedge-win on group %d rep %d without a prior hedge", e.Group, e.Rep)
 			}
+		case KindFailSlowOnset:
+			slow[e.Disk] = true
+		case KindFailSlowRecover:
+			if !slow[e.Disk] {
+				return fmt.Errorf("trace: failslow-recover of disk %d without a prior failslow-onset", e.Disk)
+			}
+			delete(slow, e.Disk)
 		case KindRackUnreachable:
 			darkAt[e.Rack] = e.Time
 		case KindPartitionHeal:

@@ -245,8 +245,9 @@ func MinRepairMBps(b Backlog) float64 {
 	if streams < 1 {
 		streams = 1
 	}
-	perStream := float64(b.PendingBytes) / float64(streams)
-	return perStream / (b.MTTFHours * 3600 * 1e6)
+	perStreamBytes := float64(b.PendingBytes) / float64(streams)
+	//farm:unitless Luby bound: bytes ÷ (hours·3600·1e6) = MB/s; kept inline because routing through disk.RebuildHours would reorder the float ops the golden transcripts pin
+	return perStreamBytes / (b.MTTFHours * 3600 * 1e6)
 }
 
 // Foreground bundles everything the recovery engines need to coexist

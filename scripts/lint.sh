@@ -3,10 +3,17 @@
 #
 # Three layers, in order:
 #   1. go vet        — the stock toolchain analyzers;
-#   2. farmlint      — the repo's own analyzer suite (internal/lint) run
-#                      through the `go vet -vettool` unitchecker protocol,
-#                      enforcing the determinism, hot-path, validation,
-#                      trace-vocabulary, and heap-tie-break contracts;
+#   2. farmlint      — the repo's own ten-analyzer suite (internal/lint)
+#                      run through the `go vet -vettool` unitchecker
+#                      protocol, enforcing the determinism, hot-path,
+#                      validation, trace-vocabulary, and heap-tie-break
+#                      contracts plus the cross-package fact-based checks
+#                      (rngsalt, unitcheck, configflow, kindflow). The
+#                      vettool path exercises .vetx fact files: facts
+#                      exported while analyzing a package flow to its
+#                      importers, which is what makes the whole-program
+#                      dead-knob/dead-kind checks decidable at the
+#                      //farm:factsink package (cmd/farmsim);
 #   3. staticcheck   — if installed (CI pins its version; locally the gate
 #                      degrades to a notice rather than failing, so the
 #                      script needs nothing beyond the Go toolchain).
