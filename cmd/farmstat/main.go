@@ -2,19 +2,21 @@
 // farmtrace (and by any program using internal/obs) into human-readable
 // tables: per-kind event rates and a degraded-read latency breakdown
 // from a trace, per-phase rebuild latency breakdowns from a span log,
-// and system-state summaries from a sampled time series.
+// system-state summaries from a sampled time series, and the loss
+// taxonomy plus blame attribution from a postmortem stream.
 //
 // Usage:
 //
-//	farmstat [-csv] [-trace trace.jsonl] [-spans spans.jsonl] [-series series.jsonl]
+//	farmstat [-csv] [-trace trace.jsonl] [-spans spans.jsonl] [-series series.jsonl] [-postmortems post.jsonl]
 //
 // At least one input flag is required. Each file is parsed with the same
 // readers the rest of the toolchain uses (trace.ReadJSONL,
-// obs.ReadSpanJSONL, obs.ReadSampleJSONL), so farmstat accepts exactly
-// what farmtrace emits:
+// obs.ReadSpanJSONL, obs.ReadSampleJSONL,
+// forensics.ReadPostmortemJSONL), so farmstat accepts exactly what
+// farmtrace emits:
 //
-//	farmtrace -hours 87600 -o trace.jsonl -spans spans.jsonl -series series.jsonl
-//	farmstat -trace trace.jsonl -spans spans.jsonl -series series.jsonl
+//	farmtrace -hours 87600 -o trace.jsonl -spans spans.jsonl -forensics post.jsonl
+//	farmstat -trace trace.jsonl -spans spans.jsonl -postmortems post.jsonl
 //
 // With -csv the tables are emitted as CSV blocks (one header row per
 // table) instead of aligned text, for spreadsheet import.
@@ -27,6 +29,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/forensics"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -37,15 +40,16 @@ func main() {
 		traceFile  = flag.String("trace", "", "trace JSONL file written by farmtrace -o")
 		spansFile  = flag.String("spans", "", "span JSONL file written by farmtrace -spans")
 		seriesFile = flag.String("series", "", "time-series JSONL file written by farmtrace -series")
+		postsFile  = flag.String("postmortems", "", "postmortem JSONL file written by farmtrace -forensics")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	)
 	flag.Parse()
-	if *traceFile == "" && *spansFile == "" && *seriesFile == "" {
-		fmt.Fprintln(os.Stderr, "farmstat: no inputs; pass at least one of -trace, -spans, -series")
+	if *traceFile == "" && *spansFile == "" && *seriesFile == "" && *postsFile == "" {
+		fmt.Fprintln(os.Stderr, "farmstat: no inputs; pass at least one of -trace, -spans, -series, -postmortems")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *traceFile, *spansFile, *seriesFile, *csv); err != nil {
+	if err := run(os.Stdout, *traceFile, *spansFile, *seriesFile, *postsFile, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "farmstat:", err)
 		os.Exit(1)
 	}
@@ -53,7 +57,7 @@ func main() {
 
 // run parses whichever inputs were named and streams their tables to w.
 // Split from main so the flag-to-table plumbing is testable.
-func run(w io.Writer, traceFile, spansFile, seriesFile string, csv bool) error {
+func run(w io.Writer, traceFile, spansFile, seriesFile, postsFile string, csv bool) error {
 	var tables []*report.Table
 	if traceFile != "" {
 		events, err := readInto(traceFile, trace.ReadJSONL)
@@ -78,6 +82,13 @@ func run(w io.Writer, traceFile, spansFile, seriesFile string, csv bool) error {
 			return err
 		}
 		tables = append(tables, seriesTable(samples))
+	}
+	if postsFile != "" {
+		posts, err := readInto(postsFile, forensics.ReadPostmortemJSONL)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, postmortemTables(posts)...)
 	}
 	bw := bufio.NewWriter(w)
 	for i, t := range tables {

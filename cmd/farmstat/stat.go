@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/forensics"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -67,20 +68,16 @@ func degradedTable(events []trace.Event) *report.Table {
 	for _, e := range events {
 		switch e.Kind {
 		case trace.KindDegradedReads:
-			var n int
-			var mean, max float64
-			if _, err := fmt.Sscanf(e.Detail, "n=%d mean=%f max=%f", &n, &mean, &max); err == nil && n > 0 {
+			if n, mean, max, ok := trace.ParseDegradedReads(e.Detail); ok && n > 0 {
 				wins = append(wins, window{e.Time, n, mean, max})
 			}
 		case trace.KindDemandBurst:
-			var hours, amp float64
-			if _, err := fmt.Sscanf(e.Detail, "hours=%f amp=%f", &hours, &amp); err == nil {
+			if hours, _, ok := trace.ParseDemandBurst(e.Detail); ok {
 				eps = append(eps, episode{e.Time, e.Time + hours})
 			}
 		case trace.KindThrottle:
 			throttleSteps++
-			var mbps, share float64
-			if _, err := fmt.Sscanf(e.Detail, "mbps=%f share=%f", &mbps, &share); err == nil {
+			if mbps, _, ok := trace.ParseThrottleStep(e.Detail); ok {
 				lastMBps = mbps
 			}
 		}
@@ -209,6 +206,73 @@ func spanTables(spans []*obs.Span) []*report.Table {
 		len(spans), attempts, retries, redirections, resourcings)
 	out.AddNote("%d hedges (%d won), %d timeouts", hedges, wins, timeouts)
 	return []*report.Table{phase, out}
+}
+
+// postmortemTables renders the loss taxonomy and the fleet-mean blame
+// attribution from one postmortem stream (farmtrace -forensics).
+func postmortemTables(posts []forensics.Postmortem) []*report.Table {
+	byClass := map[string]int{}
+	classWindow := map[string]*metrics.Welford{}
+	groupsLost := 0
+	var blame forensics.Blame
+	var window metrics.Welford
+	for i := range posts {
+		p := &posts[i]
+		byClass[p.Class]++
+		w := classWindow[p.Class]
+		if w == nil {
+			w = &metrics.Welford{}
+			classWindow[p.Class] = w
+		}
+		w.Add(p.WindowHours)
+		window.Add(p.WindowHours)
+		if p.Kind == string(trace.KindDataLoss) {
+			groupsLost += p.Groups
+		}
+		blame = forensics.AddBlame(blame, p.Blame)
+	}
+
+	tax := report.NewTable("Loss taxonomy (postmortem verdicts)",
+		"class", "events", "share", "mean window (h)", "max window (h)")
+	for _, c := range forensics.Classes {
+		n := byClass[c]
+		if n == 0 {
+			continue
+		}
+		w := classWindow[c]
+		tax.AddRow(c,
+			fmt.Sprintf("%d", n),
+			report.Pct(float64(n)/float64(len(posts))),
+			report.F(w.Mean()),
+			report.F(w.Max()))
+	}
+	tax.AddNote("%d postmortems, %d groups lost, mean window %.2f h",
+		len(posts), groupsLost, window.Mean())
+
+	bl := report.NewTable("Window-of-vulnerability blame (mean fraction)",
+		"component", "fraction")
+	if n := len(posts); n > 0 {
+		blame = forensics.ScaleBlame(blame, 1/float64(n))
+	}
+	for _, c := range []struct {
+		name string
+		frac float64
+	}{
+		{"detect wait", blame.Detect},
+		{"queue wait", blame.Queue},
+		{"transfer", blame.Transfer},
+		{"retry backoff", blame.Retry},
+		{"hedge overlap", blame.Hedge},
+		{"stalled (parked/fenced)", blame.Stalled},
+		{"fail-slow stretch", blame.FailSlow},
+		{"foreground contention", blame.Contention},
+		{"network oversubscription", blame.Network},
+		{"instant (no window)", blame.Instant},
+	} {
+		bl.AddRow(c.name, report.Pct(c.frac))
+	}
+	bl.AddNote("fractions of each event's window, averaged over %d postmortems; columns sum to 1", len(posts))
+	return []*report.Table{tax, bl}
 }
 
 // seriesTable renders mean/max/final summaries of the sampled system

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/forensics"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -247,14 +248,24 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	postsPath := filepath.Join(dir, "post.jsonl")
+	var pb bytes.Buffer
+	rep := forensics.Report{Posts: testPostmortems(), Losses: 2, Drops: 1}
+	if err := rep.WriteJSONL(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(postsPath, pb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
 	var out bytes.Buffer
-	if err := run(&out, tracePath, spanPath, seriesPath, false); err != nil {
+	if err := run(&out, tracePath, spanPath, seriesPath, postsPath, false); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
 	for _, want := range []string{
 		"Trace events by kind", "Rebuild phase breakdown", "Rebuild outcomes",
-		"System-state series",
+		"System-state series", "Loss taxonomy", "Window-of-vulnerability blame",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("combined output missing %q:\n%s", want, text)
@@ -262,7 +273,7 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run(&out, tracePath, "", "", true); err != nil {
+	if err := run(&out, tracePath, "", "", "", true); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "kind,count") {
@@ -272,7 +283,7 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunMissingFile(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, filepath.Join(t.TempDir(), "nope.jsonl"), "", "", false); err == nil {
+	if err := run(&out, filepath.Join(t.TempDir(), "nope.jsonl"), "", "", "", false); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -283,7 +294,54 @@ func TestRunBadJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(&out, p, "", "", false); err == nil {
+	if err := run(&out, p, "", "", "", false); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+func testPostmortems() []forensics.Postmortem {
+	return []forensics.Postmortem{
+		{T: 100, Kind: string(trace.KindDataLoss), Class: forensics.ClassFalseDead,
+			Groups: 3, WindowHours: 24, Blame: forensics.Blame{Stalled: 1}},
+		{T: 200, Kind: string(trace.KindDataLoss), Class: forensics.ClassLSERebuild,
+			Groups: 1, WindowHours: 4,
+			Blame: forensics.Blame{Detect: 0.125, Queue: 0.125, Transfer: 0.5, Stalled: 0.25}},
+		{T: 300, Kind: string(trace.KindDropped), Class: forensics.ClassTimeout,
+			WindowHours: 8,
+			Blame:       forensics.Blame{Transfer: 0.5, Retry: 0.25, FailSlow: 0.25}},
+	}
+}
+
+// TestPostmortemTables: the taxonomy table lists each class once in
+// display order with its share and windows, and the blame table's mean
+// fractions average the input vectors.
+func TestPostmortemTables(t *testing.T) {
+	tabs := postmortemTables(testPostmortems())
+	if len(tabs) != 2 {
+		t.Fatalf("postmortemTables returned %d tables, want 2", len(tabs))
+	}
+	var buf bytes.Buffer
+	for _, tab := range tabs {
+		if err := tab.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"false-dead-writeoff", "lse-during-rebuild", "timeout-abandon",
+		"3 postmortems, 4 groups lost",
+		// Mean stalled fraction (1 + 0.25 + 0)/3 = 41.7%; mean transfer
+		// (0 + 0.5 + 0.5)/3 = 33.3%.
+		"stalled (parked/fenced)", "41.7%",
+		"transfer", "33.3%",
+		"fail-slow stretch", "8.3%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("postmortem tables missing %q:\n%s", want, out)
+		}
+	}
+	// Unused classes do not render empty rows.
+	if strings.Contains(out, forensics.ClassBurstSpare) {
+		t.Errorf("unused class rendered:\n%s", out)
 	}
 }

@@ -63,6 +63,15 @@
 //	-metrics F   write the run's metrics registry as JSON lines to F
 //	-telemetry A serve /progress, /metrics, /debug/pprof/ on address A
 //	             for the lifetime of the run
+//
+// Forensic flags (off by default; the analysis is a pure function of
+// the trace and spans, so it never changes the simulation):
+//
+//	-forensics F write one causal postmortem per data-loss and dropped
+//	             rebuild as JSON lines to F; spans are recorded
+//	             internally for the window decomposition, postmortem
+//	             counters and blame histograms join the -metrics
+//	             registry, and the verdict count lands on stderr
 package main
 
 import (
@@ -74,6 +83,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/faults"
+	"repro/internal/forensics"
 	"repro/internal/obs"
 	"repro/internal/redundancy"
 	"repro/internal/topology"
@@ -145,6 +155,7 @@ func run() error {
 	seriesPath := flag.String("series", "", "write system-state samples (JSONL) to this file")
 	sampleHours := flag.Float64("sample", 24, "sampling cadence in simulated hours")
 	metricsPath := flag.String("metrics", "", "write the metrics registry (JSONL) to this file")
+	forensicsPath := flag.String("forensics", "", "write causal postmortems (JSONL) to this file")
 	telemetry := flag.String("telemetry", "", "serve live telemetry on this HTTP address (empty = off)")
 	flag.Parse()
 
@@ -215,7 +226,9 @@ func run() error {
 	if *metricsPath != "" || *telemetry != "" {
 		ob.Registry = obs.NewRegistry()
 	}
-	if *spansPath != "" {
+	if *spansPath != "" || *forensicsPath != "" {
+		// Forensics needs the span phase accounting for its window
+		// decomposition even when the spans themselves are not asked for.
 		ob.Spans = obs.NewSpanLog()
 	}
 	if *seriesPath != "" {
@@ -251,6 +264,22 @@ func run() error {
 		hub.FoldRun(res.DataLoss, ob.Registry)
 	}
 
+	if *forensicsPath != "" {
+		rep := forensics.Analyze(rec.Events(), ob.Spans.Spans(), forensics.Context{
+			OversubscriptionRatio: cfg.Topology.OversubscriptionRatio,
+			MaxResourcings:        cfg.Faults.MaxResourcings,
+		})
+		if ob.Registry != nil {
+			// Join the postmortem counters and blame histograms to the
+			// run's registry before it is written below.
+			rep.RecordInto(ob.Registry)
+		}
+		if err := writeFile(*forensicsPath, func(w *bufio.Writer) error { return rep.WriteJSONL(w) }); err != nil {
+			return fmt.Errorf("forensics: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "forensics: %d postmortems (%d losses, %d drops)\n",
+			len(rep.Posts), rep.Losses, rep.Drops)
+	}
 	if *spansPath != "" {
 		if err := writeFile(*spansPath, func(w *bufio.Writer) error { return ob.Spans.WriteJSONL(w) }); err != nil {
 			return fmt.Errorf("spans: %w", err)

@@ -9,16 +9,17 @@ import (
 // TestSingleRunAllocCeiling is the allocation-regression gate for the full
 // single-run path — kernel, cluster, placement, recovery, replacement and
 // metrics together — at the benchmark configuration BENCH_*.json records
-// (50 TB user data, 10 GB groups, FARM engine). The ceiling is the
-// BENCH_1 baseline (8857 allocs/op); the arena event queue and lazy group
-// materialization hold the measured figure well under it, so any change
-// that drifts allocations back above the seed fails `go test`, not just a
-// benchmark eyeball.
+// (50 TB user data, 10 GB groups, FARM engine). The ceiling was the
+// BENCH_1 baseline (8857 allocs/op) through PR 9; PR 6's arena event
+// queue and lazy group materialization plus PR 10's discard metric sinks
+// hold the measured figure near 7390, so the gate is tightened to the
+// BENCH_6 level (7430) — any change that drifts allocations back above
+// the claw-back fails `go test`, not just a benchmark eyeball.
 func TestSingleRunAllocCeiling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	const ceiling = 8857 // BENCH_1 SingleRunFARM allocs/op
+	const ceiling = 7430 // BENCH_6 SingleRunFARM allocs/op (PR 6 claw-back, locked in)
 	cfg := DefaultConfig()
 	cfg.TotalDataBytes = 50 * disk.TB
 	cfg.GroupBytes = 10 * disk.GB
@@ -34,7 +35,14 @@ func TestSingleRunAllocCeiling(t *testing.T) {
 		}
 		seed++
 	}
+	// The BENCH_* figures are steady-state averages over hundreds of
+	// runs; warm the simulator past its allocation high-water mark
+	// (lazy group maps, event arena chunks) before measuring, or the
+	// first runs' one-time growth lands in the average.
+	for i := 0; i < 30; i++ {
+		run()
+	}
 	if n := testing.AllocsPerRun(20, run); n > ceiling {
-		t.Fatalf("full single run allocates %.0f times, ceiling %d (BENCH_1)", n, ceiling)
+		t.Fatalf("full single run allocates %.0f times, ceiling %d (BENCH_6)", n, ceiling)
 	}
 }

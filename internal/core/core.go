@@ -480,10 +480,10 @@ func runOnce(cfg Config) (RunResult, error) {
 		random:  random,
 		res:     &res,
 		monitor: smart.Monitor{Accuracy: cfg.SmartAccuracy, LeadHours: cfg.SmartLeadHours},
-		// The sim-metrics bundle starts as a sink over a throwaway
-		// registry, so the ~14 counter-mirror sites below need no nil
-		// checks; an attached recorder swaps in the real one.
-		sm: obs.NewSimMetrics(obs.NewRegistry()),
+		// The sim-metrics bundle starts as a shared-handle discard sink,
+		// so the ~14 counter-mirror sites below need no nil checks; an
+		// attached recorder swaps in the real one.
+		sm: obs.NewDiscardSimMetrics(),
 	}
 
 	spawn := func(now sim.Time) int {

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/forensics"
+	"repro/internal/obs"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// forensicsStormConfig is the everything-on scenario the postmortem
+// gates run under: the obs storm (gray failures, stragglers, latent
+// errors, scrubbing, bursts, S.M.A.R.T. draining) plus the
+// oversubscribed fabric with network faults, a bounded spare pool,
+// foreground demand with adaptive QoS, and rolling upgrades — every
+// taxonomy class and stretch factor has a live producer.
+func forensicsStormConfig() Config {
+	cfg := obsStormConfig()
+	cfg.UseFARM = false // the spare engine owns the bounded pool and queue waits
+	cfg.Topology = topology.Config{
+		Racks:                 10,
+		UplinkMBps:            1000,
+		OversubscriptionRatio: 4,
+		FalseDeadHours:        24,
+	}
+	cfg.Faults.Network = faults.NetworkFaultConfig{
+		SwitchFailsPerYear:    2,
+		PowerEventsPerYear:    4,
+		PowerRestoreMeanHours: 8,
+		PartitionsPerYear:     50,
+		PartitionMeanHours:    12,
+	}
+	cfg.Faults.BurstsPerYear = 6
+	cfg.Faults.BurstMeanSize = 6
+	cfg.Faults.SparePoolSize = 2
+	cfg.Demand = workload.DemandConfig{
+		BaseShare:        0.3,
+		DiurnalAmplitude: 0.5,
+		BurstsPerDay:     1,
+		BurstShare:       0.25,
+		RackSkew:         0.3,
+		MaxShare:         0.7,
+	}
+	cfg.Throttle = workload.ThrottleConfig{Policy: workload.PolicyAIMD, FloorMBps: 8, MaxMBps: 32}
+	cfg.Maintenance = MaintenanceConfig{
+		DrainEveryHours:      720,
+		UpgradeEveryHours:    168,
+		UpgradeDurationHours: 12,
+	}
+	return cfg
+}
+
+// TestForensicsByteIdentity is the forensic layer's core contract:
+// attaching a postmortem aggregate to a campaign must leave the Result
+// byte-identical to the unobserved campaign — the analysis is a pure
+// function of taps that are themselves read-only.
+func TestForensicsByteIdentity(t *testing.T) {
+	cfg := forensicsStormConfig()
+	bare, err := MonteCarlo(cfg, MonteCarloOptions{Runs: 6, BaseSeed: 41, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := forensics.NewAggregate()
+	observed, err := MonteCarlo(cfg, MonteCarloOptions{Runs: 6, BaseSeed: 41, Workers: 2, Forensics: agg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, observed) {
+		t.Fatalf("forensics perturbed the campaign:\n bare %+v\n fore %+v", bare, observed)
+	}
+	if agg.Runs != 6 {
+		t.Fatalf("aggregate folded %d runs, want 6", agg.Runs)
+	}
+}
+
+// TestForensicsWorkerInvariant: the postmortem aggregate folds in
+// run-index order, so its JSON and its registry exposition must be
+// byte-identical for 1 and 4 workers. Under -race this also shakes out
+// unsynchronized access between workers and the aggregate.
+func TestForensicsWorkerInvariant(t *testing.T) {
+	cfg := forensicsStormConfig()
+	var wantJSON, wantReg []byte
+	for i, workers := range []int{1, 4} {
+		agg := forensics.NewAggregate()
+		if _, err := MonteCarlo(cfg, MonteCarloOptions{
+			Runs: 8, BaseSeed: 97, Workers: workers, Forensics: agg,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var js, reg bytes.Buffer
+		if err := agg.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Registry().WriteJSONL(&reg); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			wantJSON, wantReg = js.Bytes(), reg.Bytes()
+			if agg.Posts == 0 {
+				t.Fatal("storm campaign produced no postmortems; the gate is vacuous")
+			}
+			continue
+		}
+		if !bytes.Equal(js.Bytes(), wantJSON) {
+			t.Errorf("workers=%d: aggregate JSON differs from workers=1:\n%s\nvs\n%s",
+				workers, js.Bytes(), wantJSON)
+		}
+		if !bytes.Equal(reg.Bytes(), wantReg) {
+			t.Errorf("workers=%d: forensic registry differs from workers=1", workers)
+		}
+	}
+}
+
+// TestForensicsStormCoverage is the completeness gate: in the
+// everything-on storm, every data-loss and every dropped-rebuild event
+// gets exactly one postmortem, every postmortem carries a classified
+// verdict and a blame vector summing to 1 within 1e-9, and across the
+// seeds both event families actually occur (the gate is not vacuous).
+func TestForensicsStormCoverage(t *testing.T) {
+	cfg := forensicsStormConfig()
+	ctx := forensics.Context{
+		OversubscriptionRatio: cfg.Topology.OversubscriptionRatio,
+		MaxResourcings:        cfg.Faults.MaxResourcings,
+	}
+	losses, drops := 0, 0
+	for seed := uint64(1); seed <= 6; seed++ {
+		run := cfg
+		run.Seed = seed
+		rec := trace.NewRecorder()
+		run.Hook = rec.Record
+		spans := obs.NewSpanLog()
+		run.Obs = &obs.RunObserver{Spans: spans}
+		if _, err := runOnce(run); err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, e := range rec.Events() {
+			if e.Kind == trace.KindDataLoss || e.Kind == trace.KindDropped {
+				want++
+			}
+		}
+		rep := forensics.Analyze(rec.Events(), spans.Spans(), ctx)
+		if len(rep.Posts) != want {
+			t.Fatalf("seed %d: %d postmortems for %d loss/drop events", seed, len(rep.Posts), want)
+		}
+		if rep.Losses+rep.Drops != want {
+			t.Fatalf("seed %d: losses %d + drops %d != %d events", seed, rep.Losses, rep.Drops, want)
+		}
+		losses += rep.Losses
+		drops += rep.Drops
+		for i := range rep.Posts {
+			p := &rep.Posts[i]
+			if p.Class == "" {
+				t.Fatalf("seed %d: postmortem %d has no class", seed, i)
+			}
+			if s := p.Blame.Sum(); math.Abs(s-1) > 1e-9 {
+				t.Fatalf("seed %d: postmortem %d (%s) blame sums to %.12f", seed, i, p.Class, s)
+			}
+			if p.WindowHours < 0 {
+				t.Fatalf("seed %d: postmortem %d has negative window %v", seed, i, p.WindowHours)
+			}
+			// Drops have span evidence by construction (spans were on),
+			// so none may fall back to the unattributed class.
+			if p.Kind == string(trace.KindDropped) && p.Class == forensics.ClassUnattributed {
+				t.Fatalf("seed %d: dropped rebuild left unattributed: %+v", seed, p)
+			}
+		}
+	}
+	if losses == 0 {
+		t.Fatal("storm produced no data-loss events across all seeds; the gate is vacuous")
+	}
+	if drops == 0 {
+		t.Fatal("storm produced no dropped rebuilds across all seeds; the gate is vacuous")
+	}
+}
+
+// TestMonteCarloRejectsSharedHook: a campaign with both a forensic
+// aggregate and a caller trace hook cannot be sound — the per-run
+// recorder must own the hook.
+func TestMonteCarloRejectsSharedHook(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Hook = func(trace.Event) {}
+	_, err := MonteCarlo(cfg, MonteCarloOptions{
+		Runs: 2, BaseSeed: 1, Forensics: forensics.NewAggregate(),
+	})
+	if !errors.Is(err, ErrSharedHook) {
+		t.Fatalf("err = %v, want ErrSharedHook", err)
+	}
+}

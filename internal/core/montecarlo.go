@@ -6,8 +6,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/forensics"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Result aggregates a Monte Carlo campaign: the statistics the paper's
@@ -113,6 +115,17 @@ type MonteCarloOptions struct {
 	// scheduling. Serving the campaign over HTTP is the caller's business
 	// (obs.StartTelemetry).
 	Telemetry *obs.Campaign
+	// Forensics, when non-nil, receives a causal postmortem for every
+	// data-loss and dropped-rebuild event of the campaign. Each run
+	// executes with a private trace recorder and span log (the
+	// simulation itself is untouched — tracing and spans are read-only
+	// taps), forensics.Analyze runs off the hot path after the run
+	// finishes, and the per-run reports are folded into the aggregate in
+	// strict run-index order alongside the Result, so the aggregate —
+	// counts, blame sums, registry bytes — is identical regardless of
+	// worker count. Incompatible with a caller-supplied Config.Hook: one
+	// hook cannot soundly observe many concurrent runs.
+	Forensics *forensics.Aggregate
 }
 
 // ErrNoRuns reports an empty campaign request.
@@ -123,6 +136,11 @@ var ErrNoRuns = errors.New("core: MonteCarlo needs at least one run")
 // MonteCarloOptions.Telemetry for campaign metrics, Simulator.Run for
 // spans and series.
 var ErrSharedObs = errors.New("core: Config.Obs is per-run; use MonteCarloOptions.Telemetry for campaigns")
+
+// ErrSharedHook rejects a Config.Hook on a forensic campaign: forensics
+// needs a private per-run event stream, and a shared hook across
+// parallel runs would race and interleave runs meaninglessly.
+var ErrSharedHook = errors.New("core: Config.Hook is per-run; MonteCarloOptions.Forensics records its own traces")
 
 // MonteCarlo executes opts.Runs independent trajectories of cfg in
 // parallel and aggregates them streamingly. Each run gets its own seeded
@@ -160,6 +178,12 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 		// series belong to single runs (Simulator.Run).
 		return Result{}, ErrSharedObs
 	}
+	fore := opts.Forensics
+	if fore != nil && cfg.Hook != nil {
+		// Forensics installs its own per-run recorder as the hook; a
+		// caller-supplied hook would additionally race across workers.
+		return Result{}, ErrSharedHook
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -176,6 +200,7 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 	type slot struct {
 		res   RunResult
 		reg   *obs.Registry
+		post  *forensics.Report
 		err   error
 		ready bool
 	}
@@ -209,11 +234,29 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 				// Each run records into a private registry; the ordered
 				// fold below merges it into the campaign master.
 				reg = obs.NewRegistry()
-				runCfg.Obs = &obs.RunObserver{Registry: reg}
+			}
+			var rec *trace.Recorder
+			var spans *obs.SpanLog
+			if fore != nil {
+				// Private per-run trace + span taps for the postmortem
+				// analysis; Analyze runs after the run, off the hot path.
+				rec = trace.NewRecorder()
+				spans = obs.NewSpanLog()
+				runCfg.Hook = rec.Record
+			}
+			if reg != nil || spans != nil {
+				runCfg.Obs = &obs.RunObserver{Registry: reg, Spans: spans}
 			}
 			res, err := runOnce(runCfg)
 			if tele != nil {
 				tele.WorkerRunDone(w)
+			}
+			var post *forensics.Report
+			if fore != nil && err == nil {
+				post = forensics.Analyze(rec.Events(), spans.Spans(), forensics.Context{
+					OversubscriptionRatio: cfg.Topology.OversubscriptionRatio,
+					MaxResourcings:        cfg.Faults.MaxResourcings,
+				})
 			}
 
 			mu.Lock()
@@ -225,7 +268,7 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 				return
 			}
 			s := &ring[i%window]
-			s.res, s.reg, s.err, s.ready = res, reg, err, true
+			s.res, s.reg, s.post, s.err, s.ready = res, reg, post, err, true
 			// Fold the ready prefix in run-index order.
 			for {
 				cur := &ring[reduced%window]
@@ -242,9 +285,13 @@ func MonteCarlo(cfg Config, opts MonteCarloOptions) (Result, error) {
 				if tele != nil {
 					tele.FoldRun(cur.res.DataLoss, cur.reg)
 				}
+				if fore != nil {
+					fore.AddRun(cur.post)
+				}
 				cur.ready = false
 				cur.res = RunResult{}
 				cur.reg = nil
+				cur.post = nil
 				reduced++
 				if opts.Progress != nil {
 					opts.Progress(reduced, opts.Runs)

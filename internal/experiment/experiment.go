@@ -192,7 +192,7 @@ func All() []Experiment {
 // paperOrder sorts experiments as they appear in the paper; extensions
 // (ext-*) follow in lexical order.
 func paperOrder(id string) int {
-	order := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5", "fig6", "table3", "fig7", "fig8a", "fig8b", "ext-adaptive", "ext-bigfleet", "ext-elastic", "ext-failslow", "ext-faults", "ext-network", "ext-smart"}
+	order := []string{"table1", "table2", "fig3", "fig4a", "fig4b", "fig5", "fig6", "table3", "fig7", "fig8a", "fig8b", "ext-adaptive", "ext-bigfleet", "ext-elastic", "ext-failslow", "ext-faults", "ext-forensics", "ext-network", "ext-smart"}
 	for i, v := range order {
 		if v == id {
 			return i

@@ -16,7 +16,7 @@ func tinyOpts() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig3", "fig4a", "fig4b",
 		"fig5", "fig6", "table3", "fig7", "fig8a", "fig8b",
-		"ext-adaptive", "ext-bigfleet", "ext-elastic", "ext-failslow", "ext-faults", "ext-network", "ext-smart"}
+		"ext-adaptive", "ext-bigfleet", "ext-elastic", "ext-failslow", "ext-faults", "ext-forensics", "ext-network", "ext-smart"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestExtForensicsTiny runs the forensic extension at toy scale: both
+// tables must materialize, the taxonomy must carry at least one verdict
+// (the storm is not vacuous), and the blame columns must sum to 1.
+func TestExtForensicsTiny(t *testing.T) {
+	e, ok := Lookup("ext-forensics")
+	if !ok {
+		t.Fatal("ext-forensics not registered")
+	}
+	tabs, err := e.Run(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("ext-forensics emitted %d tables, want 2", len(tabs))
+	}
+	if len(tabs[0].Rows) == 0 {
+		t.Fatal("taxonomy table is empty; the storm produced no postmortems")
+	}
+	if got := len(tabs[1].Rows); got != 10 {
+		t.Fatalf("blame table has %d rows, want 10", got)
+	}
+	// Each engine's mean blame column sums to 1 (re-summed from the
+	// rendered percentages, so the tolerance covers per-cell rounding).
+	for col := 1; col <= 2; col++ {
+		sum := 0.0
+		for _, row := range tabs[1].Rows {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "%"), 64)
+			if err != nil {
+				t.Fatalf("unparseable blame cell %q", row[col])
+			}
+			sum += v
+		}
+		if math.Abs(sum-100) > 0.6 {
+			t.Errorf("blame column %d sums to %.2f%%, want 100%%", col, sum)
+		}
+	}
+	var buf bytes.Buffer
+	for _, tab := range tabs {
+		if err := tab.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"FARM", "spare", "stalled (parked/fenced)", "postmortems"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext-forensics output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package forensics
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// Aggregate folds postmortems across Monte Carlo runs. It must be fed
+// complete runs in run-index order (the ordered fold in core.MonteCarlo
+// does exactly that), which makes every float accumulation — blame
+// sums, window moments, registry histograms — byte-identical across
+// worker counts. Not safe for concurrent use; the fold is serialized.
+type Aggregate struct {
+	// Runs counts the folded runs; Posts/Losses/Drops the postmortems.
+	Runs   int `json:"runs"`
+	Posts  int `json:"posts"`
+	Losses int `json:"losses"`
+	Drops  int `json:"drops"`
+	// ByClass counts postmortems per taxonomy class.
+	ByClass map[string]int `json:"by_class"`
+	// BlameSum accumulates blame fractions over all postmortems; divide
+	// by Posts for the fleet-mean blame vector.
+	BlameSum Blame `json:"blame_sum"`
+	// Window accumulates the postmortem windows' moments.
+	Window metrics.Welford `json:"-"`
+
+	reg *obs.Registry
+}
+
+// NewAggregate returns an empty aggregate with a fresh metrics registry.
+func NewAggregate() *Aggregate {
+	return &Aggregate{ByClass: map[string]int{}, reg: obs.NewRegistry()}
+}
+
+// AddRun folds one run's report. Call in run-index order.
+func (a *Aggregate) AddRun(r *Report) {
+	if r == nil {
+		return
+	}
+	a.Runs++
+	a.Posts += len(r.Posts)
+	a.Losses += r.Losses
+	a.Drops += r.Drops
+	for i := range r.Posts {
+		p := &r.Posts[i]
+		a.ByClass[p.Class]++
+		a.BlameSum.add(p.Blame)
+		a.Window.Add(p.WindowHours)
+	}
+	r.RecordInto(a.reg)
+}
+
+// MeanBlame returns the fleet-mean blame vector (zero when no
+// postmortems exist).
+func (a *Aggregate) MeanBlame() Blame {
+	b := a.BlameSum
+	if a.Posts > 0 {
+		b.scale(1 / float64(a.Posts))
+	}
+	return b
+}
+
+// Registry exposes the aggregate's forensic counters and histograms
+// for exposition or merging into a campaign registry.
+func (a *Aggregate) Registry() *obs.Registry { return a.reg }
+
+// WriteJSON writes the aggregate as one JSON object (map keys sorted by
+// encoding/json, so the bytes are deterministic).
+func (a *Aggregate) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(a)
+}
+
+// classCounter maps taxonomy classes to their obs catalogue names.
+// Declared as a function, not a map, so there is no iteration-order
+// hazard anywhere near the registry.
+func classCounter(class string) obs.Name {
+	switch class {
+	case ClassFalseDead:
+		return obs.MetricLossFalseDead
+	case ClassLSERebuild:
+		return obs.MetricLossLSERebuild
+	case ClassLSEScrub:
+		return obs.MetricLossLSEScrub
+	case ClassBurstSpare:
+		return obs.MetricLossBurstSpare
+	case ClassBurst:
+		return obs.MetricLossBurst
+	case ClassIndependent:
+		return obs.MetricLossIndependent
+	case ClassSourceExhaustion:
+		return obs.MetricDropSourceExhaustion
+	case ClassTimeout:
+		return obs.MetricDropTimeout
+	case ClassGroupLost, ClassUnattributed:
+		return obs.MetricDropGroupLost
+	}
+	return obs.MetricPostmortems
+}
+
+// RecordInto records one run's postmortems into a registry: total and
+// per-class counters, window and leading-blame-fraction histograms.
+// Postmortems are recorded in report order, so the float histogram sums
+// are deterministic.
+func (r *Report) RecordInto(reg *obs.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	reg.Counter(obs.MetricPostmortems).Add(uint64(len(r.Posts)))
+	reg.Counter(obs.MetricPostmortemLosses).Add(uint64(r.Losses))
+	reg.Counter(obs.MetricPostmortemDrops).Add(uint64(r.Drops))
+	wh := reg.Histogram(obs.MetricPostmortemWindow, obs.PhaseBounds)
+	bt := reg.Histogram(obs.MetricBlameTransfer, obs.FractionBounds)
+	bd := reg.Histogram(obs.MetricBlameDetect, obs.FractionBounds)
+	bs := reg.Histogram(obs.MetricBlameStretch, obs.FractionBounds)
+	for i := range r.Posts {
+		p := &r.Posts[i]
+		reg.Counter(classCounter(p.Class)).Inc()
+		wh.Observe(p.WindowHours)
+		bt.Observe(p.Blame.Transfer)
+		bd.Observe(p.Blame.Detect)
+		bs.Observe(p.Blame.FailSlow + p.Blame.Contention + p.Blame.Network)
+	}
+}

@@ -1,0 +1,293 @@
+// Package forensics is the simulator's root-cause layer: a
+// deterministic, read-only pass over one run's trace and span streams
+// that explains every loss. For each traced `data-loss` and `dropped`
+// event it produces a Postmortem — the causal chain that led there, a
+// deterministic taxonomy class, and a blame vector decomposing the
+// lost group's window of vulnerability into where the time went
+// (detect/queue/transfer/retry/hedge/stalled) and what stretched it
+// (fail-slow sources, foreground contention, the oversubscribed
+// spine). Fleet-level Aggregates fold postmortems across Monte Carlo
+// runs in run-index order, so blame attribution is byte-identical
+// across worker counts, like every other campaign output.
+//
+// The layer consumes only what the flight recorder already emits; it
+// never touches the simulation, so forensics-on is byte-identical to
+// forensics-off for all simulation outputs.
+package forensics
+
+import (
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Context carries the configuration facts blame attribution needs —
+// the knobs that shaped the run but are invisible in the event stream.
+type Context struct {
+	// OversubscriptionRatio is the fabric's spine oversubscription
+	// (cfg.Topology.OversubscriptionRatio); ≤ 1 disables the network
+	// stretch factor.
+	OversubscriptionRatio float64
+	// MaxResourcings is the per-rebuild source-switch cap
+	// (cfg.Faults.MaxResourcings); 0 means the fault model's default, 8.
+	MaxResourcings int
+	// BurstAssocHours is how long after a correlated burst a loss is
+	// still blamed on it; 0 means the default, 24.
+	BurstAssocHours float64
+}
+
+func (c Context) burstWindow() float64 {
+	if c.BurstAssocHours > 0 {
+		return c.BurstAssocHours
+	}
+	return 24
+}
+
+func (c Context) maxResourcings() int {
+	if c.MaxResourcings > 0 {
+		return c.MaxResourcings
+	}
+	return 8
+}
+
+// ChainLink is one hop of a postmortem's causal chain, in time order.
+type ChainLink struct {
+	T      float64 `json:"t"`
+	Kind   string  `json:"kind"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// Postmortem explains one traced data-loss or dropped-rebuild event.
+type Postmortem struct {
+	// Seq numbers postmortems within a run, in trace order.
+	Seq int `json:"seq"`
+	// T is the time of the loss event (simulated hours).
+	T float64 `json:"t"`
+	// Kind is the losing event's trace kind: "data-loss" or "dropped".
+	Kind string `json:"kind"`
+	// Class is the deterministic taxonomy verdict (see taxonomy.go).
+	Class string `json:"class"`
+	// Disk is the event's disk: the final trigger for a loss, the
+	// rebuild target for a drop.
+	Disk int `json:"disk"`
+	// Group/Rep identify the rebuild for drops (and for losses when the
+	// chain pins one); -1 when unknown.
+	Group int `json:"group"`
+	Rep   int `json:"rep"`
+	// Groups is how many groups crossed into loss at this instant
+	// (data-loss only; 1 otherwise).
+	Groups int `json:"groups,omitempty"`
+	// WindowHours is the reconstructed window of vulnerability the
+	// blame vector decomposes; 0 when the loss was instantaneous (or no
+	// span evidence exists — then Blame.Instant is 1).
+	WindowHours float64 `json:"window_hours"`
+	// Blame is the normalized blame vector; fractions sum to 1.
+	Blame Blame `json:"blame"`
+	// Chain is the causal chain, oldest first, capped at maxChain.
+	Chain []ChainLink `json:"chain,omitempty"`
+}
+
+// Report is one run's forensic output: a postmortem per loss event, in
+// trace order.
+type Report struct {
+	Posts  []Postmortem `json:"posts"`
+	Losses int          `json:"losses"`
+	Drops  int          `json:"drops"`
+}
+
+// maxChain caps a postmortem's causal chain; the classification anchors
+// always fit, deep retry ladders are summarized instead of enumerated.
+const maxChain = 16
+
+type gr struct{ g, r int }
+
+type lseHit struct {
+	t          float64
+	group, rep int
+}
+
+type parkSpan struct{ from, to float64 }
+
+// analyzer is the single-forward-pass state machine over the trace.
+// All lookups are by concrete key — no map iteration — so the pass is
+// deterministic without sorting.
+type analyzer struct {
+	ctx   Context
+	spans []*obs.Span
+
+	// dropIdx indexes dropped spans by rebuild identity for exact
+	// DoneAt matching; consumed front-to-back per key.
+	dropIdx map[gr][]*obs.Span
+
+	diskFailAt      map[int]float64
+	diskFailBlocks  map[int]int
+	darkSince       map[int]float64
+	lastLSEDetect   map[int]lseHit
+	lastScrubRepair map[int]lseHit
+	slowFactor      map[int]float64
+	crossRackAt     map[gr]float64
+	timedOutAt      map[gr]float64
+	hedgeAt         map[gr]float64
+	parkFrom        map[gr]float64
+	parks           map[gr][]parkSpan
+
+	falseDead struct {
+		t, since float64
+		rack     int
+		ok       bool
+	}
+	throttle struct {
+		t, mbps, share float64
+		ok             bool
+	}
+	burst struct {
+		t     float64
+		kills int
+		ok    bool
+	}
+	spare struct {
+		t  float64
+		ok bool
+	}
+}
+
+// Analyze runs the forensic pass over one run's event stream and
+// (optionally) its rebuild-lifecycle spans, producing exactly one
+// postmortem per data-loss and per dropped event, in trace order. A nil
+// span slice degrades gracefully: windows without span evidence come
+// back Instant and drop classification falls to ClassUnattributed.
+// Events must be time-sorted (the recorder's natural order).
+func Analyze(events []trace.Event, spans []*obs.Span, ctx Context) *Report {
+	a := &analyzer{
+		ctx:             ctx,
+		spans:           spans,
+		dropIdx:         map[gr][]*obs.Span{},
+		diskFailAt:      map[int]float64{},
+		diskFailBlocks:  map[int]int{},
+		darkSince:       map[int]float64{},
+		lastLSEDetect:   map[int]lseHit{},
+		lastScrubRepair: map[int]lseHit{},
+		slowFactor:      map[int]float64{},
+		crossRackAt:     map[gr]float64{},
+		timedOutAt:      map[gr]float64{},
+		hedgeAt:         map[gr]float64{},
+		parkFrom:        map[gr]float64{},
+		parks:           map[gr][]parkSpan{},
+	}
+	for _, sp := range spans {
+		if sp.Outcome == obs.OutcomeDropped {
+			k := gr{sp.Group, sp.Rep}
+			a.dropIdx[k] = append(a.dropIdx[k], sp)
+		}
+	}
+	rep := &Report{}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindDiskFail:
+			a.diskFailAt[e.Disk] = e.Time
+			if n, ok := trace.ParseBlocks(e.Detail); ok {
+				a.diskFailBlocks[e.Disk] = n
+			}
+		case trace.KindRackUnreachable:
+			a.darkSince[e.Rack] = e.Time
+		case trace.KindPartitionHeal:
+			delete(a.darkSince, e.Rack)
+		case trace.KindFalseDead:
+			a.falseDead.t = e.Time
+			a.falseDead.rack = e.Rack
+			a.falseDead.since = a.darkSince[e.Rack]
+			a.falseDead.ok = true
+			delete(a.darkSince, e.Rack)
+		case trace.KindFailSlowOnset:
+			if f, ok := trace.ParseFactor(e.Detail); ok && f > 1 {
+				a.slowFactor[e.Disk] = f
+			} else {
+				a.slowFactor[e.Disk] = 1
+			}
+		case trace.KindFailSlowRecover:
+			delete(a.slowFactor, e.Disk)
+		case trace.KindThrottle:
+			if m, s, ok := trace.ParseThrottleStep(e.Detail); ok {
+				a.throttle.t, a.throttle.mbps, a.throttle.share = e.Time, m, s
+				a.throttle.ok = true
+			}
+		case trace.KindBurst:
+			a.burst.t = e.Time
+			a.burst.ok = true
+			a.burst.kills = 0
+			if k, ok := trace.ParseKills(e.Detail); ok {
+				a.burst.kills = k
+			}
+		case trace.KindSpareQueued:
+			a.spare.t = e.Time
+			a.spare.ok = true
+		case trace.KindLSEDetect:
+			a.lastLSEDetect[e.Disk] = lseHit{e.Time, e.Group, e.Rep}
+		case trace.KindScrubRepair:
+			a.lastScrubRepair[e.Disk] = lseHit{e.Time, e.Group, e.Rep}
+		case trace.KindResourceCrossRack:
+			a.crossRackAt[gr{e.Group, e.Rep}] = e.Time
+		case trace.KindRebuildTimeout:
+			a.timedOutAt[gr{e.Group, e.Rep}] = e.Time
+		case trace.KindHedge:
+			a.hedgeAt[gr{e.Group, e.Rep}] = e.Time
+		case trace.KindRebuildParked:
+			a.parkFrom[gr{e.Group, e.Rep}] = e.Time
+		case trace.KindRebuildResumed:
+			k := gr{e.Group, e.Rep}
+			if from, ok := a.parkFrom[k]; ok {
+				if len(a.parks[k]) < 4 {
+					a.parks[k] = append(a.parks[k], parkSpan{from, e.Time})
+				}
+				delete(a.parkFrom, k)
+			}
+		case trace.KindDataLoss:
+			p := a.lossPostmortem(e)
+			p.Seq = len(rep.Posts)
+			rep.Posts = append(rep.Posts, p)
+			rep.Losses++
+		case trace.KindDropped:
+			p := a.dropPostmortem(e)
+			p.Seq = len(rep.Posts)
+			rep.Posts = append(rep.Posts, p)
+			rep.Drops++
+		}
+	}
+	return rep
+}
+
+// openSpanOn returns the earliest-failed span open at time t, optionally
+// restricted to one group (group < 0 matches any). A span is open at t
+// when its block was already lost and its rebuild had not yet resolved.
+func (a *analyzer) openSpanOn(t float64, group int) *obs.Span {
+	var best *obs.Span
+	for _, sp := range a.spans {
+		if group >= 0 && sp.Group != group {
+			continue
+		}
+		if sp.FailedAt > t {
+			continue
+		}
+		if sp.DoneAt >= 0 && sp.DoneAt < t {
+			continue
+		}
+		if best == nil || sp.FailedAt < best.FailedAt {
+			best = sp
+		}
+	}
+	return best
+}
+
+// takeDroppedSpan consumes the first unconsumed dropped span for the
+// rebuild that ended exactly at t. Exact float equality is correct
+// here: the span's DoneAt and the dropped event's Time are the same
+// float64, surviving a JSON round-trip bit-for-bit.
+func (a *analyzer) takeDroppedSpan(k gr, t float64) *obs.Span {
+	list := a.dropIdx[k]
+	for i, sp := range list {
+		if sp.DoneAt == t {
+			a.dropIdx[k] = append(list[:i:i], list[i+1:]...)
+			return sp
+		}
+	}
+	return nil
+}

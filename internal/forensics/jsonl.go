@@ -1,0 +1,32 @@
+package forensics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL writes one JSON object per postmortem, in report order.
+func (r *Report) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range r.Posts {
+		if err := enc.Encode(&r.Posts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPostmortemJSONL parses a stream written by WriteJSONL.
+func ReadPostmortemJSONL(rd io.Reader) ([]Postmortem, error) {
+	dec := json.NewDecoder(rd)
+	var out []Postmortem
+	for dec.More() {
+		var p Postmortem
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("forensics: %w", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,224 @@
+package forensics
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Loss taxonomy. Classification is deterministic: the rules below are
+// tried in order and the first match wins, so the same trace always
+// yields the same verdicts.
+//
+// data-loss events:
+//
+//  1. ClassFalseDead — a false-dead declaration fired at this exact
+//     instant: the loss is the write-off of a dark rack's drives.
+//  2. ClassLSERebuild — an lse-detect on the event's disk at this exact
+//     instant: a rebuild read tripped over a latent error and took the
+//     group's last redundancy.
+//  3. ClassLSEScrub — likewise, discovered by the scrubber.
+//  4. ClassBurstSpare — a correlated burst within the association
+//     window AND a spare-pool wait within it: the burst outran the
+//     exhausted pool.
+//  5. ClassBurst — a correlated burst within the association window.
+//  6. ClassIndependent — none of the above: independent failures
+//     stacked up faster than recovery.
+//
+// dropped events (span evidence required; spans off → ClassUnattributed):
+//
+//  1. ClassSourceExhaustion — the re-sourcing ladder exceeded the cap.
+//  2. ClassTimeout — the straggler timeout condemned the attempt
+//     before it dropped.
+//  3. ClassGroupLost — the group died while the rebuild was in flight;
+//     the drop just drains work the loss already orphaned.
+const (
+	ClassFalseDead        = "false-dead-writeoff"
+	ClassLSERebuild       = "lse-during-rebuild"
+	ClassLSEScrub         = "lse-at-scrub"
+	ClassBurstSpare       = "burst+spare-exhaustion"
+	ClassBurst            = "correlated-burst"
+	ClassIndependent      = "independent-failures"
+	ClassSourceExhaustion = "source-exhaustion"
+	ClassTimeout          = "timeout-abandon"
+	ClassGroupLost        = "group-lost"
+	ClassUnattributed     = "unattributed"
+)
+
+// Classes lists every taxonomy class in display order: data-loss
+// classes first, drop classes after, most specific first within each.
+var Classes = []string{
+	ClassFalseDead, ClassLSERebuild, ClassLSEScrub,
+	ClassBurstSpare, ClassBurst, ClassIndependent,
+	ClassSourceExhaustion, ClassTimeout, ClassGroupLost,
+	ClassUnattributed,
+}
+
+// lossPostmortem builds the postmortem for one data-loss event.
+func (a *analyzer) lossPostmortem(e trace.Event) Postmortem {
+	groups := 1
+	if n, ok := trace.ParseGroups(e.Detail); ok {
+		groups = n
+	}
+	p := Postmortem{
+		T: e.Time, Kind: string(trace.KindDataLoss),
+		Disk: e.Disk, Group: -1, Rep: -1, Groups: groups,
+	}
+	switch {
+	case a.falseDead.ok && a.falseDead.t == e.Time:
+		p.Class = ClassFalseDead
+		// The window is the whole outage: the data became unavailable
+		// when the rack went dark, and the write-off ends the wait.
+		p.WindowHours = e.Time - a.falseDead.since
+		p.Blame = Blame{Stalled: 1}
+		p.Chain = append(p.Chain,
+			ChainLink{a.falseDead.since, string(trace.KindRackUnreachable), fmt.Sprintf("rack=%d", a.falseDead.rack)},
+			ChainLink{a.falseDead.t, string(trace.KindFalseDead), fmt.Sprintf("rack=%d", a.falseDead.rack)},
+			ChainLink{e.Time, string(trace.KindDiskFail), fmt.Sprintf("disk=%d", e.Disk)})
+	case hitAt(a.lastLSEDetect, e.Disk, e.Time):
+		h := a.lastLSEDetect[e.Disk]
+		p.Class = ClassLSERebuild
+		p.Group, p.Rep = h.group, h.rep
+		p.Chain = append(p.Chain,
+			ChainLink{h.t, string(trace.KindLSEDetect), fmt.Sprintf("disk=%d group=%d", e.Disk, h.group)})
+		a.windowFromOpenSpan(&p, e, h.group)
+	case hitAt(a.lastScrubRepair, e.Disk, e.Time):
+		h := a.lastScrubRepair[e.Disk]
+		p.Class = ClassLSEScrub
+		p.Group, p.Rep = h.group, h.rep
+		p.Chain = append(p.Chain,
+			ChainLink{h.t, string(trace.KindScrubRepair), fmt.Sprintf("disk=%d group=%d", e.Disk, h.group)})
+		a.windowFromOpenSpan(&p, e, h.group)
+	case a.burst.ok && e.Time-a.burst.t <= a.ctx.burstWindow():
+		if a.spare.ok && e.Time-a.spare.t <= a.ctx.burstWindow() {
+			p.Class = ClassBurstSpare
+			p.Chain = append(p.Chain,
+				ChainLink{a.burst.t, string(trace.KindBurst), fmt.Sprintf("kills=%d", a.burst.kills)},
+				ChainLink{a.spare.t, string(trace.KindSpareQueued), ""})
+		} else {
+			p.Class = ClassBurst
+			p.Chain = append(p.Chain,
+				ChainLink{a.burst.t, string(trace.KindBurst), fmt.Sprintf("kills=%d", a.burst.kills)})
+		}
+		a.windowFromOpenSpan(&p, e, -1)
+	default:
+		p.Class = ClassIndependent
+		if t, ok := a.diskFailAt[e.Disk]; ok {
+			p.Chain = append(p.Chain,
+				ChainLink{t, string(trace.KindDiskFail), fmt.Sprintf("disk=%d", e.Disk)})
+		}
+		a.windowFromOpenSpan(&p, e, -1)
+	}
+	a.finishChain(&p, e.Time)
+	return p
+}
+
+// hitAt reports whether the map holds a hit for the disk at exactly t
+// (the presence check guards the zero lseHit from aliasing a hit at 0).
+func hitAt(m map[int]lseHit, disk int, t float64) bool {
+	h, ok := m[disk]
+	return ok && h.t == t
+}
+
+// windowFromOpenSpan anchors a loss postmortem's window on the
+// earliest-failed rebuild still open at the loss instant — for an
+// LSE-class loss, open on the struck group; for burst/independent
+// losses, the longest-exposed rebuild anywhere (the fleet's deepest
+// exposure when the music stopped). Without span evidence the loss is
+// Instant: no reconstruction was in flight, or spans were off.
+func (a *analyzer) windowFromOpenSpan(p *Postmortem, e trace.Event, group int) {
+	sp := a.openSpanOn(e.Time, group)
+	if sp == nil {
+		p.WindowHours = 0
+		p.Blame = Blame{Instant: 1}
+		return
+	}
+	if p.Group < 0 {
+		p.Group, p.Rep = sp.Group, sp.Rep
+	}
+	p.WindowHours = e.Time - sp.FailedAt
+	p.Blame = a.blameFromSpan(sp, e.Time, e.Disk)
+	p.Chain = append(p.Chain,
+		ChainLink{sp.FailedAt, "block-failed", fmt.Sprintf("group=%d rep=%d", sp.Group, sp.Rep)})
+}
+
+// dropPostmortem builds the postmortem for one dropped-rebuild event.
+func (a *analyzer) dropPostmortem(e trace.Event) Postmortem {
+	k := gr{e.Group, e.Rep}
+	p := Postmortem{
+		T: e.Time, Kind: string(trace.KindDropped),
+		Disk: e.Disk, Group: e.Group, Rep: e.Rep,
+	}
+	sp := a.takeDroppedSpan(k, e.Time)
+	if sp == nil {
+		p.Class = ClassUnattributed
+		p.Blame = Blame{Instant: 1}
+		a.finishChain(&p, e.Time)
+		return p
+	}
+	switch {
+	case sp.Resourcings > a.ctx.maxResourcings():
+		p.Class = ClassSourceExhaustion
+	case sp.TimedOut:
+		p.Class = ClassTimeout
+	default:
+		p.Class = ClassGroupLost
+	}
+	p.WindowHours = sp.DoneAt - sp.FailedAt
+	p.Blame = a.blameFromSpan(sp, sp.DoneAt, e.Disk)
+	p.Chain = append(p.Chain,
+		ChainLink{sp.FailedAt, "block-failed", fmt.Sprintf("group=%d rep=%d", sp.Group, sp.Rep)})
+	if sp.Retries > 0 || sp.Resourcings > 0 || sp.Redirections > 0 {
+		p.Chain = append(p.Chain, ChainLink{sp.QueuedAt, "retry-ladder",
+			fmt.Sprintf("retries=%d resourcings=%d redirections=%d",
+				sp.Retries, sp.Resourcings, sp.Redirections)})
+	}
+	if t, ok := a.timedOutAt[k]; ok {
+		p.Chain = append(p.Chain, ChainLink{t, string(trace.KindRebuildTimeout), ""})
+	}
+	if t, ok := a.hedgeAt[k]; ok {
+		p.Chain = append(p.Chain, ChainLink{t, string(trace.KindHedge), ""})
+	}
+	a.finishChain(&p, e.Time)
+	return p
+}
+
+// finishChain appends the chain links shared by every postmortem — the
+// rebuild's parked intervals, its cross-rack flight, the throttle step
+// and fail-slow episode in effect at the loss — then time-sorts (the
+// links arrive near-sorted; a stable insertion keeps ties in append
+// order) and caps the chain.
+func (a *analyzer) finishChain(p *Postmortem, t float64) {
+	k := gr{p.Group, p.Rep}
+	if p.Group >= 0 {
+		for _, ps := range a.parks[k] {
+			p.Chain = append(p.Chain,
+				ChainLink{ps.from, string(trace.KindRebuildParked), ""},
+				ChainLink{ps.to, string(trace.KindRebuildResumed), ""})
+		}
+		if from, ok := a.parkFrom[k]; ok {
+			p.Chain = append(p.Chain, ChainLink{from, string(trace.KindRebuildParked), "unresumed"})
+		}
+		if ct, ok := a.crossRackAt[k]; ok {
+			p.Chain = append(p.Chain, ChainLink{ct, string(trace.KindResourceCrossRack), ""})
+		}
+	}
+	if a.throttle.ok && a.throttle.t <= t {
+		p.Chain = append(p.Chain, ChainLink{a.throttle.t, string(trace.KindThrottle),
+			fmt.Sprintf("mbps=%.2f share=%.3f", a.throttle.mbps, a.throttle.share)})
+	}
+	if f, ok := a.slowFactor[p.Disk]; ok && f > 1 {
+		p.Chain = append(p.Chain, ChainLink{t, string(trace.KindFailSlowOnset),
+			fmt.Sprintf("factor=%g", f)})
+	}
+	// Insertion sort: chains are tiny and near-sorted, and stability
+	// preserves append order on equal times.
+	for i := 1; i < len(p.Chain); i++ {
+		for j := i; j > 0 && p.Chain[j].T < p.Chain[j-1].T; j-- {
+			p.Chain[j], p.Chain[j-1] = p.Chain[j-1], p.Chain[j]
+		}
+	}
+	if len(p.Chain) > maxChain {
+		p.Chain = p.Chain[:maxChain]
+	}
+}

@@ -74,6 +74,49 @@ func NewRecoveryMetrics(r *Registry) *RecoveryMetrics {
 	}
 }
 
+// NewDiscardRecoveryMetrics returns a RecoveryMetrics sink whose
+// handles all share one scratch counter and one scratch histogram (a
+// single +Inf bucket). Unobserved runs need a non-nil bundle so the
+// record sites carry no nil checks; resolving a throwaway registry for
+// that costs ~55 allocations per run, the shared-handle sink four.
+// Nothing ever reads the scratch instruments, so the aliasing is
+// invisible — but each run still needs its own sink (the handles are
+// not atomic, so parallel Monte Carlo runs must not share one).
+func NewDiscardRecoveryMetrics() *RecoveryMetrics {
+	c := &Counter{}
+	h := &Histogram{counts: make([]uint64, 1)}
+	return &RecoveryMetrics{
+		BlocksRebuilt:   c,
+		Dropped:         c,
+		Redirections:    c,
+		Resourcings:     c,
+		Retries:         c,
+		TransientFaults: c,
+		Hedges:          c,
+		HedgeWins:       c,
+		Timeouts:        c,
+		SlowFlagged:     c,
+		SlowEvicted:     c,
+		SpareWaits:      c,
+		SparesUsed:      c,
+
+		CrossRackTransfers: c,
+		CrossRackBytes:     c,
+		ParkedTransfers:    c,
+
+		DegradedReads: c,
+		ThrottleSteps: c,
+
+		WindowHours:       h,
+		QueueWaitHours:    h,
+		TransferHours:     h,
+		RetryWaitHours:    h,
+		HedgeOverlapHours: h,
+		DetectWaitHours:   h,
+		DegradedLatencyMs: h,
+	}
+}
+
 // SimMetrics is the simulator-level handle bundle (internal/core).
 type SimMetrics struct {
 	DiskFailures     *Counter
@@ -159,6 +202,55 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 		SuspectDisks:   r.Gauge(MetricSuspectDisks),
 		UserLoadShare:  r.Gauge(MetricUserLoadShare),
 		ThrottleMBps:   r.Gauge(MetricThrottleMBps),
+	}
+}
+
+// NewDiscardSimMetrics returns a SimMetrics sink whose handles all
+// share one scratch counter and one scratch gauge — the simulator-level
+// counterpart of NewDiscardRecoveryMetrics, with the same contract:
+// per-run, write-only, never read.
+func NewDiscardSimMetrics() *SimMetrics {
+	c, g := &Counter{}, &Gauge{}
+	return &SimMetrics{
+		DiskFailures:     c,
+		DataLossGroups:   c,
+		BatchesAdded:     c,
+		DisksAdded:       c,
+		Predicted:        c,
+		DrainedBlocks:    c,
+		LSEInjected:      c,
+		LSEDetected:      c,
+		ScrubFound:       c,
+		Bursts:           c,
+		BurstKills:       c,
+		FailSlowOnsets:   c,
+		FailSlowRecovers: c,
+		SlowBursts:       c,
+		SwitchFails:      c,
+		RackPowerEvents:  c,
+		Partitions:       c,
+		PartitionHeals:   c,
+		FalseDeadRacks:   c,
+		FalseDeadDisks:   c,
+
+		DemandBursts:  c,
+		DrainsPlanned: c,
+		UpgradeWins:   c,
+		GrowthBatches: c,
+		GrowthDisks:   c,
+
+		ActiveRebuilds: g,
+		QueuedRebuilds: g,
+		BusyDisks:      g,
+		RecoveryMBps:   g,
+		DegradedGroups: g,
+		LostGroups:     g,
+		SparePoolFree:  g,
+		AliveDisks:     g,
+		SlowDisks:      g,
+		SuspectDisks:   g,
+		UserLoadShare:  g,
+		ThrottleMBps:   g,
 	}
 }
 

@@ -102,6 +102,22 @@ const (
 	MetricObjCorruptRegions Name = "objstore_corrupt_regions_total"
 	MetricObjRepairs        Name = "objstore_repairs_total"
 	MetricObjShardsRebuilt  Name = "objstore_shards_rebuilt_total"
+
+	// Loss-forensics counters (internal/forensics): one postmortem per
+	// traced data-loss or dropped-rebuild event, bucketed by the
+	// deterministic taxonomy.
+	MetricPostmortems          Name = "postmortems_total"
+	MetricPostmortemLosses     Name = "postmortem_losses_total"
+	MetricPostmortemDrops      Name = "postmortem_drops_total"
+	MetricLossFalseDead        Name = "loss_false_dead_writeoff_total"
+	MetricLossLSERebuild       Name = "loss_lse_during_rebuild_total"
+	MetricLossLSEScrub         Name = "loss_lse_at_scrub_total"
+	MetricLossBurstSpare       Name = "loss_burst_spare_exhaustion_total"
+	MetricLossBurst            Name = "loss_correlated_burst_total"
+	MetricLossIndependent      Name = "loss_independent_failures_total"
+	MetricDropTimeout          Name = "drop_timeout_abandon_total"
+	MetricDropSourceExhaustion Name = "drop_source_exhaustion_total"
+	MetricDropGroupLost        Name = "drop_group_lost_total"
 )
 
 // Metric catalogue — gauges (sampled system state).
@@ -129,6 +145,14 @@ const (
 	MetricHedgeOverlapHours Name = "rebuild_hedge_overlap_hours"
 	MetricDetectWaitHours   Name = "rebuild_detect_wait_hours"
 	MetricDegradedLatency   Name = "degraded_read_latency_ms"
+
+	// Loss-forensics histograms: per-postmortem vulnerability windows
+	// (hours) and the leading blame fractions of each loss's normalized
+	// blame vector.
+	MetricPostmortemWindow Name = "postmortem_window_hours"
+	MetricBlameTransfer    Name = "blame_transfer_fraction"
+	MetricBlameDetect      Name = "blame_detect_fraction"
+	MetricBlameStretch     Name = "blame_stretch_fraction"
 )
 
 // PhaseBounds are the default histogram bucket upper bounds for the
@@ -143,4 +167,11 @@ var PhaseBounds = []float64{
 // pathological multi-second reconstruction. Implicit +Inf catches worse.
 var LatencyBounds = []float64{
 	1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+}
+
+// FractionBounds are the histogram bucket upper bounds for blame
+// fractions on [0, 1]: dense at both ends, where "negligible" and
+// "dominant" verdicts live. Implicit +Inf catches exactly-1.0.
+var FractionBounds = []float64{
+	0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99,
 }

@@ -296,7 +296,7 @@ func newBase(cl *cluster.Cluster, eng *sim.Engine, sched *Scheduler, bw workload
 	b.stats.DegradedP50 = metrics.NewP2(0.5)
 	b.stats.DegradedP99 = metrics.NewP2(0.99)
 	b.stats.HealthyP99 = metrics.NewP2(0.99)
-	b.rm = obs.NewRecoveryMetrics(obs.NewRegistry())
+	b.rm = obs.NewDiscardRecoveryMetrics()
 	return b
 }
 

@@ -94,6 +94,7 @@ func (b *base) parkTracked(r *rebuild) {
 	b.cancelTimers(r)
 	b.stats.Parked++
 	b.rm.ParkedTransfers.Inc()
+	b.observe(b.eng.Now(), trace.KindRebuildParked, r.task.Group, r.task.Rep, r.task.Target)
 }
 
 // park suspends a rebuild whose task may be queued or running (a dark
@@ -221,5 +222,7 @@ func (b *base) resumeParked(now sim.Time, r *rebuild) {
 	}
 	r.task = nt
 	b.track(r)
+	r.parked = false
+	b.observe(now, trace.KindRebuildResumed, r.task.Group, r.task.Rep, r.task.Target)
 	b.submitTracked(r)
 }

@@ -32,7 +32,7 @@ import (
 // existing transcripts stay byte-identical.
 func (b *base) SetObservability(rm *obs.RecoveryMetrics, spans *obs.SpanLog) {
 	if rm == nil {
-		rm = obs.NewRecoveryMetrics(obs.NewRegistry())
+		rm = obs.NewDiscardRecoveryMetrics()
 	}
 	b.rm = rm
 	b.spans = spans

@@ -1,0 +1,79 @@
+package trace
+
+import "fmt"
+
+// Detail parsers for the structured payloads some event kinds carry.
+// The emitters in internal/core and internal/workload format these
+// strings; cmd/farmstat and internal/forensics parse them back. Keeping
+// both directions next to the Kind declarations stops the format and
+// its consumers from drifting apart. Every parser returns ok=false on
+// malformed input instead of partial values — a truncated or
+// hand-edited trace line degrades to "no detail", never to garbage.
+
+// ParseDegradedReads unpacks a degraded-reads Detail
+// ("n=%d mean=%.3f max=%.3f", latencies in milliseconds).
+func ParseDegradedReads(detail string) (n int, meanMs, maxMs float64, ok bool) {
+	if _, err := fmt.Sscanf(detail, "n=%d mean=%g max=%g", &n, &meanMs, &maxMs); err != nil {
+		return 0, 0, 0, false
+	}
+	return n, meanMs, maxMs, true
+}
+
+// ParseDemandBurst unpacks a demand-burst Detail
+// ("hours=%.2f amp=%.3f": episode length and amplitude multiplier).
+func ParseDemandBurst(detail string) (hours, amp float64, ok bool) {
+	if _, err := fmt.Sscanf(detail, "hours=%g amp=%g", &hours, &amp); err != nil {
+		return 0, 0, false
+	}
+	return hours, amp, true
+}
+
+// ParseThrottleStep unpacks a throttle-step Detail
+// ("mbps=%.2f share=%.3f": the new per-disk recovery rate and the
+// foreground share that drove the step).
+func ParseThrottleStep(detail string) (mbps, share float64, ok bool) {
+	if _, err := fmt.Sscanf(detail, "mbps=%g share=%g", &mbps, &share); err != nil {
+		return 0, 0, false
+	}
+	return mbps, share, true
+}
+
+// ParseGroups unpacks a data-loss Detail ("groups=%d": how many groups
+// crossed into loss at this instant).
+func ParseGroups(detail string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(detail, "groups=%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// ParseFactor unpacks a failslow-onset Detail ("factor=%g": the
+// service-time multiplier of the degraded drive).
+func ParseFactor(detail string) (float64, bool) {
+	var f float64
+	if _, err := fmt.Sscanf(detail, "factor=%g", &f); err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// ParseKills unpacks a burst Detail ("kills=%d": drives struck by the
+// correlated burst).
+func ParseKills(detail string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(detail, "kills=%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// ParseBlocks unpacks a disk-fail Detail ("blocks=%d": resident blocks
+// lost with the drive).
+func ParseBlocks(detail string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(detail, "blocks=%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,72 @@
+package trace
+
+import "testing"
+
+// TestDetailParsersRoundTrip: each parser accepts the exact format its
+// emitter produces (including %g-printed floats) and rejects malformed,
+// truncated, or empty details with ok=false and zero values.
+func TestDetailParsersRoundTrip(t *testing.T) {
+	if n, mean, max, ok := ParseDegradedReads("n=42 mean=3.125 max=97.500"); !ok || n != 42 || mean != 3.125 || max != 97.5 {
+		t.Errorf("ParseDegradedReads: n=%d mean=%g max=%g ok=%v", n, mean, max, ok)
+	}
+	if h, a, ok := ParseDemandBurst("hours=6.50 amp=2.250"); !ok || h != 6.5 || a != 2.25 {
+		t.Errorf("ParseDemandBurst: hours=%g amp=%g ok=%v", h, a, ok)
+	}
+	if m, s, ok := ParseThrottleStep("mbps=12.00 share=0.750"); !ok || m != 12 || s != 0.75 {
+		t.Errorf("ParseThrottleStep: mbps=%g share=%g ok=%v", m, s, ok)
+	}
+	if n, ok := ParseGroups("groups=3"); !ok || n != 3 {
+		t.Errorf("ParseGroups: n=%d ok=%v", n, ok)
+	}
+	if f, ok := ParseFactor("factor=4.5"); !ok || f != 4.5 {
+		t.Errorf("ParseFactor: f=%g ok=%v", f, ok)
+	}
+	if n, ok := ParseKills("kills=12"); !ok || n != 12 {
+		t.Errorf("ParseKills: n=%d ok=%v", n, ok)
+	}
+	if n, ok := ParseBlocks("blocks=250"); !ok || n != 250 {
+		t.Errorf("ParseBlocks: n=%d ok=%v", n, ok)
+	}
+}
+
+// TestDetailParsersMalformed: every parser refuses garbage rather than
+// returning partially filled values.
+func TestDetailParsersMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"nonsense",
+		"n=",
+		"n=x mean=1 max=2",
+		"mean=1 max=2",        // missing leading field
+		"hours=1.0",           // truncated: amp missing
+		"amp=2 hours=1",       // fields swapped
+		"mbps=ten share=0.5",  // non-numeric
+		"groups=",             // empty value
+		"factor=",             // empty value
+		"factor=fast",         // non-numeric
+		"share=0.5 mbps=12.0", // fields swapped
+	}
+	for _, d := range bad {
+		if n, mean, max, ok := ParseDegradedReads(d); ok {
+			t.Errorf("ParseDegradedReads(%q) accepted: n=%d mean=%g max=%g", d, n, mean, max)
+		}
+		if h, a, ok := ParseDemandBurst(d); ok {
+			t.Errorf("ParseDemandBurst(%q) accepted: hours=%g amp=%g", d, h, a)
+		}
+		if m, s, ok := ParseThrottleStep(d); ok {
+			t.Errorf("ParseThrottleStep(%q) accepted: mbps=%g share=%g", d, m, s)
+		}
+		if n, ok := ParseGroups(d); ok {
+			t.Errorf("ParseGroups(%q) accepted: n=%d", d, n)
+		}
+		if f, ok := ParseFactor(d); ok {
+			t.Errorf("ParseFactor(%q) accepted: f=%g", d, f)
+		}
+		if n, ok := ParseKills(d); ok {
+			t.Errorf("ParseKills(%q) accepted: n=%d", d, n)
+		}
+		if n, ok := ParseBlocks(d); ok {
+			t.Errorf("ParseBlocks(%q) accepted: n=%d", d, n)
+		}
+	}
+}

@@ -73,6 +73,12 @@ const (
 	KindUpgradeBegin  Kind = "upgrade-begin"  // a rack's rolling-upgrade window opened (read-only)
 	KindUpgradeEnd    Kind = "upgrade-end"    // the upgrade window closed (writes unfenced)
 	KindGrowth        Kind = "growth-batch"   //farm:nocausality operator-scheduled; planned work has no in-trace cause
+
+	// Forensic park/resume kinds: a rebuild's stalled intervals, emitted
+	// so postmortems can attribute window time spent waiting on dark
+	// racks or write fences.
+	KindRebuildParked  Kind = "rebuild-parked"  // a rebuild stalled against a dark rack or write fence
+	KindRebuildResumed Kind = "rebuild-resumed" // a parked rebuild was resubmitted
 )
 
 // Event is one timestamped simulator occurrence. Times are simulation
@@ -247,7 +253,14 @@ func (s Summary) WriteSummary(w io.Writer) error {
 //   - degraded reads are sampled only when a window of vulnerability
 //     closes, so like rebuilds they require a prior repair trigger;
 //   - an upgrade-end follows an upgrade-begin on the same rack (windows
-//     only close after they open).
+//     only close after they open);
+//   - a rebuild-parked follows some rack darkening or upgrade fence
+//     anywhere in the run (parks only exist against dark racks and
+//     write fences; the predicate is sticky because a false-dead
+//     write-off can redirect work into the still-dark rack at the very
+//     timestamp that closes the outage);
+//   - a rebuild-resumed follows a rebuild-parked on the same
+//     (group, rep) (only parked work can resume).
 //
 // Returns the first violation found.
 func CheckCausality(events []Event) error {
@@ -260,7 +273,9 @@ func CheckCausality(events []Event) error {
 	darkAt := map[int]float64{}
 	slow := map[int]bool{}
 	upgrading := map[int]bool{}
+	parked := map[gr]bool{}
 	triggerSeen := false
+	fenceSeen := false
 	for i, e := range events {
 		if e.Time < last {
 			return fmt.Errorf("trace: event %d at %v precedes predecessor at %v", i, e.Time, last)
@@ -312,6 +327,7 @@ func CheckCausality(events []Event) error {
 			delete(slow, e.Disk)
 		case KindRackUnreachable:
 			darkAt[e.Rack] = e.Time
+			fenceSeen = true
 		case KindPartitionHeal:
 			if _, dark := darkAt[e.Rack]; !dark {
 				return fmt.Errorf("trace: partition-heal of rack %d without a prior rack-unreachable", e.Rack)
@@ -332,11 +348,22 @@ func CheckCausality(events []Event) error {
 			}
 		case KindUpgradeBegin:
 			upgrading[e.Rack] = true
+			fenceSeen = true
 		case KindUpgradeEnd:
 			if !upgrading[e.Rack] {
 				return fmt.Errorf("trace: upgrade-end of rack %d without a prior upgrade-begin", e.Rack)
 			}
 			delete(upgrading, e.Rack)
+		case KindRebuildParked:
+			if !fenceSeen {
+				return fmt.Errorf("trace: rebuild-parked on group %d rep %d before any rack outage or write fence", e.Group, e.Rep)
+			}
+			parked[gr{e.Group, e.Rep}] = true
+		case KindRebuildResumed:
+			if !parked[gr{e.Group, e.Rep}] {
+				return fmt.Errorf("trace: rebuild-resumed on group %d rep %d without a prior rebuild-parked", e.Group, e.Rep)
+			}
+			delete(parked, gr{e.Group, e.Rep})
 		}
 	}
 	return nil

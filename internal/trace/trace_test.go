@@ -176,6 +176,29 @@ func TestCheckCausalityViolations(t *testing.T) {
 			{Time: 3, Kind: KindPartitionHeal, Rack: 3},
 			{Time: 4, Kind: KindFalseDead, Rack: 3},
 		}},
+		{"rebuild-parked before any outage or fence", []Event{
+			fail, detect,
+			{Time: 2, Kind: KindRebuildParked, Group: 3, Rep: 0, Disk: 7},
+		}},
+		{"rebuild-resumed without a park", []Event{
+			fail, detect,
+			{Time: 2, Kind: KindRackUnreachable, Rack: 1},
+			{Time: 3, Kind: KindRebuildResumed, Group: 3, Rep: 0, Disk: 7},
+		}},
+		{"rebuild-resumed for a different rebuild", []Event{
+			fail, detect,
+			{Time: 2, Kind: KindRackUnreachable, Rack: 1},
+			{Time: 2.5, Kind: KindRebuildParked, Group: 3, Rep: 1, Disk: 7},
+			{Time: 3, Kind: KindRebuildResumed, Group: 3, Rep: 0, Disk: 7},
+		}},
+		{"rebuild-resumed twice for one park", []Event{
+			fail, detect,
+			{Time: 2, Kind: KindRackUnreachable, Rack: 1},
+			{Time: 2.5, Kind: KindRebuildParked, Group: 3, Rep: 0, Disk: 7},
+			{Time: 3, Kind: KindPartitionHeal, Rack: 1},
+			{Time: 3, Kind: KindRebuildResumed, Group: 3, Rep: 0, Disk: 7},
+			{Time: 4, Kind: KindRebuildResumed, Group: 3, Rep: 0, Disk: 7},
+		}},
 	}
 	for _, tc := range cases {
 		if err := CheckCausality(tc.events); err == nil {
@@ -201,6 +224,59 @@ func TestCheckCausalityViolations(t *testing.T) {
 	}
 	if err := CheckCausality(good); err != nil {
 		t.Fatalf("legal trace rejected: %v", err)
+	}
+}
+
+// TestCheckCausalityForensicChains: the chains the forensics layer
+// reconstructs postmortems from are causally legal end to end —
+// a false-dead write-off after the rack darkened, and a parked rebuild
+// resuming after the partition heals (including the re-park of the same
+// rebuild against a second outage, and a park triggered at the fence of
+// a rolling upgrade rather than a dark rack).
+func TestCheckCausalityForensicChains(t *testing.T) {
+	falseDead := []Event{
+		{Time: 1, Kind: KindDiskFail, Disk: 1},
+		{Time: 1.5, Kind: KindDetect, Disk: 1},
+		{Time: 2, Kind: KindSwitchFail, Rack: 2},
+		{Time: 2, Kind: KindRackUnreachable, Rack: 2, Detail: "switch-fail"},
+		{Time: 3, Kind: KindRebuildParked, Group: 5, Rep: 1, Disk: 9},
+		{Time: 26, Kind: KindFalseDead, Rack: 2},
+		{Time: 26, Kind: KindDiskFail, Disk: 40, Rack: 2},
+		{Time: 26, Kind: KindDataLoss, Disk: 40, Detail: "groups=1"},
+		// The write-off reopens the survivors: the park resumes at the
+		// same instant the rack is marked reachable again.
+		{Time: 26, Kind: KindRebuildResumed, Group: 5, Rep: 1, Disk: 9},
+	}
+	if err := CheckCausality(falseDead); err != nil {
+		t.Fatalf("false-dead write-off chain rejected: %v", err)
+	}
+	parkResume := []Event{
+		{Time: 1, Kind: KindDiskFail, Disk: 1},
+		{Time: 1.5, Kind: KindDetect, Disk: 1},
+		{Time: 2, Kind: KindRackUnreachable, Rack: 3, Detail: "partition"},
+		{Time: 2.1, Kind: KindRebuildParked, Group: 7, Rep: 0, Disk: 11},
+		{Time: 14, Kind: KindPartitionHeal, Rack: 3},
+		{Time: 14, Kind: KindRebuildResumed, Group: 7, Rep: 0, Disk: 11},
+		// The same rebuild may park again against a later outage.
+		{Time: 20, Kind: KindRackUnreachable, Rack: 3, Detail: "power"},
+		{Time: 20.5, Kind: KindRebuildParked, Group: 7, Rep: 0, Disk: 11},
+		{Time: 30, Kind: KindPartitionHeal, Rack: 3},
+		{Time: 30, Kind: KindRebuildResumed, Group: 7, Rep: 0, Disk: 11},
+		{Time: 31, Kind: KindRebuilt, Group: 7, Rep: 0, Disk: 11},
+	}
+	if err := CheckCausality(parkResume); err != nil {
+		t.Fatalf("park/resume chain rejected: %v", err)
+	}
+	fencePark := []Event{
+		{Time: 1, Kind: KindDiskFail, Disk: 1},
+		{Time: 1.5, Kind: KindDetect, Disk: 1},
+		{Time: 2, Kind: KindUpgradeBegin, Rack: 4, Detail: "hours=6.00"},
+		{Time: 2.2, Kind: KindRebuildParked, Group: 9, Rep: 2, Disk: 13},
+		{Time: 8, Kind: KindUpgradeEnd, Rack: 4},
+		{Time: 8, Kind: KindRebuildResumed, Group: 9, Rep: 2, Disk: 13},
+	}
+	if err := CheckCausality(fencePark); err != nil {
+		t.Fatalf("write-fence park chain rejected: %v", err)
 	}
 }
 

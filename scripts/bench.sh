@@ -5,7 +5,7 @@
 # trajectory, each with -benchmem -count=5, plus the 100k-disk fleet
 # benchmark once (-benchtime=1x: one iteration is six simulated years of
 # a 100,000-drive system; repetition buys nothing but minutes), and
-# writes BENCH_6.json at the repository root mapping benchmark name ->
+# writes BENCH_10.json at the repository root mapping benchmark name ->
 # {ns/op, B/op, allocs/op}. For each metric the minimum over the
 # repetitions is kept: minima are the standard noise-robust summary for
 # wall-clock benchmarks, and B/op / allocs/op are deterministic anyway.
@@ -22,7 +22,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_10.json}"
 count="${BENCH_COUNT:-5}"
 
 pattern='^(BenchmarkTable2BaseSystemBuild|BenchmarkSingleRunFARM|BenchmarkSingleRunFARMObs|BenchmarkFailDiskAndIndex|BenchmarkPlacementCandidate|BenchmarkErasureEncodeRS8of10|BenchmarkEventQueue)$'
